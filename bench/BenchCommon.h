@@ -1,0 +1,82 @@
+//===- bench/BenchCommon.h - shared experiment-harness helpers -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/per-table benchmark binaries. Every
+/// bench honours BRAINY_SCALE (default 1.0) for training/validation set
+/// sizes, and the trained advisor bundles are cached on disk so the
+/// later benches reuse the models the first one trained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_BENCH_BENCHCOMMON_H
+#define BRAINY_BENCH_BENCHCOMMON_H
+
+#include "baseline/Perflint.h"
+#include "core/Brainy.h"
+#include "support/Env.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <string>
+
+namespace brainy {
+namespace bench {
+
+/// Training options at the bench's default scale. BRAINY_SCALE multiplies
+/// the per-class target (and the seed budget).
+inline TrainOptions benchTrainOptions() {
+  TrainOptions Opts;
+  Opts.TargetPerDs = static_cast<unsigned>(scaledCount(70, 8));
+  Opts.MaxSeeds = scaledCount(10000, 500);
+  Opts.GenConfig.TotalInterfCalls = 600;
+  Opts.GenConfig.MaxInitialSize = 4000;
+  Opts.Net.Epochs = 90;
+  Opts.Net.HiddenUnits = 16;
+  return Opts;
+}
+
+/// Cache tag identifying the options that produced a bundle.
+inline std::string benchTag() {
+  TrainOptions Opts = benchTrainOptions();
+  return formatStr("v4-target%u-seeds%llu", Opts.TargetPerDs,
+                   static_cast<unsigned long long>(Opts.MaxSeeds));
+}
+
+/// The trained advisor for \p Machine, cached as
+/// `brainy_models_<machine>.txt` in the working directory.
+inline Brainy benchAdvisor(const MachineConfig &Machine) {
+  std::string Path = "brainy_models_" + Machine.Name + ".txt";
+  std::fprintf(stderr,
+               "[bench] loading/training Brainy models for %s "
+               "(cache: %s, BRAINY_SCALE=%.2f)\n",
+               Machine.Name.c_str(), Path.c_str(), experimentScale());
+  return Brainy::trainOrLoad(benchTrainOptions(), Machine, Path, benchTag());
+}
+
+/// Perflint coefficients calibrated for \p Machine on generator apps.
+inline PerflintCoefficients benchPerflint(const MachineConfig &Machine) {
+  TrainOptions Opts = benchTrainOptions();
+  return calibratePerflint(Opts.GenConfig, Machine,
+                           /*FirstSeed=*/900000, /*Count=*/24);
+}
+
+/// Prints the standard bench banner.
+inline void banner(const char *Id, const char *Title) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s — %s\n", Id, Title);
+  std::printf("Brainy reproduction (PLDI 2011); simulated machines; "
+              "BRAINY_SCALE=%.2f\n",
+              experimentScale());
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+} // namespace bench
+} // namespace brainy
+
+#endif // BRAINY_BENCH_BENCHCOMMON_H

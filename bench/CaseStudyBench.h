@@ -1,0 +1,114 @@
+//===- bench/CaseStudyBench.h - shared case-study reporting ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared renderers for the case-study figures: normalised execution-time
+/// tables (Figures 10 and 12) and Baseline/Perflint/Brainy/Oracle selection
+/// tables (Figures 11 and 13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_BENCH_CASESTUDYBENCH_H
+#define BRAINY_BENCH_CASESTUDYBENCH_H
+
+#include "bench/BenchCommon.h"
+#include "workloads/CaseStudy.h"
+
+namespace brainy {
+namespace bench {
+
+/// Figure 10/12 shape: per input, per machine, execution time of every
+/// candidate normalised to the original structure.
+inline void printExecTimeTable(const CaseStudy &CS) {
+  for (const MachineConfig &Machine :
+       {MachineConfig::core2(), MachineConfig::atom()}) {
+    std::printf("machine: %s\n", Machine.Name.c_str());
+    TextTable Table;
+    std::vector<std::string> Header = {"input", "baseline (sim s)"};
+    for (DsKind Kind : CS.candidates())
+      Header.push_back(dsKindName(Kind));
+    Header.push_back("best");
+    Table.setHeader(Header);
+
+    for (unsigned Input = 0; Input != CS.inputNames().size(); ++Input) {
+      RaceResult Race = CS.race(Input, Machine);
+      double Baseline = Race.cyclesOf(CS.original());
+      std::vector<std::string> Row = {
+          CS.inputNames()[Input],
+          formatStr("%.4f", Baseline / (Machine.ClockGhz * 1e9))};
+      for (DsKind Kind : CS.candidates())
+        Row.push_back(formatDouble(Race.cyclesOf(Kind) / Baseline, 3));
+      Row.push_back(dsKindName(Race.Best));
+      Table.addRow(Row);
+    }
+    Table.print();
+    std::printf("\n");
+  }
+}
+
+/// One row of a Figure 11/13 selection table.
+struct SelectionRow {
+  std::string Input;
+  std::string MachineName;
+  DsKind Perflint;
+  bool PerflintSupported;
+  DsKind Brainy;
+  DsKind Oracle;
+};
+
+/// Runs Baseline/Perflint/Brainy/Oracle for every input on both machines.
+inline std::vector<SelectionRow> runSelectionSchemes(const CaseStudy &CS) {
+  std::vector<SelectionRow> Rows;
+  for (const MachineConfig &Machine :
+       {MachineConfig::core2(), MachineConfig::atom()}) {
+    Brainy Advisor = benchAdvisor(Machine);
+    PerflintCoefficients Coefficients = benchPerflint(Machine);
+    for (unsigned Input = 0; Input != CS.inputNames().size(); ++Input) {
+      PerflintAdvisor Perflint(CS.original(), Coefficients);
+      WorkloadRun Profile = CS.runProfiled(Input, Machine, &Perflint);
+
+      SelectionRow Row;
+      Row.Input = CS.inputNames()[Input];
+      Row.MachineName = Machine.Name;
+      Row.PerflintSupported = Perflint.supported();
+      Row.Perflint = asMapVariant(Perflint.recommend(), CS.mapUsage());
+      ModelKind Model = modelFor(CS.original(), CS.orderOblivious());
+      Row.Brainy = asMapVariant(
+          Advisor.recommendWith(Model, Profile.Features, CS.orderOblivious()),
+          CS.mapUsage());
+      Row.Oracle = CS.race(Input, Machine).Best;
+      Rows.push_back(Row);
+    }
+  }
+  return Rows;
+}
+
+/// Prints the Figure 11/13 selection table and the Brainy-vs-Oracle score.
+inline void printSelectionTable(const CaseStudy &CS,
+                                const std::vector<SelectionRow> &Rows) {
+  TextTable Table;
+  Table.setHeader({"input", "machine", "baseline", "perflint", "brainy",
+                   "oracle", "brainy==oracle"});
+  unsigned BrainyHits = 0, PerflintHits = 0;
+  for (const SelectionRow &Row : Rows) {
+    Table.addRow(
+        {Row.Input, Row.MachineName,
+         dsKindName(asMapVariant(CS.original(), CS.mapUsage())),
+         Row.PerflintSupported ? dsKindName(Row.Perflint) : "(unsupported)",
+         dsKindName(Row.Brainy), dsKindName(Row.Oracle),
+         Row.Brainy == Row.Oracle ? "yes" : "NO"});
+    BrainyHits += Row.Brainy == Row.Oracle;
+    PerflintHits += Row.PerflintSupported && Row.Perflint == Row.Oracle;
+  }
+  Table.print();
+  std::printf("\nagreement with Oracle: brainy %u/%zu, perflint %u/%zu\n",
+              BrainyHits, Rows.size(), PerflintHits, Rows.size());
+}
+
+} // namespace bench
+} // namespace brainy
+
+#endif // BRAINY_BENCH_CASESTUDYBENCH_H

@@ -1,0 +1,78 @@
+//===- bench/ext_splay_tree.cpp - extension: splay-tree motivation --------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Extension experiment for the paper's Section 1 motivation: "splay trees
+// almost always perform better than red-black trees on real-world data
+// though they have the same asymptotic complexity". We sweep the access
+// skew (fraction of lookups hitting a small hot set) and report splay vs
+// red-black vs AVL cycles on both machines — demonstrating how additional
+// implementations plug into the substrate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "containers/AvlTree.h"
+#include "containers/RbTree.h"
+#include "containers/SplayTree.h"
+#include "support/Rng.h"
+
+using namespace brainy;
+using namespace brainy::bench;
+
+namespace {
+
+template <typename TreeT>
+double run(const MachineConfig &Machine, double HotFraction) {
+  MachineModel Model(Machine);
+  TreeT Tree(8, &Model);
+  Rng R(4242);
+  std::vector<ds::Key> Keys;
+  for (int I = 0; I != 4000; ++I) {
+    ds::Key K = static_cast<ds::Key>(R.nextBelow(1u << 28));
+    Keys.push_back(K);
+    Tree.insert(K);
+  }
+  Model.reset();
+  uint64_t Lookups = scaledCount(30000, 3000);
+  for (uint64_t I = 0; I != Lookups; ++I) {
+    ds::Key K = R.nextBool(HotFraction) ? Keys[R.nextBelow(16)]
+                                        : Keys[R.nextBelow(Keys.size())];
+    Tree.find(K);
+  }
+  return Model.cycles() / static_cast<double>(Lookups);
+}
+
+} // namespace
+
+int main() {
+  banner("Extension", "splay vs red-black vs AVL under access skew");
+  for (const MachineConfig &Machine :
+       {MachineConfig::core2(), MachineConfig::atom()}) {
+    std::printf("machine: %s (cycles per find, 4000 keys)\n",
+                Machine.Name.c_str());
+    TextTable Table;
+    Table.setHeader({"hot-set hit rate", "set (rb)", "avl_set", "splay_set",
+                     "winner"});
+    for (double Hot : {0.0, 0.5, 0.8, 0.9, 0.99}) {
+      double Rb = run<ds::RbTree>(Machine, Hot);
+      double Avl = run<ds::AvlTree>(Machine, Hot);
+      double Splay = run<ds::SplayTree>(Machine, Hot);
+      const char *Winner = Splay < Rb && Splay < Avl
+                               ? "splay_set"
+                               : (Avl < Rb ? "avl_set" : "set");
+      Table.addRow({formatPercent(Hot), formatDouble(Rb, 1),
+                    formatDouble(Avl, 1), formatDouble(Splay, 1), Winner});
+    }
+    Table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "(the paper's Section 1 claims splay almost always beats red-black "
+      "on real-world data;\n in this machine model — which charges splay's "
+      "rotation writes like ordinary touches —\n the balanced trees keep "
+      "an edge, but skew monotonically narrows the gap: the\n "
+      "self-adjusting property is visible even where the headline claim "
+      "does not hold.)\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+//===- bench/fig10_xalan_exectime.cpp - Figure 10 -------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Figure 10: Xalancbmk string-cache execution time per candidate structure,
+// normalised to the original vector, per input and machine. Paper shape:
+// hash_set wins test and reference; the original vector wins train; set
+// helps on Core2 but far less on Atom.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/CaseStudyBench.h"
+
+using namespace brainy;
+using namespace brainy::bench;
+
+int main() {
+  banner("Figure 10", "Xalancbmk: normalised execution time per structure");
+  printExecTimeTable(*makeXalanCache());
+  std::printf("(paper: Oracle picks hash_set for test/reference and keeps "
+              "vector for train on both machines)\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+//===- bench/fig12_chord_exectime.cpp - Figure 12 -------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Figure 12: Chord simulator execution time per candidate structure,
+// normalised to the original vector, per input and machine. Paper shape:
+// the optimum varies across inputs, and for the large input the two
+// machines disagree (the original vector stays optimal on Core2 while a
+// map-family structure wins on Atom).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/CaseStudyBench.h"
+
+using namespace brainy;
+using namespace brainy::bench;
+
+int main() {
+  banner("Figure 12", "Chord simulator: normalised execution time");
+  printExecTimeTable(*makeChordSim());
+  std::printf("(paper: for Large, vector is optimal on Core2 while the "
+              "map family wins on Atom — the machines disagree)\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+//===- bench/fig13_chord_selection.cpp - Figure 13 ------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Figure 13: per-scheme selections for the Chord simulator. Paper shape:
+// Perflint recommends the map for every input/machine (its averaged
+// asymptotic model cannot see the response pattern), which degrades the
+// input where the original vector is optimal; Brainy follows the Oracle,
+// including recommending to keep vector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/CaseStudyBench.h"
+
+using namespace brainy;
+using namespace brainy::bench;
+
+int main() {
+  banner("Figure 13", "Chord simulator: data-structure selection per scheme");
+  auto CS = makeChordSim();
+  printSelectionTable(*CS, runSelectionSchemes(*CS));
+  std::printf("(paper footnote 5: Perflint's 'set' suggestion is read as "
+              "the map equivalent)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- bench/micro_machine.cpp - simulator microbenchmarks ----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Wall-clock google-benchmark microbenchmarks of the microarchitecture
+// simulator and the synthetic-application runner: events per second and
+// apps per second determine how large a training sweep is affordable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "appgen/AppRunner.h"
+#include "machine/MachineModel.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace brainy;
+
+namespace {
+
+void BM_CacheAccessSequential(benchmark::State &State) {
+  CacheSim Cache(CacheGeometry{32 * 1024, 8, 64});
+  uint64_t Addr = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.access(Addr));
+    Addr += 64;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CacheAccessSequential);
+
+void BM_CacheAccessRandom(benchmark::State &State) {
+  CacheSim Cache(CacheGeometry{32 * 1024, 8, 64});
+  uint64_t Lcg = 1;
+  for (auto _ : State) {
+    Lcg = Lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    benchmark::DoNotOptimize(Cache.access(Lcg >> 16));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CacheAccessRandom);
+
+void BM_BranchPredictor(benchmark::State &State) {
+  BranchPredictor P;
+  unsigned I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        P.observe(BranchSite::TreeCompareLeft, ++I % 3 == 0));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_MachineModelAccess(benchmark::State &State) {
+  MachineModel M(MachineConfig::core2());
+  uint64_t Lcg = 1;
+  for (auto _ : State) {
+    Lcg = Lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    M.onAccess((Lcg >> 16) % (8 << 20), 8);
+  }
+  benchmark::DoNotOptimize(M.cycles());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MachineModelAccess);
+
+void BM_RunSyntheticApp(benchmark::State &State) {
+  AppConfig Gen;
+  Gen.TotalInterfCalls = 500;
+  Gen.MaxInitialSize = 1000;
+  MachineConfig Machine = MachineConfig::core2();
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    AppSpec Spec = AppSpec::fromSeed(Seed++, Gen);
+    RunOutcome Out = runApp(Spec, DsKind::Vector, Machine);
+    benchmark::DoNotOptimize(Out.Cycles);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RunSyntheticApp);
+
+void BM_RunProfiledApp(benchmark::State &State) {
+  AppConfig Gen;
+  Gen.TotalInterfCalls = 500;
+  Gen.MaxInitialSize = 1000;
+  MachineConfig Machine = MachineConfig::core2();
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    AppSpec Spec = AppSpec::fromSeed(Seed++, Gen);
+    ProfiledOutcome Out = runAppProfiled(Spec, DsKind::Set, Machine);
+    benchmark::DoNotOptimize(Out.Run.Cycles);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RunProfiledApp);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+//===- bench/tab02_generator_config.cpp - Table 2 -------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Table 2: the application generator's configuration vocabulary, a sample
+// configuration file, and a demonstration of the seed-regeneration
+// property Phase II relies on (Section 4.3): the same seed reproduces the
+// exact same application, so training apps need no disk space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "core/Oracle.h"
+
+using namespace brainy;
+using namespace brainy::bench;
+
+int main() {
+  banner("Table 2", "generator configuration and seed regeneration");
+
+  std::printf("sample configuration file (paper Table 2 notation):\n\n%s\n",
+              AppConfig::sampleConfigText());
+  AppConfig Gen = AppConfig::fromString(AppConfig::sampleConfigText());
+
+  std::printf("derived application specs:\n");
+  TextTable Table;
+  Table.setHeader({"seed", "elem B", "order-obliv", "initial size",
+                   "dominant op", "hit bias", "front bias"});
+  for (uint64_t Seed : {1ULL, 2ULL, 3ULL, 42ULL, 1000ULL, 31415ULL}) {
+    AppSpec Spec = AppSpec::fromSeed(Seed, Gen);
+    unsigned Dominant = 0;
+    for (unsigned I = 1; I != NumAppOps; ++I)
+      if (Spec.OpWeights[I] > Spec.OpWeights[Dominant])
+        Dominant = I;
+    Table.addRow({formatStr("%llu", (unsigned long long)Seed),
+                  formatStr("%u", Spec.ElemBytes),
+                  Spec.OrderOblivious ? "yes" : "no",
+                  formatStr("%llu", (unsigned long long)Spec.InitialSize),
+                  appOpName(static_cast<AppOp>(Dominant)),
+                  formatDouble(Spec.HitBias, 2),
+                  formatDouble(Spec.FrontBias, 2)});
+  }
+  Table.print();
+
+  std::printf("\nregeneration check (same seed => identical run):\n");
+  MachineConfig Machine = MachineConfig::core2();
+  AppSpec Spec = AppSpec::fromSeed(42, Gen);
+  RunOutcome A = runApp(Spec, DsKind::Vector, Machine);
+  RunOutcome B = runApp(AppSpec::fromSeed(42, Gen), DsKind::Vector, Machine);
+  RunOutcome C = runApp(AppSpec::fromSeed(43, Gen), DsKind::Vector, Machine);
+  std::printf("  seed 42 run 1: %.0f cycles\n", A.Cycles);
+  std::printf("  seed 42 run 2: %.0f cycles  (%s)\n", B.Cycles,
+              A.Cycles == B.Cycles ? "identical" : "MISMATCH");
+  std::printf("  seed 43      : %.0f cycles  (%s)\n", C.Cycles,
+              A.Cycles != C.Cycles ? "different app" : "UNEXPECTEDLY EQUAL");
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/tab04_xalan_find_stats.cpp - Table 4 -------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Table 4: the number of find invocations and the total number of touched
+// data elements across Xalancbmk's inputs — the input-dependent search
+// pattern that makes hand-constructed models mispredict. The paper's raw
+// counts (37K..67M finds, 32M..89G touches) are testbed-sized; the shape
+// to reproduce is the orders-of-magnitude spread in touches-per-find.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/CaseStudyBench.h"
+
+using namespace brainy;
+using namespace brainy::bench;
+
+int main() {
+  banner("Table 4", "Xalancbmk: find invocations and touched elements");
+  auto CS = makeXalanCache();
+  MachineConfig Machine = MachineConfig::core2();
+  TextTable Table;
+  Table.setHeader({"input", "find invocations", "touched data elements",
+                   "touches per find"});
+  for (unsigned Input = 0; Input != CS->inputNames().size(); ++Input) {
+    WorkloadRun Out = CS->runProfiled(Input, Machine);
+    Table.addRow({CS->inputNames()[Input],
+                  formatStr("%llu", (unsigned long long)Out.Sw.FindCount),
+                  formatStr("%llu", (unsigned long long)Out.Sw.FindCost),
+                  formatDouble(Out.Sw.FindCount
+                                   ? double(Out.Sw.FindCost) /
+                                         double(Out.Sw.FindCount)
+                                   : 0,
+                               2)});
+  }
+  Table.print();
+  std::printf("\n(paper Table 4: train touches ~41 elements per find and "
+              "succeeds at the head; test/reference touch hundreds to "
+              "thousands)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- examples/custom_workload.cpp - advising your own application -------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Shows the workflow a downstream user follows for their *own* code:
+//
+//   1. describe the container interaction as a driver against the ADT,
+//   2. profile it on the target machine model,
+//   3. get (cached) trained models via Brainy::trainOrLoad,
+//   4. compare Brainy's pick against the exhaustive Oracle and against
+//      what the Perflint-style hand model would have said.
+//
+// The example application is a job de-duplication queue: jobs arrive,
+// are checked against the set of already-seen job ids (`find`), inserted
+// when new, and occasionally retired (`erase`). A developer wrote it with
+// std::list.
+//
+// Build and run:  ./build/examples/custom_workload
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Perflint.h"
+#include "core/Brainy.h"
+#include "profile/ProfiledContainer.h"
+#include "support/Rng.h"
+#include "workloads/CaseStudy.h"
+
+#include <cstdio>
+
+using namespace brainy;
+
+namespace {
+
+/// The user's workload, written once against the Container interface so
+/// every candidate (and the profiler) can run it.
+void runJobQueue(Container &C, OpObserver *Observer = nullptr) {
+  ObservedOps Ops(C, Observer);
+  Rng R(777);
+  int64_t NextJob = 0;
+  for (int Step = 0; Step != 4000; ++Step) {
+    // A burst of duplicate-checks against recently seen jobs.
+    for (int Probe = 0; Probe != 4; ++Probe) {
+      int64_t Candidate =
+          NextJob ? static_cast<int64_t>(R.nextBelow(NextJob + 1)) : 0;
+      Ops.find(Candidate);
+    }
+    Ops.insert(NextJob++);
+    if (Step % 8 == 0 && NextJob > 50)
+      Ops.erase(static_cast<int64_t>(R.nextBelow(NextJob - 50)));
+  }
+}
+
+double measure(DsKind Kind, const MachineConfig &Machine) {
+  MachineModel Model(Machine);
+  auto C = makeContainer(Kind, 24, &Model);
+  runJobQueue(*C);
+  return Model.cycles();
+}
+
+} // namespace
+
+int main() {
+  const DsKind Original = DsKind::List;
+  MachineConfig Machine = MachineConfig::core2();
+
+  // -- profile the original --------------------------------------------
+  MachineModel Model(Machine);
+  ProfiledContainer Profiled(makeContainer(Original, 24, &Model));
+  PerflintCoefficients Coefficients; // unit coefficients for the demo
+  PerflintAdvisor Perflint(Original, Coefficients);
+  runJobQueue(Profiled, &Perflint);
+  FeatureVector Features = extractFeatures(
+      Profiled.features(), Model.counters(), Machine.L1.BlockBytes);
+
+  std::printf("job-queue profile on %s (original: %s):\n",
+              Machine.Name.c_str(), dsKindName(Original));
+  std::printf("  find fraction %.2f, avg find cost %.1f, order-oblivious: "
+              "%s\n\n",
+              Features[FeatureId::FindFrac],
+              Features[FeatureId::FindCostAvg],
+              Profiled.features().orderOblivious() ? "yes" : "no");
+
+  // -- advisors ----------------------------------------------------------
+  // Trained models are cached next to the binary; the first run trains
+  // them (about a minute), later runs load instantly.
+  TrainOptions Opts;
+  Opts.TargetPerDs = 45;
+  Opts.MaxSeeds = 6000;
+  Opts.GenConfig.TotalInterfCalls = 500;
+  Opts.GenConfig.MaxInitialSize = 2000;
+  std::printf("loading/training advisor (cache: "
+              "brainy_models_example_core2.txt)...\n");
+  Brainy Advisor = Brainy::trainOrLoad(
+      Opts, Machine, "brainy_models_example_core2.txt", "example-v1");
+
+  DsKind BrainyPick =
+      Advisor.recommend(Original, Profiled.features(), Features);
+  DsKind PerflintPick = Perflint.recommend();
+
+  // -- ground truth -------------------------------------------------------
+  std::vector<DsKind> Candidates = replacementCandidates(
+      Original, Profiled.features().orderOblivious());
+  DsKind OraclePick = Original;
+  double BestCycles = 1e300;
+  double OriginalCycles = 0;
+  std::printf("\nexhaustive measurement:\n");
+  for (DsKind Kind : Candidates) {
+    double Cycles = measure(Kind, Machine);
+    std::printf("  %-8s %12.0f cycles\n", dsKindName(Kind), Cycles);
+    if (Kind == Original)
+      OriginalCycles = Cycles;
+    if (Cycles < BestCycles) {
+      BestCycles = Cycles;
+      OraclePick = Kind;
+    }
+  }
+
+  double BrainyCycles = measure(BrainyPick, Machine);
+  std::printf("\nrecommendations:\n");
+  std::printf("  perflint : %s\n", dsKindName(PerflintPick));
+  std::printf("  brainy   : %s (%.1f%% faster than the original %s)\n",
+              dsKindName(BrainyPick),
+              100.0 * (OriginalCycles - BrainyCycles) / OriginalCycles,
+              dsKindName(Original));
+  std::printf("  oracle   : %s\n", dsKindName(OraclePick));
+  std::printf("\nbrainy %s the oracle pick; perflint %s\n",
+              BrainyPick == OraclePick ? "matches" : "misses",
+              PerflintPick == OraclePick ? "matches it" : "misses it");
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- examples/quickstart.cpp - Brainy public-API walkthrough ------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The smallest end-to-end tour of the library, following the usage model
+// of the paper's Figure 3:
+//
+//   1. run an application against an instrumented container on a
+//      simulated machine,
+//   2. look at the software + hardware features the profile collected,
+//   3. train a (small) Brainy advisor for that machine, and
+//   4. ask it what the container should be replaced with.
+//
+// Build and run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Brainy.h"
+#include "profile/ProfiledContainer.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace brainy;
+
+int main() {
+  // -- 1. Profile an application --------------------------------------
+  // The "application": a lookup-dominated phone-book style workload that
+  // a developer wrote against std::vector.
+  MachineConfig Machine = MachineConfig::core2();
+  MachineModel Model(Machine);
+  ProfiledContainer PhoneBook(
+      makeContainer(DsKind::Vector, /*ElemBytes=*/32, &Model));
+
+  Rng R(2024);
+  for (int I = 0; I != 500; ++I)
+    PhoneBook.insert(static_cast<ds::Key>(R.nextBelow(100000)));
+  for (int I = 0; I != 5000; ++I)
+    PhoneBook.find(static_cast<ds::Key>(R.nextBelow(100000)));
+
+  // -- 2. Inspect the collected features -------------------------------
+  const SoftwareFeatures &Sw = PhoneBook.features();
+  HardwareCounters Hw = Model.counters();
+  FeatureVector Features = extractFeatures(Sw, Hw, Machine.L1.BlockBytes);
+
+  std::printf("profiled run on %s:\n", Machine.Name.c_str());
+  std::printf("  interface calls  : %llu (find fraction %.2f)\n",
+              (unsigned long long)Sw.totalCalls(),
+              Features[FeatureId::FindFrac]);
+  std::printf("  avg find cost    : %.1f elements touched\n",
+              Features[FeatureId::FindCostAvg]);
+  std::printf("  L1 miss rate     : %.2f%%\n",
+              Features[FeatureId::L1MissRate] * 100);
+  std::printf("  br mispredict    : %.2f%%\n",
+              Features[FeatureId::BrMissRate] * 100);
+  std::printf("  simulated cycles : %.0f\n", Hw.Cycles);
+  std::printf("  order-oblivious  : %s\n\n",
+              Sw.orderOblivious() ? "yes" : "no");
+
+  // -- 3. Train a small advisor ----------------------------------------
+  // (Tiny training budget so the example finishes in seconds. Real use:
+  // raise TargetPerDs/MaxSeeds, or cache with Brainy::trainOrLoad.)
+  std::printf("training a small Brainy advisor for %s...\n",
+              Machine.Name.c_str());
+  TrainOptions Opts;
+  Opts.TargetPerDs = 10;
+  Opts.MaxSeeds = 900;
+  Opts.GenConfig.TotalInterfCalls = 300;
+  Opts.GenConfig.MaxInitialSize = 1000;
+  Brainy Advisor = Brainy::train(Opts, Machine);
+
+  // -- 4. Ask for a recommendation -------------------------------------
+  DsKind Pick = Advisor.recommend(DsKind::Vector, Sw, Features);
+  std::printf("\nBrainy's suggestion: replace %s with %s\n",
+              dsKindName(DsKind::Vector), dsKindName(Pick));
+
+  // Check the suggestion against ground truth by re-running the workload.
+  auto Measure = [&](DsKind Kind) {
+    MachineModel M(Machine);
+    auto C = makeContainer(Kind, 32, &M);
+    Rng R2(2024);
+    for (int I = 0; I != 500; ++I)
+      C->insert(static_cast<ds::Key>(R2.nextBelow(100000)));
+    for (int I = 0; I != 5000; ++I)
+      C->find(static_cast<ds::Key>(R2.nextBelow(100000)));
+    return M.cycles();
+  };
+  double Before = Measure(DsKind::Vector);
+  double After = Measure(Pick);
+  std::printf("measured: %s %.0f cycles -> %s %.0f cycles (%.1f%% %s)\n",
+              dsKindName(DsKind::Vector), Before, dsKindName(Pick), After,
+              100.0 * (Before - After) / Before,
+              After <= Before ? "faster" : "SLOWER");
+  return 0;
+}

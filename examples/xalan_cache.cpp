@@ -1,0 +1,52 @@
+//===- examples/xalan_cache.cpp - the Xalancbmk case study (§6.2) ---------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Runs the miniature Xalancbmk string-cache workload across its three
+// inputs on both simulated machines, showing how the input changes the
+// profile (Table 4) and which structure wins each time (Figure 10).
+//
+// Build and run:  ./build/examples/xalan_cache
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudy.h"
+
+#include <cstdio>
+
+using namespace brainy;
+
+int main() {
+  auto CS = makeXalanCache();
+  std::printf("Xalancbmk string cache: busy list originally a %s of "
+              "%uB string handles\n\n",
+              dsKindName(CS->original()), CS->elementBytes());
+
+  for (unsigned Input = 0; Input != CS->inputNames().size(); ++Input) {
+    WorkloadRun Profile = CS->runProfiled(Input, MachineConfig::core2());
+    std::printf("input '%s': %llu finds touching %llu elements "
+                "(%.1f per find), %llu erases\n",
+                CS->inputNames()[Input].c_str(),
+                (unsigned long long)Profile.Sw.FindCount,
+                (unsigned long long)Profile.Sw.FindCost,
+                Profile.Sw.FindCount
+                    ? double(Profile.Sw.FindCost) / Profile.Sw.FindCount
+                    : 0,
+                (unsigned long long)(Profile.Sw.EraseCount +
+                                     Profile.Sw.EraseAtCount));
+    for (const MachineConfig &Machine :
+         {MachineConfig::core2(), MachineConfig::atom()}) {
+      RaceResult Race = CS->race(Input, Machine);
+      std::printf("  %-5s:", Machine.Name.c_str());
+      for (DsKind Kind : CS->candidates())
+        std::printf("  %s %.3f", dsKindName(Kind),
+                    Race.cyclesOf(Kind) / Race.cyclesOf(CS->original()));
+      std::printf("   -> best: %s\n", dsKindName(Race.Best));
+    }
+    std::printf("\n");
+  }
+  std::printf("(times normalised to the original vector; see "
+              "bench/fig10_xalan_exectime and fig11_xalan_selection for "
+              "the full paper tables)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- adt/Container.cpp --------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Container.h"
+
+#include "containers/AvlTree.h"
+#include "containers/Deque.h"
+#include "containers/HashTable.h"
+#include "containers/List.h"
+#include "containers/RbTree.h"
+#include "containers/Vector.h"
+
+using namespace brainy;
+
+Container::~Container() = default;
+
+static uint64_t heapBaseFor(DsKind Kind) {
+  // Give each implementation its own simulated heap region.
+  return 0x100000000ULL +
+         static_cast<uint64_t>(Kind) * 0x40000000ULL;
+}
+
+namespace {
+
+/// Adapter template: maps the uniform interface onto one concrete
+/// container's natural operations.
+template <typename Impl, DsKind KindValue>
+class ContainerAdapter final : public Container {
+public:
+  ContainerAdapter(uint32_t ElemBytes, EventSink *Sink)
+      : Inner(ElemBytes, Sink, heapBaseFor(KindValue)) {}
+
+  DsKind kind() const override { return KindValue; }
+
+  ds::OpResult insert(ds::Key K) override {
+    if constexpr (isSequenceKind())
+      return Inner.pushBack(K);
+    else
+      return Inner.insert(K);
+  }
+
+  ds::OpResult insertAt(uint64_t Pos, ds::Key K) override {
+    if constexpr (isSequenceKind())
+      return Inner.insertAt(Pos, K);
+    else
+      return Inner.insert(K);
+  }
+
+  ds::OpResult pushFront(ds::Key K) override {
+    if constexpr (isSequenceKind())
+      return Inner.pushFront(K);
+    else
+      return Inner.insert(K);
+  }
+
+  ds::OpResult erase(ds::Key K) override {
+    if constexpr (isSequenceKind())
+      return Inner.eraseValue(K);
+    else
+      return Inner.erase(K);
+  }
+
+  ds::OpResult eraseAt(uint64_t Pos) override { return Inner.eraseAt(Pos); }
+
+  ds::OpResult find(ds::Key K) override { return Inner.find(K); }
+
+  ds::OpResult iterate(uint64_t Steps) override {
+    return Inner.iterate(Steps);
+  }
+
+  uint64_t size() const override { return Inner.size(); }
+  void clear() override { Inner.clear(); }
+  void setSink(EventSink *Sink) override { Inner.setSink(Sink); }
+  uint64_t simLiveBytes() const override { return Inner.simLiveBytes(); }
+  uint64_t simPeakBytes() const override { return Inner.simPeakBytes(); }
+  uint32_t elementBytes() const override { return Inner.elementBytes(); }
+
+  uint64_t resizeCount() const override {
+    if constexpr (requires { Inner.resizeCount(); })
+      return Inner.resizeCount();
+    else
+      return 0;
+  }
+
+private:
+  static constexpr bool isSequenceKind() {
+    return KindValue == DsKind::Vector || KindValue == DsKind::List ||
+           KindValue == DsKind::Deque;
+  }
+
+  Impl Inner;
+};
+
+} // namespace
+
+std::unique_ptr<Container> brainy::makeContainer(DsKind Kind,
+                                                 uint32_t ElemBytes,
+                                                 EventSink *Sink) {
+  switch (Kind) {
+  case DsKind::Vector:
+    return std::make_unique<ContainerAdapter<ds::Vector, DsKind::Vector>>(
+        ElemBytes, Sink);
+  case DsKind::List:
+    return std::make_unique<ContainerAdapter<ds::List, DsKind::List>>(
+        ElemBytes, Sink);
+  case DsKind::Deque:
+    return std::make_unique<ContainerAdapter<ds::Deque, DsKind::Deque>>(
+        ElemBytes, Sink);
+  case DsKind::Set:
+    return std::make_unique<ContainerAdapter<ds::RbTree, DsKind::Set>>(
+        ElemBytes, Sink);
+  case DsKind::AvlSet:
+    return std::make_unique<ContainerAdapter<ds::AvlTree, DsKind::AvlSet>>(
+        ElemBytes, Sink);
+  case DsKind::HashSet:
+    return std::make_unique<ContainerAdapter<ds::HashTable, DsKind::HashSet>>(
+        ElemBytes, Sink);
+  case DsKind::Map:
+    return std::make_unique<ContainerAdapter<ds::RbTree, DsKind::Map>>(
+        ElemBytes, Sink);
+  case DsKind::AvlMap:
+    return std::make_unique<ContainerAdapter<ds::AvlTree, DsKind::AvlMap>>(
+        ElemBytes, Sink);
+  case DsKind::HashMap:
+    return std::make_unique<ContainerAdapter<ds::HashTable, DsKind::HashMap>>(
+        ElemBytes, Sink);
+  }
+  return nullptr;
+}

@@ -1,0 +1,196 @@
+//===- adt/DsKind.cpp -----------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/DsKind.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace brainy;
+
+const char *brainy::dsKindName(DsKind Kind) {
+  switch (Kind) {
+  case DsKind::Vector:
+    return "vector";
+  case DsKind::List:
+    return "list";
+  case DsKind::Deque:
+    return "deque";
+  case DsKind::Set:
+    return "set";
+  case DsKind::AvlSet:
+    return "avl_set";
+  case DsKind::HashSet:
+    return "hash_set";
+  case DsKind::Map:
+    return "map";
+  case DsKind::AvlMap:
+    return "avl_map";
+  case DsKind::HashMap:
+    return "hash_map";
+  }
+  return "unknown";
+}
+
+bool brainy::dsKindFromName(const char *Name, DsKind &Out) {
+  static constexpr DsKind AllKinds[] = {
+      DsKind::Vector, DsKind::List,   DsKind::Deque,
+      DsKind::Set,    DsKind::AvlSet, DsKind::HashSet,
+      DsKind::Map,    DsKind::AvlMap, DsKind::HashMap};
+  for (DsKind Kind : AllKinds) {
+    if (std::strcmp(Name, dsKindName(Kind)) == 0) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool brainy::isSequence(DsKind Kind) {
+  return Kind == DsKind::Vector || Kind == DsKind::List ||
+         Kind == DsKind::Deque;
+}
+
+bool brainy::isAssociative(DsKind Kind) { return !isSequence(Kind); }
+
+bool brainy::isMapFamily(DsKind Kind) {
+  return Kind == DsKind::Map || Kind == DsKind::AvlMap ||
+         Kind == DsKind::HashMap;
+}
+
+std::vector<DsKind> brainy::replacementCandidates(DsKind Original,
+                                                  bool OrderOblivious) {
+  switch (Original) {
+  case DsKind::Vector:
+    // Table 1 row "vector": list/deque for fast insertion (no limitation);
+    // set/avl_set for fast search and hash_set for fast insertion & search,
+    // all order-oblivious only.
+    if (OrderOblivious)
+      return {DsKind::Vector, DsKind::List,   DsKind::Deque,
+              DsKind::Set,    DsKind::AvlSet, DsKind::HashSet};
+    return {DsKind::Vector, DsKind::List, DsKind::Deque};
+  case DsKind::List:
+    // Table 1 row "list": vector/deque for fast iteration (no limitation);
+    // set family order-oblivious only.
+    if (OrderOblivious)
+      return {DsKind::List, DsKind::Vector, DsKind::Deque,
+              DsKind::Set,  DsKind::AvlSet, DsKind::HashSet};
+    return {DsKind::List, DsKind::Vector, DsKind::Deque};
+  case DsKind::Deque:
+    // Not an original target in the paper (it only appears as an
+    // alternative); mirror the vector rules.
+    if (OrderOblivious)
+      return {DsKind::Deque, DsKind::Vector, DsKind::List,
+              DsKind::Set,   DsKind::AvlSet, DsKind::HashSet};
+    return {DsKind::Deque, DsKind::Vector, DsKind::List};
+  case DsKind::Set:
+    // Table 1 row "set": avl_set has no limitation; vector/list/hash_set
+    // change iteration away from sorted order -> order-oblivious only.
+    if (OrderOblivious)
+      return {DsKind::Set, DsKind::AvlSet, DsKind::Vector, DsKind::List,
+              DsKind::HashSet};
+    return {DsKind::Set, DsKind::AvlSet};
+  case DsKind::AvlSet:
+    if (OrderOblivious)
+      return {DsKind::AvlSet, DsKind::Set, DsKind::Vector, DsKind::List,
+              DsKind::HashSet};
+    return {DsKind::AvlSet, DsKind::Set};
+  case DsKind::HashSet:
+    // Already unordered; going to an ordered structure is always legal.
+    return {DsKind::HashSet, DsKind::Set, DsKind::AvlSet};
+  case DsKind::Map:
+    // Table 1 row "map": avl_map (no limitation), hash_map
+    // (order-oblivious).
+    if (OrderOblivious)
+      return {DsKind::Map, DsKind::AvlMap, DsKind::HashMap};
+    return {DsKind::Map, DsKind::AvlMap};
+  case DsKind::AvlMap:
+    if (OrderOblivious)
+      return {DsKind::AvlMap, DsKind::Map, DsKind::HashMap};
+    return {DsKind::AvlMap, DsKind::Map};
+  case DsKind::HashMap:
+    return {DsKind::HashMap, DsKind::Map, DsKind::AvlMap};
+  }
+  return {Original};
+}
+
+const char *brainy::modelKindName(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::Vector:
+    return "vector";
+  case ModelKind::VectorOO:
+    return "oo-vector";
+  case ModelKind::List:
+    return "list";
+  case ModelKind::ListOO:
+    return "oo-list";
+  case ModelKind::Set:
+    return "set";
+  case ModelKind::Map:
+    return "map";
+  }
+  return "unknown";
+}
+
+ModelKind brainy::modelFor(DsKind Original, bool OrderOblivious) {
+  switch (Original) {
+  case DsKind::Vector:
+  case DsKind::Deque:
+    return OrderOblivious ? ModelKind::VectorOO : ModelKind::Vector;
+  case DsKind::List:
+    return OrderOblivious ? ModelKind::ListOO : ModelKind::List;
+  case DsKind::Set:
+  case DsKind::AvlSet:
+  case DsKind::HashSet:
+    return ModelKind::Set;
+  case DsKind::Map:
+  case DsKind::AvlMap:
+  case DsKind::HashMap:
+    return ModelKind::Map;
+  }
+  assert(false && "unhandled DsKind");
+  return ModelKind::Vector;
+}
+
+DsKind brainy::modelOriginal(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::Vector:
+  case ModelKind::VectorOO:
+    return DsKind::Vector;
+  case ModelKind::List:
+  case ModelKind::ListOO:
+    return DsKind::List;
+  case ModelKind::Set:
+    return DsKind::Set;
+  case ModelKind::Map:
+    return DsKind::Map;
+  }
+  assert(false && "unhandled ModelKind");
+  return DsKind::Vector;
+}
+
+bool brainy::modelIsOrderOblivious(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::VectorOO:
+  case ModelKind::ListOO:
+    return true;
+  case ModelKind::Vector:
+  case ModelKind::List:
+    return false;
+  case ModelKind::Set:
+  case ModelKind::Map:
+    // The set/map models always consider the full Table 1 candidate list;
+    // order-obliviousness is a property of the app and gates vector/list/
+    // hash candidates at query time. For training we use the full list.
+    return true;
+  }
+  return false;
+}
+
+std::vector<DsKind> brainy::modelCandidates(ModelKind Kind) {
+  return replacementCandidates(modelOriginal(Kind),
+                               modelIsOrderOblivious(Kind));
+}

@@ -1,0 +1,99 @@
+//===- adt/DsKind.h - Data-structure kinds and Table 1 rules ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nine target data-structure implementations (paper Section 3,
+/// Figure 2's survey winners plus their Table 1 alternatives) and the legal
+/// replacement rules. A replacement that changes iteration order (e.g.
+/// vector -> set iterates sorted instead of insertion order) is only legal
+/// when the application is *order-oblivious* — Table 1's "Order-oblivious"
+/// limitation column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ADT_DSKIND_H
+#define BRAINY_ADT_DSKIND_H
+
+#include <cstdint>
+#include <vector>
+
+namespace brainy {
+
+/// The concrete container implementations Brainy selects among.
+enum class DsKind : uint8_t {
+  Vector,  ///< dynamic array (std::vector)
+  List,    ///< doubly-linked list (std::list)
+  Deque,   ///< double-ended queue (std::deque)
+  Set,     ///< red-black tree (std::set)
+  AvlSet,  ///< AVL tree set
+  HashSet, ///< chained hash set (hash_set)
+  Map,     ///< red-black tree map (std::map)
+  AvlMap,  ///< AVL tree map
+  HashMap, ///< chained hash map (hash_map)
+};
+
+/// Number of DsKind values (for arrays indexed by kind).
+constexpr unsigned NumDsKinds = 9;
+
+/// Stable lower-case name, e.g. "hash_set".
+const char *dsKindName(DsKind Kind);
+
+/// Parses a dsKindName back to a kind; returns false on unknown names.
+bool dsKindFromName(const char *Name, DsKind &Out);
+
+/// True for vector/list/deque (insertion-ordered sequences).
+bool isSequence(DsKind Kind);
+
+/// True for the set/map families (sorted or hashed associative).
+bool isAssociative(DsKind Kind);
+
+/// True for map/avl_map/hash_map.
+bool isMapFamily(DsKind Kind);
+
+/// Table 1: the legal replacement candidates for \p Original, including the
+/// original itself (Brainy may and does recommend keeping it, e.g. the
+/// Chord "Large" input in Figure 13).
+///
+/// \param OrderOblivious whether the application tolerates a change of
+///        iteration order; when false, order-changing candidates are
+///        excluded per Table 1's limitation column.
+std::vector<DsKind> replacementCandidates(DsKind Original,
+                                          bool OrderOblivious);
+
+/// The six per-original-DS model families of Section 5: vector and list
+/// each get an extra order-oblivious model ("there is another model for
+/// vector and list ... when they are used in an order-oblivious manner").
+enum class ModelKind : uint8_t {
+  Vector,
+  VectorOO,
+  List,
+  ListOO,
+  Set,
+  Map,
+};
+
+constexpr unsigned NumModelKinds = 6;
+
+/// Stable name, e.g. "oo-vector".
+const char *modelKindName(ModelKind Kind);
+
+/// The model family responsible for \p Original used with the given
+/// orderedness.
+ModelKind modelFor(DsKind Original, bool OrderOblivious);
+
+/// The original data structure a model family profiles.
+DsKind modelOriginal(ModelKind Kind);
+
+/// Whether a model family assumes order-oblivious usage.
+bool modelIsOrderOblivious(ModelKind Kind);
+
+/// Candidate set of a model family (== replacementCandidates of its
+/// original with its orderedness).
+std::vector<DsKind> modelCandidates(ModelKind Kind);
+
+} // namespace brainy
+
+#endif // BRAINY_ADT_DSKIND_H

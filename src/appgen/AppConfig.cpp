@@ -1,0 +1,45 @@
+//===- appgen/AppConfig.cpp -----------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "appgen/AppConfig.h"
+
+using namespace brainy;
+
+AppConfig AppConfig::fromConfig(const Config &C) {
+  AppConfig A;
+  A.TotalInterfCalls = static_cast<uint64_t>(
+      C.getInt("TotalInterfCalls", static_cast<int64_t>(A.TotalInterfCalls)));
+  A.DataElemSizes = C.getIntList("DataElemSize", A.DataElemSizes);
+  A.MaxInsertVal = C.getInt("MaxInsertVal", A.MaxInsertVal);
+  A.MaxRemoveVal = C.getInt("MaxRemoveVal", A.MaxRemoveVal);
+  A.MaxSearchVal = C.getInt("MaxSearchVal", A.MaxSearchVal);
+  A.MaxIterCount = C.getInt("MaxIterCount", A.MaxIterCount);
+  A.MaxInitialSize = static_cast<uint64_t>(
+      C.getInt("MaxInitialSize", static_cast<int64_t>(A.MaxInitialSize)));
+  A.OrderObliviousProb =
+      C.getDouble("OrderObliviousProb", A.OrderObliviousProb);
+  A.OpDropProb = C.getDouble("OpDropProb", A.OpDropProb);
+  A.FocusProb = C.getDouble("FocusProb", A.FocusProb);
+  return A;
+}
+
+AppConfig AppConfig::fromString(const std::string &Text) {
+  return fromConfig(Config::fromString(Text));
+}
+
+const char *AppConfig::sampleConfigText() {
+  return "# Brainy application-generator configuration (paper Table 2)\n"
+         "TotalInterfCalls  = 1000\n"
+         "DataElemSize      = {4, 8, 16, 32, 64, 128}\n"
+         "MaxInsertVal      = 65536\n"
+         "MaxRemoveVal      = 65536\n"
+         "MaxSearchVal      = 65536\n"
+         "MaxIterCount      = 256\n"
+         "MaxInitialSize    = 8192\n"
+         "OrderObliviousProb = 0.5\n"
+         "OpDropProb         = 0.3\n"
+         "FocusProb          = 0.2\n";
+}

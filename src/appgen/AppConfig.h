@@ -1,0 +1,72 @@
+//===- appgen/AppConfig.h - Generator configuration (Table 2) --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application generator's configuration vocabulary, mirroring the
+/// paper's Table 2: the total number of interface invocations, the
+/// candidate data-element sizes, and the maximum values used for inserted /
+/// removed / searched data and iteration lengths. Extra knobs (initial
+/// population, order-oblivious probability) parameterise dimensions the
+/// paper describes in prose (working-set variation, the separate
+/// order-oblivious models).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_APPGEN_APPCONFIG_H
+#define BRAINY_APPGEN_APPCONFIG_H
+
+#include "support/Config.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Parsed generator configuration.
+struct AppConfig {
+  /// Table 2: TotalInterfCalls — constant across generated applications.
+  uint64_t TotalInterfCalls = 1000;
+  /// Table 2: DataElemSize — candidate element sizes in bytes.
+  std::vector<int64_t> DataElemSizes = {4, 8, 16, 32, 64, 128};
+  /// Table 2: MaxInsertVal / MaxRemoveVal / MaxSearchVal.
+  int64_t MaxInsertVal = 65536;
+  int64_t MaxRemoveVal = 65536;
+  int64_t MaxSearchVal = 65536;
+  /// Table 2: MaxIterCount — maximum steps of one ++/-- iteration burst.
+  /// (Paper default 65536; our default keeps single runs sub-millisecond.)
+  int64_t MaxIterCount = 256;
+  /// Maximum initial population before the measured dispatch loop; drawn
+  /// log-uniformly per app. Exercises working sets beyond the dispatch
+  /// loop's own insertions (cache-capacity effects between the two L2s).
+  uint64_t MaxInitialSize = 8192;
+  /// Probability that a generated app is order-oblivious (no iteration, no
+  /// positional operations) — the apps served by the oo-vector/oo-list
+  /// models.
+  double OrderObliviousProb = 0.5;
+  /// Probability that each interface function is dropped from an app's mix
+  /// entirely ("an application may use only a subset of interface
+  /// functions", Section 4.1).
+  double OpDropProb = 0.3;
+  /// Probability that an app is "focused" on at most two interface
+  /// functions — the single-op-dominated corner real applications occupy
+  /// (a renderer that only iterates, a cache that only searches).
+  double FocusProb = 0.2;
+
+  /// Builds from a parsed config file; unknown keys are ignored, missing
+  /// keys keep defaults.
+  static AppConfig fromConfig(const Config &C);
+
+  /// Parses the Table 2 file format directly.
+  static AppConfig fromString(const std::string &Text);
+
+  /// A sample configuration file in the paper's Table 2 notation.
+  static const char *sampleConfigText();
+};
+
+} // namespace brainy
+
+#endif // BRAINY_APPGEN_APPCONFIG_H

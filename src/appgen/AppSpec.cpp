@@ -1,0 +1,118 @@
+//===- appgen/AppSpec.cpp -------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "appgen/AppSpec.h"
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace brainy;
+
+const char *brainy::appOpName(AppOp Op) {
+  switch (Op) {
+  case AppOp::Insert:
+    return "insert";
+  case AppOp::InsertAt:
+    return "insert_at";
+  case AppOp::PushFront:
+    return "push_front";
+  case AppOp::Erase:
+    return "erase";
+  case AppOp::EraseAt:
+    return "erase_at";
+  case AppOp::Find:
+    return "find";
+  case AppOp::Iterate:
+    return "iterate";
+  case AppOp::NumOps:
+    break;
+  }
+  return "invalid";
+}
+
+AppSpec AppSpec::fromSeed(uint64_t Seed, const AppConfig &Config) {
+  AppSpec Spec;
+  Spec.Seed = Seed;
+  Spec.TotalCalls = Config.TotalInterfCalls;
+  Spec.MaxInsertVal = Config.MaxInsertVal;
+  Spec.MaxRemoveVal = Config.MaxRemoveVal;
+  Spec.MaxSearchVal = Config.MaxSearchVal;
+
+  // A dedicated stream for spec derivation; the runner derives separate
+  // streams from the same seed, so adding spec fields never perturbs runs.
+  Rng R(Seed ^ 0x5bd1e9955bd1e995ULL);
+
+  Spec.ElemBytes = static_cast<uint32_t>(
+      Config.DataElemSizes[R.nextBelow(Config.DataElemSizes.size())]);
+  Spec.OrderOblivious = R.nextBool(Config.OrderObliviousProb);
+
+  // Log-uniform initial population in [0, MaxInitialSize].
+  if (Config.MaxInitialSize > 0) {
+    double LogMax = std::log1p(static_cast<double>(Config.MaxInitialSize));
+    Spec.InitialSize =
+        static_cast<uint64_t>(std::expm1(R.nextDouble() * LogMax));
+  }
+  // Sorted/spatial construction (insert-at-position) for a slice of the
+  // order-aware apps; capped so quadratic sequence builds stay cheap.
+  bool WantScrambled = R.nextBool(0.35);
+  Spec.ScrambledBuild = WantScrambled && !Spec.OrderOblivious &&
+                        Spec.InitialSize <= 1200;
+
+  // Exponentially distributed op weights — covers mixes from balanced to
+  // single-op dominated — with whole ops dropped at OpDropProb.
+  double Total = 0;
+  for (unsigned I = 0; I != NumAppOps; ++I) {
+    auto Op = static_cast<AppOp>(I);
+    bool OrderSensitiveOp = Op == AppOp::InsertAt || Op == AppOp::EraseAt ||
+                            Op == AppOp::Iterate;
+    // Consume the draws unconditionally so seed -> spec stays stable across
+    // the order-oblivious split.
+    double Weight = -std::log(1.0 - R.nextDouble());
+    bool Dropped = R.nextBool(Config.OpDropProb);
+    if (Dropped || (Spec.OrderOblivious && OrderSensitiveOp))
+      Weight = 0;
+    Spec.OpWeights[I] = Weight;
+    Total += Weight;
+  }
+  // Some real applications use one or two interface functions almost
+  // exclusively (a renderer that only iterates, a cache that only finds).
+  // Cover that corner of the design space with "focused" apps that keep
+  // just 1-2 of the drawn ops. All draws are unconditional so the
+  // seed -> spec mapping stays stable.
+  bool Focused = R.nextBool(Config.FocusProb);
+  uint64_t FocusA = R.nextBelow(NumAppOps);
+  uint64_t FocusB = R.nextBelow(NumAppOps);
+  if (Focused) {
+    Total = 0;
+    for (unsigned I = 0; I != NumAppOps; ++I) {
+      if (I != FocusA && I != FocusB)
+        Spec.OpWeights[I] = 0;
+      Total += Spec.OpWeights[I];
+    }
+  }
+  if (Total == 0) {
+    // All ops dropped: degenerate but legal; fall back to insert+find.
+    Spec.OpWeights[static_cast<unsigned>(AppOp::Insert)] = 1;
+    Spec.OpWeights[static_cast<unsigned>(AppOp::Find)] = 1;
+  }
+
+  Spec.HitBias = R.nextDouble();
+  // FrontBias in [1/16, 16]: <1 biases hits late, >1 biases them early
+  // (large exponents model apps whose searches succeed at the very front,
+  // like Xalancbmk's train input).
+  Spec.FrontBias = std::exp((R.nextDouble() * 2 - 1) * std::log(16.0));
+  // A quarter of the apps use hard FIFO-style front windows instead: the
+  // search target is one of the first few insertions (draws are
+  // unconditional for seed-stability).
+  bool WindowMode = R.nextBool(0.25);
+  uint64_t Window = 1 + R.nextBelow(4);
+  Spec.HitWindow = WindowMode ? Window : 0;
+  Spec.MaxIterSteps =
+      1 + R.nextBelow(static_cast<uint64_t>(
+              Config.MaxIterCount > 0 ? Config.MaxIterCount : 1));
+  return Spec;
+}

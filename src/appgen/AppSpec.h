@@ -1,0 +1,86 @@
+//===- appgen/AppSpec.h - Seed-derived synthetic application ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A synthetic application's complete behavioural description, derived
+/// deterministically from a 64-bit seed and an AppConfig. Regenerating the
+/// spec from a recorded seed reproduces the exact run — the property
+/// Phase II relies on ("using the same seed guarantees producing the same
+/// sequence of random numbers", Section 4.3) — so millions of training
+/// applications need no disk space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_APPGEN_APPSPEC_H
+#define BRAINY_APPGEN_APPSPEC_H
+
+#include "appgen/AppConfig.h"
+
+#include <array>
+#include <cstdint>
+
+namespace brainy {
+
+/// The interface functions the dispatch loop chooses among.
+enum class AppOp : uint8_t {
+  Insert,    ///< natural/tail insertion
+  InsertAt,  ///< positional (middle) insertion — order-aware apps only
+  PushFront, ///< front insertion
+  Erase,     ///< erase by value
+  EraseAt,   ///< positional erase — order-aware apps only
+  Find,
+  Iterate,   ///< ++/-- burst — order-aware apps only
+  NumOps
+};
+
+constexpr unsigned NumAppOps = static_cast<unsigned>(AppOp::NumOps);
+
+/// Short name, e.g. "push_front".
+const char *appOpName(AppOp Op);
+
+/// Deterministic description of one synthetic application.
+struct AppSpec {
+  uint64_t Seed = 0;
+  /// Simulated bytes per element.
+  uint32_t ElemBytes = 8;
+  /// Whether the app tolerates iteration-order changes (gates Table 1).
+  bool OrderOblivious = false;
+  /// Elements inserted before the measured dispatch loop.
+  uint64_t InitialSize = 0;
+  /// Order-aware apps only: build the initial population with positional
+  /// insertions at random spots (spatially sorted scene construction, the
+  /// raytracer pattern) instead of appends. Scrambles linked-node
+  /// allocation order relative to traversal order.
+  bool ScrambledBuild = false;
+  /// Dispatch-loop length.
+  uint64_t TotalCalls = 0;
+  /// Unnormalised probability weights of each AppOp.
+  std::array<double, NumAppOps> OpWeights{};
+  /// Probability that a find/erase targets a previously inserted value
+  /// (vs. a uniform random one that may miss).
+  double HitBias = 0.5;
+  /// Exponent biasing hit targets toward early insertions; > 1 means
+  /// searches succeed near the front of insertion order (the Xalancbmk
+  /// "train"-input pattern of Section 6.2).
+  double FrontBias = 1.0;
+  /// When nonzero, hits use a hard front window instead of the power-law
+  /// skew: the target is one of the first HitWindow insertions (FIFO
+  /// reuse patterns — the Chord responses / Xalan release pattern).
+  uint64_t HitWindow = 0;
+  /// Iteration burst bound for this app.
+  uint64_t MaxIterSteps = 1;
+  /// Value ranges (copied from the config).
+  int64_t MaxInsertVal = 65536;
+  int64_t MaxRemoveVal = 65536;
+  int64_t MaxSearchVal = 65536;
+
+  /// Derives the full spec for \p Seed under \p Config. Deterministic.
+  static AppSpec fromSeed(uint64_t Seed, const AppConfig &Config);
+};
+
+} // namespace brainy
+
+#endif // BRAINY_APPGEN_APPSPEC_H

@@ -1,0 +1,309 @@
+//===- appgen/CppEmitter.cpp ----------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "appgen/CppEmitter.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace brainy;
+
+std::string brainy::emittedContainerType(DsKind Kind) {
+  switch (Kind) {
+  case DsKind::Vector:
+    return "std::vector<Element>";
+  case DsKind::List:
+    return "std::list<Element>";
+  case DsKind::Deque:
+    return "std::deque<Element>";
+  case DsKind::Set:
+  case DsKind::AvlSet: // no std AVL; closest ordered container
+    return "std::set<Element>";
+  case DsKind::HashSet:
+    return "std::unordered_set<Element, ElementHash>";
+  case DsKind::Map:
+  case DsKind::AvlMap:
+    return "std::set<Element>"; // keyed records; mapped payload is the pad
+  case DsKind::HashMap:
+    return "std::unordered_set<Element, ElementHash>";
+  }
+  return "std::vector<Element>";
+}
+
+static bool isSequenceKind(DsKind Kind) { return isSequence(Kind); }
+
+std::string brainy::emitCppSource(const AppSpec &Spec, DsKind Kind) {
+  std::string Out;
+  bool Seq = isSequenceKind(Kind);
+  unsigned Pad = Spec.ElemBytes > 8 ? Spec.ElemBytes - 8 : 0;
+
+  Out += formatStr(
+      "// Synthetic Brainy training application (PLDI 2011 reproduction).\n"
+      "// seed=%llu ds=%s elem=%uB order-oblivious=%d initial=%llu "
+      "calls=%llu\n"
+      "// Regenerable: the same seed always produces this exact program.\n"
+      "// Compile: c++ -O2 -std=c++17 this_file.cpp -o app && ./app\n",
+      (unsigned long long)Spec.Seed, dsKindName(Kind), Spec.ElemBytes,
+      Spec.OrderOblivious ? 1 : 0, (unsigned long long)Spec.InitialSize,
+      (unsigned long long)Spec.TotalCalls);
+  if (Kind == DsKind::AvlSet || Kind == DsKind::AvlMap)
+    Out += "// NOTE: no AVL tree in the standard library; std::set stands "
+           "in for the emitted build.\n";
+
+  Out += "\n#include <algorithm>\n#include <array>\n#include <chrono>\n"
+         "#include <cstdint>\n#include <cstdio>\n#include <deque>\n"
+         "#include <iterator>\n#include <list>\n#include <set>\n"
+         "#include <unordered_set>\n#include <vector>\n\n";
+
+  // Element type sized like the configured data element.
+  Out += formatStr(
+      "struct Element {\n"
+      "  int64_t Key;\n"
+      "%s"
+      "  bool operator==(const Element &O) const { return Key == O.Key; }\n"
+      "  bool operator<(const Element &O) const { return Key < O.Key; }\n"
+      "};\n"
+      "struct ElementHash {\n"
+      "  size_t operator()(const Element &E) const {\n"
+      "    uint64_t X = (uint64_t)E.Key + 0x9e3779b97f4a7c15ULL;\n"
+      "    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;\n"
+      "    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;\n"
+      "    return (size_t)(X ^ (X >> 31));\n"
+      "  }\n"
+      "};\n\n",
+      Pad ? formatStr("  std::array<unsigned char, %u> Pad{};\n", Pad)
+              .c_str()
+          : "");
+
+  // The generator's RNG, verbatim: xoshiro256** seeded via SplitMix64.
+  Out +=
+      "// xoshiro256** — identical to the generator's stream, so this\n"
+      "// program replays the exact operation tape of the recorded seed.\n"
+      "struct Rng {\n"
+      "  uint64_t S[4];\n"
+      "  explicit Rng(uint64_t Seed) {\n"
+      "    for (auto &W : S) {\n"
+      "      Seed += 0x9e3779b97f4a7c15ULL;\n"
+      "      uint64_t Z = Seed;\n"
+      "      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;\n"
+      "      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;\n"
+      "      W = Z ^ (Z >> 31);\n"
+      "    }\n"
+      "  }\n"
+      "  static uint64_t rotl(uint64_t X, int K) {\n"
+      "    return (X << K) | (X >> (64 - K));\n"
+      "  }\n"
+      "  uint64_t next() {\n"
+      "    uint64_t R = rotl(S[1] * 5, 7) * 9, T = S[1] << 17;\n"
+      "    S[2] ^= S[0]; S[3] ^= S[1]; S[1] ^= S[2]; S[0] ^= S[3];\n"
+      "    S[2] ^= T; S[3] = rotl(S[3], 45);\n"
+      "    return R;\n"
+      "  }\n"
+      "  uint64_t nextBelow(uint64_t Bound) {\n"
+      "    __uint128_t M = (__uint128_t)next() * Bound;\n"
+      "    uint64_t Lo = (uint64_t)M;\n"
+      "    if (Lo < Bound) {\n"
+      "      uint64_t Threshold = -Bound % Bound;\n"
+      "      while (Lo < Threshold) {\n"
+      "        M = (__uint128_t)next() * Bound;\n"
+      "        Lo = (uint64_t)M;\n"
+      "      }\n"
+      "    }\n"
+      "    return (uint64_t)(M >> 64);\n"
+      "  }\n"
+      "  int64_t nextInRange(int64_t LoV, int64_t HiV) {\n"
+      "    uint64_t Span = (uint64_t)HiV - (uint64_t)LoV + 1;\n"
+      "    if (Span == 0) return (int64_t)next();\n"
+      "    return LoV + (int64_t)nextBelow(Span);\n"
+      "  }\n"
+      "  double nextDouble() { return (double)(next() >> 11) * 0x1.0p-53; }\n"
+      "  bool nextBool(double P) { return nextDouble() < P; }\n"
+      "  size_t nextWeighted(const double *W, size_t N) {\n"
+      "    double Total = 0;\n"
+      "    for (size_t I = 0; I != N; ++I) Total += W[I];\n"
+      "    if (Total <= 0) return N - 1;\n"
+      "    double Point = nextDouble() * Total, Acc = 0;\n"
+      "    for (size_t I = 0; I != N; ++I) {\n"
+      "      Acc += W[I];\n"
+      "      if (Point < Acc) return I;\n"
+      "    }\n"
+      "    return N - 1;\n"
+      "  }\n"
+      "};\n\n";
+
+  // The ADT adapter for the chosen container.
+  Out += formatStr("using Adt = %s;\n\n", emittedContainerType(Kind).c_str());
+  if (Seq) {
+    Out +=
+        "static void adtInsert(Adt &C, int64_t K) { C.push_back({K}); }\n"
+        "static void adtInsertAt(Adt &C, uint64_t Pos, int64_t K) {\n"
+        "  auto It = C.begin();\n"
+        "  std::advance(It, Pos);\n"
+        "  C.insert(It, {K});\n"
+        "}\n"
+        "static void adtPushFront(Adt &C, int64_t K) {\n"
+        "  C.insert(C.begin(), {K});\n"
+        "}\n"
+        "static bool adtFind(Adt &C, int64_t K) {\n"
+        "  return std::find(C.begin(), C.end(), Element{K}) != C.end();\n"
+        "}\n"
+        "static void adtErase(Adt &C, int64_t K) {\n"
+        "  auto It = std::find(C.begin(), C.end(), Element{K});\n"
+        "  if (It != C.end()) C.erase(It);\n"
+        "}\n";
+  } else {
+    Out +=
+        "static void adtInsert(Adt &C, int64_t K) { C.insert({K}); }\n"
+        "static void adtInsertAt(Adt &C, uint64_t, int64_t K) {\n"
+        "  C.insert({K});\n"
+        "}\n"
+        "static void adtPushFront(Adt &C, int64_t K) { C.insert({K}); }\n"
+        "static bool adtFind(Adt &C, int64_t K) {\n"
+        "  return C.find(Element{K}) != C.end();\n"
+        "}\n"
+        "static void adtErase(Adt &C, int64_t K) { C.erase(Element{K}); }\n";
+  }
+  Out +=
+      "static void adtEraseAt(Adt &C, uint64_t Pos) {\n"
+      "  auto It = C.begin();\n"
+      "  std::advance(It, Pos);\n"
+      "  C.erase(It);\n"
+      "}\n"
+      "static volatile int64_t Blackhole;\n"
+      "static void adtIterate(Adt &C, uint64_t &Cursor, uint64_t Steps) {\n"
+      "  if (C.empty()) return;\n"
+      "  auto It = C.begin();\n"
+      "  std::advance(It, Cursor % C.size());\n"
+      "  for (uint64_t S = 0; S != Steps; ++S) {\n"
+      "    if (It == C.end()) It = C.begin();\n"
+      "    Blackhole += It->Key;\n"
+      "    ++It;\n"
+      "    ++Cursor;\n"
+      "  }\n"
+      "  Cursor %= (C.size() + 1);\n"
+      "}\n\n";
+
+  // Spec constants.
+  Out += formatStr("static const double OpWeights[%u] = {", NumAppOps);
+  for (unsigned I = 0; I != NumAppOps; ++I)
+    Out += formatStr("%s%.17g", I ? ", " : "", Spec.OpWeights[I]);
+  Out += "};\n";
+  Out += formatStr(
+      "static const uint64_t Seed = %lluULL;\n"
+      "static const uint64_t InitialSize = %llu;\n"
+      "static const uint64_t TotalCalls = %llu;\n"
+      "static const uint64_t MaxIterSteps = %llu;\n"
+      "static const int64_t MaxInsertVal = %lld;\n"
+      "static const int64_t MaxRemoveVal = %lld;\n"
+      "static const int64_t MaxSearchVal = %lld;\n"
+      "static const double HitBias = %.17g;\n"
+      "static const double FrontBias = %.17g;\n\n",
+      (unsigned long long)Spec.Seed, (unsigned long long)Spec.InitialSize,
+      (unsigned long long)Spec.TotalCalls,
+      (unsigned long long)Spec.MaxIterSteps, (long long)Spec.MaxInsertVal,
+      (long long)Spec.MaxRemoveVal, (long long)Spec.MaxSearchVal,
+      Spec.HitBias, Spec.FrontBias);
+
+  // The dispatch loop — mirrors appgen/AppRunner.cpp's Driver.
+  Out +=
+      "#include <cmath>\n"
+      "#include <vector>\n"
+      "int main() {\n"
+      "  Rng OpStream(Seed ^ 0xa24baed4963ee407ULL);\n"
+      "  Rng ValStream(Seed ^ 0x9fb21c651e98df25ULL);\n"
+      "  Adt C;\n"
+      "  std::vector<int64_t> InsertLog;\n"
+      "  uint64_t IterCursor = 0;\n"
+      "  auto PickExisting = [&]() -> int64_t {\n"
+      "    double U = ValStream.nextDouble();\n"
+      "    if (InsertLog.empty())\n"
+      "      return ValStream.nextInRange(0, MaxSearchVal);\n"
+      "    double Skewed = std::pow(U, FrontBias);\n"
+      "    uint64_t Index = (uint64_t)(Skewed * (double)InsertLog.size());\n"
+      "    if (Index >= InsertLog.size()) Index = InsertLog.size() - 1;\n"
+      "    return InsertLog[Index];\n"
+      "  };\n"
+      "  auto PickTarget = [&](int64_t UniformMax) -> int64_t {\n"
+      "    bool WantHit = ValStream.nextBool(HitBias);\n"
+      "    int64_t Existing = PickExisting();\n"
+      "    int64_t Uniform = ValStream.nextInRange(0, UniformMax);\n"
+      "    return WantHit ? Existing : Uniform;\n"
+      "  };\n"
+      "  auto Start = std::chrono::steady_clock::now();\n"
+      "  for (uint64_t I = 0; I != InitialSize; ++I) {\n"
+      "    int64_t K = ValStream.nextInRange(0, MaxInsertVal);\n"
+      "    adtInsert(C, K);\n"
+      "    InsertLog.push_back(K);\n"
+      "  }\n"
+      "  for (uint64_t Call = 0; Call != TotalCalls; ++Call) {\n"
+      "    size_t Op = OpStream.nextWeighted(OpWeights, "
+      "sizeof(OpWeights) / sizeof(double));\n"
+      "    uint64_t IterSteps = 1 + ValStream.nextBelow(MaxIterSteps);\n"
+      "    switch (Op) {\n"
+      "    case 0: { // insert\n"
+      "      int64_t K = ValStream.nextInRange(0, MaxInsertVal);\n"
+      "      adtInsert(C, K);\n"
+      "      InsertLog.push_back(K);\n"
+      "      break;\n"
+      "    }\n"
+      "    case 1: { // insert_at\n"
+      "      double U = ValStream.nextDouble();\n"
+      "      int64_t K = ValStream.nextInRange(0, MaxInsertVal);\n"
+      "      adtInsertAt(C, (uint64_t)(U * (double)(C.size() + 1)), K);\n"
+      "      InsertLog.push_back(K);\n"
+      "      break;\n"
+      "    }\n"
+      "    case 2: { // push_front\n"
+      "      int64_t K = ValStream.nextInRange(0, MaxInsertVal);\n"
+      "      adtPushFront(C, K);\n"
+      "      InsertLog.push_back(K);\n"
+      "      break;\n"
+      "    }\n"
+      "    case 3: // erase\n"
+      "      adtErase(C, PickTarget(MaxRemoveVal));\n"
+      "      break;\n"
+      "    case 4: { // erase_at\n"
+      "      double U = ValStream.nextDouble();\n"
+      "      if (!C.empty())\n"
+      "        adtEraseAt(C, (uint64_t)(U * (double)C.size()));\n"
+      "      break;\n"
+      "    }\n"
+      "    case 5: { // find\n"
+      "      bool Found = adtFind(C, PickTarget(MaxSearchVal));\n"
+      "      Blackhole += Found;\n"
+      "      break;\n"
+      "    }\n"
+      "    default: // iterate\n"
+      "      adtIterate(C, IterCursor, IterSteps);\n"
+      "      break;\n"
+      "    }\n"
+      "  }\n"
+      "  auto End = std::chrono::steady_clock::now();\n"
+      "  std::printf(\"app seed=%llu ds=%s: %lld ns, final size %zu\\n\",\n"
+      "              (unsigned long long)Seed, \"" ;
+  Out += dsKindName(Kind);
+  Out +=
+      "\",\n"
+      "              (long long)std::chrono::duration_cast<\n"
+      "                  std::chrono::nanoseconds>(End - Start).count(),\n"
+      "              (size_t)C.size());\n"
+      "  return 0;\n"
+      "}\n";
+  return Out;
+}
+
+bool brainy::emitCppFile(const AppSpec &Spec, DsKind Kind,
+                         const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::string Text = emitCppSource(Spec, Kind);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}

@@ -1,0 +1,47 @@
+//===- appgen/CppEmitter.h - Emit synthetic apps as C++ source -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's application generator produces *actual C++ programs* that
+/// are compiled with GCC and run on the target machine (Algorithm 1:
+/// "A <- Compiler(AppGen(seed, DS)); A()"). This emitter renders an
+/// AppSpec into a standalone, compilable C++17 translation unit: the same
+/// seeded xoshiro256** streams, the same dispatch-loop behaviour, with the
+/// chosen data structure instantiated through a template ADT — so the
+/// in-simulator run and the emitted native program execute the same
+/// logical operation tape.
+///
+/// AVL variants have no standard-library equivalent; the emitted program
+/// notes the substitution and uses the closest std container.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_APPGEN_CPPEMITTER_H
+#define BRAINY_APPGEN_CPPEMITTER_H
+
+#include "appgen/AppSpec.h"
+
+#include "adt/DsKind.h"
+
+#include <string>
+
+namespace brainy {
+
+/// The std/extension container spelling used for \p Kind in emitted code,
+/// e.g. "std::unordered_set<Element>" for DsKind::HashSet.
+std::string emittedContainerType(DsKind Kind);
+
+/// Renders \p Spec as a standalone C++17 program that executes the
+/// application's operation tape against \p Kind and prints the elapsed
+/// nanoseconds to stdout. Compile with: c++ -O2 -std=c++17 app.cpp
+std::string emitCppSource(const AppSpec &Spec, DsKind Kind);
+
+/// Writes emitCppSource() to \p Path. Returns false on I/O failure.
+bool emitCppFile(const AppSpec &Spec, DsKind Kind, const std::string &Path);
+
+} // namespace brainy
+
+#endif // BRAINY_APPGEN_CPPEMITTER_H

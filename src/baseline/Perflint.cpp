@@ -1,0 +1,240 @@
+//===- baseline/Perflint.cpp ----------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Perflint.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace brainy;
+
+double brainy::perflintAsymptoticCost(DsKind Kind, AppOp Op, double N,
+                                      uint64_t Arg) {
+  if (N < 1)
+    N = 1;
+  double LogN = std::log2(N < 2 ? 2 : N);
+  double Steps = static_cast<double>(Arg);
+
+  switch (Kind) {
+  case DsKind::Vector:
+    switch (Op) {
+    case AppOp::Insert:
+      return 1; // amortised tail append
+    case AppOp::InsertAt:
+      return N / 2; // average shift distance
+    case AppOp::PushFront:
+      return N; // full shift
+    case AppOp::Erase:
+      return 0.75 * N + N / 4; // average-case scan + shift
+    case AppOp::EraseAt:
+      return N / 2;
+    case AppOp::Find:
+      return 0.75 * N; // the paper's example: 3/4 N linear search
+    case AppOp::Iterate:
+      return Steps;
+    case AppOp::NumOps:
+      break;
+    }
+    break;
+  case DsKind::Deque:
+    switch (Op) {
+    case AppOp::Insert:
+    case AppOp::PushFront:
+      return 1.2; // O(1) both ends, ring bookkeeping overhead
+    case AppOp::InsertAt:
+    case AppOp::EraseAt:
+      return N / 4; // shifts toward the nearer end
+    case AppOp::Erase:
+      return 0.75 * N + N / 8;
+    case AppOp::Find:
+      return 0.8 * N;
+    case AppOp::Iterate:
+      return 1.2 * Steps;
+    case AppOp::NumOps:
+      break;
+    }
+    break;
+  case DsKind::List:
+    switch (Op) {
+    case AppOp::Insert:
+    case AppOp::PushFront:
+      return 1.5; // O(1) but one allocation per element
+    case AppOp::InsertAt:
+    case AppOp::EraseAt:
+      return N / 2; // node walk
+    case AppOp::Erase:
+    case AppOp::Find:
+      return N / 2; // average scan, no early 3/4 factor: stops at hit
+    case AppOp::Iterate:
+      return 1.5 * Steps; // pointer chase per step
+    case AppOp::NumOps:
+      break;
+    }
+    break;
+  case DsKind::Set:
+  case DsKind::Map:
+  case DsKind::AvlSet:
+  case DsKind::AvlMap:
+    switch (Op) {
+    case AppOp::Insert:
+    case AppOp::PushFront:
+    case AppOp::InsertAt:
+    case AppOp::Erase:
+      return LogN; // balanced-tree descent
+    case AppOp::Find:
+      return LogN; // binary search: average == worst (paper footnote 4)
+    case AppOp::EraseAt:
+      return N / 2; // in-order walk to the position
+    case AppOp::Iterate:
+      return 1.5 * Steps; // successor walks
+    case AppOp::NumOps:
+      break;
+    }
+    break;
+  case DsKind::HashSet:
+  case DsKind::HashMap:
+    switch (Op) {
+    case AppOp::Insert:
+    case AppOp::Erase:
+    case AppOp::Find:
+    case AppOp::PushFront:
+    case AppOp::InsertAt:
+      return 1.5; // expected O(1) plus hashing
+    case AppOp::EraseAt:
+      return N / 2;
+    case AppOp::Iterate:
+      return 1.5 * Steps; // bucket walk
+    case AppOp::NumOps:
+      break;
+    }
+    break;
+  }
+  return 1;
+}
+
+std::vector<DsKind> brainy::perflintCandidates(DsKind Original) {
+  switch (Original) {
+  case DsKind::Vector:
+    // vector-to-set is supported; vector-to-hash_set is not (Section 6.2).
+    return {DsKind::Vector, DsKind::List, DsKind::Deque, DsKind::Set};
+  case DsKind::Deque:
+    return {DsKind::Deque, DsKind::Vector, DsKind::List, DsKind::Set};
+  case DsKind::List:
+    return {DsKind::List, DsKind::Vector, DsKind::Deque, DsKind::Set};
+  case DsKind::Set:
+  case DsKind::AvlSet:
+  case DsKind::HashSet:
+  case DsKind::Map:
+  case DsKind::AvlMap:
+  case DsKind::HashMap:
+    // "We could not compare Brainy with Perflint since it does not support
+    // any replacement for set" (Section 6.4); maps likewise have no direct
+    // support (Section 6.3 footnote 5).
+    return {};
+  }
+  return {};
+}
+
+PerflintAdvisor::PerflintAdvisor(DsKind OriginalArg,
+                                 const PerflintCoefficients &CoefficientsArg)
+    : Original(OriginalArg), Coefficients(CoefficientsArg),
+      Candidates(perflintCandidates(OriginalArg)) {}
+
+void PerflintAdvisor::onOp(AppOp Op, uint64_t SizeBefore, uint64_t Arg) {
+  // "Each interface invocation of the original data structure updates the
+  // costs of both [the original and the alternative]" — all candidates are
+  // charged from the same observed op stream and the original's N.
+  auto N = static_cast<double>(SizeBefore);
+  for (DsKind Kind : Candidates)
+    RawCost[static_cast<unsigned>(Kind)] +=
+        perflintAsymptoticCost(Kind, Op, N, Arg);
+}
+
+double PerflintAdvisor::predictedCost(DsKind Kind) const {
+  return RawCost[static_cast<unsigned>(Kind)] * Coefficients[Kind];
+}
+
+DsKind PerflintAdvisor::recommend() const {
+  if (Candidates.empty())
+    return Original;
+  DsKind Best = Candidates.front();
+  for (DsKind Kind : Candidates)
+    if (predictedCost(Kind) < predictedCost(Best))
+      Best = Kind;
+  return Best;
+}
+
+std::string PerflintCoefficients::toString() const {
+  std::string Out;
+  char Buf[64];
+  for (unsigned I = 0; I != NumDsKinds; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%.17g\n", CyclesPerUnit[I]);
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool PerflintCoefficients::fromString(const std::string &Text,
+                                      PerflintCoefficients &Out) {
+  const char *Pos = Text.c_str();
+  for (unsigned I = 0; I != NumDsKinds; ++I) {
+    char *End = nullptr;
+    Out.CyclesPerUnit[I] = std::strtod(Pos, &End);
+    if (End == Pos)
+      return false;
+    Pos = End;
+  }
+  return true;
+}
+
+namespace {
+
+/// Accumulates one kind's raw asymptotic cost over a run's op stream.
+class RawCostAccumulator final : public OpObserver {
+public:
+  explicit RawCostAccumulator(DsKind Kind) : Kind(Kind) {}
+
+  void onOp(AppOp Op, uint64_t SizeBefore, uint64_t Arg) override {
+    Total += perflintAsymptoticCost(Kind, Op,
+                                    static_cast<double>(SizeBefore), Arg);
+  }
+
+  double total() const { return Total; }
+
+private:
+  DsKind Kind;
+  double Total = 0;
+};
+
+} // namespace
+
+PerflintCoefficients brainy::calibratePerflint(const AppConfig &Config,
+                                               const MachineConfig &Machine,
+                                               uint64_t FirstSeed,
+                                               unsigned Count) {
+  PerflintCoefficients Coefficients;
+  static constexpr DsKind AllKinds[] = {
+      DsKind::Vector, DsKind::List,   DsKind::Deque,
+      DsKind::Set,    DsKind::AvlSet, DsKind::HashSet,
+      DsKind::Map,    DsKind::AvlMap, DsKind::HashMap};
+
+  for (DsKind Kind : AllKinds) {
+    // Least squares through the origin: c = sum(raw*cycles) / sum(raw^2).
+    double Num = 0, Den = 0;
+    for (unsigned I = 0; I != Count; ++I) {
+      AppSpec Spec = AppSpec::fromSeed(FirstSeed + I, Config);
+      RawCostAccumulator Acc(Kind);
+      RunOutcome Out = runApp(Spec, Kind, Machine, &Acc);
+      Num += Acc.total() * Out.Cycles;
+      Den += Acc.total() * Acc.total();
+    }
+    if (Den > 0)
+      Coefficients[Kind] = Num / Den;
+  }
+  return Coefficients;
+}

@@ -1,0 +1,104 @@
+//===- baseline/Perflint.h - Hand-constructed cost-model advisor -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of the paper's comparison baseline, Perflint (Liu &
+/// Rus, "perflint: A Context Sensitive Performance Advisor for C++
+/// Programs", CGO 2009), as the paper describes it in Section 6.2:
+///
+///  * On each interface invocation of the *original* data structure, a
+///    hand-constructed asymptotic cost is charged to the original and to
+///    each supported alternative — e.g. a find among N elements costs
+///    3/4*N for vector (average-case linear search) and log2 N for set
+///    (binary search).
+///  * Each structure's accumulated cost is multiplied by a coefficient
+///    fitted by linear-regression analysis against execution time.
+///  * At program end, the structure with the smallest predicted time is
+///    reported.
+///
+/// Faithfully to the paper, Perflint's replacement vocabulary is limited:
+/// vector -> {vector, list, deque, set} (no hash variants; Section 6.2
+/// notes vector-to-hash_set is unsupported), map advice is derived from the
+/// set model (footnote 5), and sets have no replacement support at all
+/// (Section 6.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_BASELINE_PERFLINT_H
+#define BRAINY_BASELINE_PERFLINT_H
+
+#include "appgen/AppRunner.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Per-DS regression coefficients (predicted cycles per asymptotic cost
+/// unit) for one machine.
+struct PerflintCoefficients {
+  std::array<double, NumDsKinds> CyclesPerUnit{};
+
+  PerflintCoefficients() { CyclesPerUnit.fill(1.0); }
+
+  double &operator[](DsKind Kind) {
+    return CyclesPerUnit[static_cast<unsigned>(Kind)];
+  }
+  double operator[](DsKind Kind) const {
+    return CyclesPerUnit[static_cast<unsigned>(Kind)];
+  }
+
+  std::string toString() const;
+  static bool fromString(const std::string &Text, PerflintCoefficients &Out);
+};
+
+/// The hand-constructed asymptotic cost of performing \p Op on a \p Kind
+/// container currently holding \p N elements (\p Arg = iterate steps).
+double perflintAsymptoticCost(DsKind Kind, AppOp Op, double N, uint64_t Arg);
+
+/// The alternatives Perflint can evaluate for \p Original (includes the
+/// original; empty when Perflint does not support the original at all,
+/// e.g. set — paper Section 6.4).
+std::vector<DsKind> perflintCandidates(DsKind Original);
+
+/// Accumulates predicted costs while observing the original's op stream.
+class PerflintAdvisor final : public OpObserver {
+public:
+  PerflintAdvisor(DsKind Original, const PerflintCoefficients &Coefficients);
+
+  void onOp(AppOp Op, uint64_t SizeBefore, uint64_t Arg) override;
+
+  /// Whether Perflint supports this original at all.
+  bool supported() const { return !Candidates.empty(); }
+
+  /// Predicted cycles for \p Kind so far (coefficient applied).
+  double predictedCost(DsKind Kind) const;
+
+  /// The structure with the smallest predicted time (the original when
+  /// unsupported).
+  DsKind recommend() const;
+
+  const std::vector<DsKind> &candidates() const { return Candidates; }
+
+private:
+  DsKind Original;
+  PerflintCoefficients Coefficients;
+  std::vector<DsKind> Candidates;
+  std::array<double, NumDsKinds> RawCost{};
+};
+
+/// Fits per-DS coefficients on \p Machine by regressing measured cycles of
+/// calibration apps (derived from \p Config with seeds
+/// [FirstSeed, FirstSeed+Count)) on their accumulated asymptotic costs.
+/// This is the "linear regression analysis for execution time" step.
+PerflintCoefficients calibratePerflint(const AppConfig &Config,
+                                       const MachineConfig &Machine,
+                                       uint64_t FirstSeed, unsigned Count);
+
+} // namespace brainy
+
+#endif // BRAINY_BASELINE_PERFLINT_H

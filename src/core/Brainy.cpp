@@ -1,0 +1,126 @@
+//===- core/Brainy.cpp ----------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Brainy.h"
+
+#include <cstdio>
+
+using namespace brainy;
+
+Brainy::Brainy() {
+  for (unsigned I = 0; I != NumModelKinds; ++I)
+    Models[I] =
+        BrainyModel::train(static_cast<ModelKind>(I), {}, NetConfig());
+}
+
+Brainy Brainy::train(const TrainOptions &Options,
+                     const MachineConfig &Machine) {
+  Brainy Out;
+  Out.MachineName = Machine.Name;
+  TrainingFramework Framework(Options, Machine);
+  std::array<PhaseOneResult, NumModelKinds> Phase1 = Framework.phaseOneAll();
+  for (unsigned I = 0; I != NumModelKinds; ++I) {
+    auto Kind = static_cast<ModelKind>(I);
+    std::vector<TrainExample> Examples =
+        Framework.phaseTwo(Kind, Phase1[I]);
+    Out.Models[I] = BrainyModel::train(Kind, Examples, Options.Net);
+  }
+  return Out;
+}
+
+Brainy Brainy::trainOrLoad(const TrainOptions &Options,
+                           const MachineConfig &Machine,
+                           const std::string &Path, const std::string &Tag) {
+  Brainy Cached;
+  if (loadFile(Path, Cached) && Cached.MachineName == Machine.Name &&
+      Cached.Tag == Tag)
+    return Cached;
+  Brainy Fresh = train(Options, Machine);
+  Fresh.Tag = Tag;
+  Fresh.saveFile(Path);
+  return Fresh;
+}
+
+DsKind Brainy::recommend(DsKind Original, const SoftwareFeatures &Sw,
+                         const FeatureVector &Features) const {
+  bool OrderOblivious = Sw.orderOblivious();
+  ModelKind Model = modelFor(Original, OrderOblivious);
+  return recommendWith(Model, Features, OrderOblivious);
+}
+
+DsKind Brainy::recommendWith(ModelKind Model, const FeatureVector &Features,
+                             bool AppOrderOblivious) const {
+  return model(Model).predict(Features, AppOrderOblivious);
+}
+
+std::string Brainy::toString() const {
+  std::string Out = "brainy-bundle v1\n";
+  Out += "machine " + MachineName + "\n";
+  Out += "tag " + Tag + "\n";
+  for (const BrainyModel &Model : Models)
+    Out += Model.toString();
+  return Out;
+}
+
+bool Brainy::fromString(const std::string &Text, Brainy &Out) {
+  size_t Pos = 0;
+  auto TakeLine = [&Text, &Pos](std::string &Line) {
+    if (Pos >= Text.size())
+      return false;
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    return true;
+  };
+  std::string Line;
+  if (!TakeLine(Line) || Line != "brainy-bundle v1")
+    return false;
+  if (!TakeLine(Line) || Line.rfind("machine ", 0) != 0)
+    return false;
+  Out.MachineName = Line.substr(8);
+  if (!TakeLine(Line) || Line.rfind("tag ", 0) != 0)
+    return false;
+  Out.Tag = Line.substr(4);
+
+  for (unsigned I = 0; I != NumModelKinds; ++I) {
+    size_t End = Text.find("end-model\n", Pos);
+    if (End == std::string::npos)
+      return false;
+    End += 10; // past "end-model\n"
+    BrainyModel Parsed;
+    if (!BrainyModel::fromString(Text.substr(Pos, End - Pos), Parsed))
+      return false;
+    Out.Models[static_cast<unsigned>(Parsed.kind())] = std::move(Parsed);
+    Pos = End;
+  }
+  return true;
+}
+
+bool Brainy::saveFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::string Text = toString();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+bool Brainy::loadFile(const std::string &Path, Brainy &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Text;
+  char Buf[8192];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return fromString(Text, Out);
+}

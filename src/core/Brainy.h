@@ -1,0 +1,88 @@
+//===- core/Brainy.h - The Brainy advisor (public API) ---------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level tool: a bundle of the six per-original-DS models trained
+/// for one microarchitecture, plus the advisor entry points the usage model
+/// of Figure 3 describes — profile the application's containers, then ask
+/// what each should be replaced with.
+///
+/// Typical use:
+/// \code
+///   TrainOptions Opts;                       // generator + ANN knobs
+///   Brainy Advisor = Brainy::train(Opts, MachineConfig::core2());
+///   ...
+///   ProfiledContainer C(makeContainer(DsKind::Vector, 8, &Model));
+///   ... run the application against C ...
+///   FeatureVector F = extractFeatures(C.features(), Model.counters(), 64);
+///   DsKind Better = Advisor.recommend(DsKind::Vector, C.features(), F);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_BRAINY_H
+#define BRAINY_CORE_BRAINY_H
+
+#include "core/BrainyModel.h"
+
+#include <array>
+#include <string>
+
+namespace brainy {
+
+/// The trained Brainy advisor for one machine.
+class Brainy {
+public:
+  /// Constructs an untrained advisor: every model predicts "keep the
+  /// original" until trained or loaded.
+  Brainy();
+
+  /// Runs the full two-phase training framework for every model family on
+  /// \p Machine. Deterministic for fixed options.
+  static Brainy train(const TrainOptions &Options,
+                      const MachineConfig &Machine);
+
+  /// Loads \p Path if it holds a bundle trained with a matching tag;
+  /// otherwise trains and saves to \p Path. \p Tag should encode whatever
+  /// the caller varies (machine name, scale...).
+  static Brainy trainOrLoad(const TrainOptions &Options,
+                            const MachineConfig &Machine,
+                            const std::string &Path, const std::string &Tag);
+
+  /// Recommends a replacement for an \p Original structure whose run
+  /// produced \p Sw / \p Features. Routes to the model family implied by
+  /// the original kind and the observed order-obliviousness.
+  DsKind recommend(DsKind Original, const SoftwareFeatures &Sw,
+                   const FeatureVector &Features) const;
+
+  /// Lower-level entry: explicit model family and app orderedness.
+  DsKind recommendWith(ModelKind Model, const FeatureVector &Features,
+                       bool AppOrderOblivious) const;
+
+  const BrainyModel &model(ModelKind Kind) const {
+    return Models[static_cast<unsigned>(Kind)];
+  }
+  BrainyModel &model(ModelKind Kind) {
+    return Models[static_cast<unsigned>(Kind)];
+  }
+
+  const std::string &machineName() const { return MachineName; }
+
+  /// Whole-bundle persistence.
+  std::string toString() const;
+  static bool fromString(const std::string &Text, Brainy &Out);
+  bool saveFile(const std::string &Path) const;
+  static bool loadFile(const std::string &Path, Brainy &Out);
+
+private:
+  std::array<BrainyModel, NumModelKinds> Models;
+  std::string MachineName;
+  std::string Tag;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_BRAINY_H

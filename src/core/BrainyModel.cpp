@@ -1,0 +1,209 @@
+//===- core/BrainyModel.cpp -----------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BrainyModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace brainy;
+
+BrainyModel BrainyModel::train(ModelKind Kind,
+                               const std::vector<TrainExample> &Examples,
+                               const NetConfig &Config,
+                               std::vector<double> FeatureWeights) {
+  BrainyModel Model;
+  Model.Kind = Kind;
+  Model.Candidates = modelCandidates(Kind);
+  Model.FeatureWeights = std::move(FeatureWeights);
+  if (Model.FeatureWeights.empty())
+    Model.FeatureWeights.assign(NumFeatures, 1.0);
+  assert(Model.FeatureWeights.size() == NumFeatures &&
+         "feature-weight dimension mismatch");
+
+  Dataset Data = examplesToDataset(Examples, Model.Candidates);
+  if (Data.empty()) {
+    // No usable examples: an untrained model predicts "keep the original".
+    return Model;
+  }
+  Model.Norm.fit(Data.Rows);
+  Model.Norm.applyAll(Data.Rows);
+  for (auto &Row : Data.Rows)
+    for (unsigned I = 0; I != NumFeatures; ++I)
+      Row[I] *= Model.FeatureWeights[I];
+  Model.Net = trainNetwork(
+      Data, Config, static_cast<unsigned>(Model.Candidates.size()));
+  return Model;
+}
+
+std::vector<double>
+BrainyModel::preprocess(const FeatureVector &Features) const {
+  std::vector<double> Row(Features.Values.begin(), Features.Values.end());
+  Norm.apply(Row);
+  for (unsigned I = 0; I != NumFeatures; ++I)
+    Row[I] *= FeatureWeights[I];
+  return Row;
+}
+
+std::vector<double>
+BrainyModel::predictProba(const FeatureVector &Features) const {
+  if (!trained())
+    return std::vector<double>(Candidates.size(),
+                               Candidates.empty() ? 0.0
+                                                  : 1.0 / Candidates.size());
+  return Net.predictProba(preprocess(Features));
+}
+
+DsKind BrainyModel::predict(const FeatureVector &Features,
+                            bool AppOrderOblivious) const {
+  if (Candidates.empty())
+    return modelOriginal(Kind);
+  if (!trained())
+    return Candidates.front(); // The original is always listed first.
+
+  std::vector<double> Proba = predictProba(Features);
+  // Mask candidates that would change iteration order for an order-aware
+  // app. Only the set/map models need query-time masking; the vector/list
+  // families are already split into order-aware/oblivious models whose
+  // candidate lists encode the restriction.
+  std::vector<DsKind> Legal =
+      (Kind == ModelKind::Set || Kind == ModelKind::Map)
+          ? replacementCandidates(modelOriginal(Kind), AppOrderOblivious)
+          : Candidates;
+
+  size_t BestIdx = Candidates.size();
+  for (size_t I = 0, E = Candidates.size(); I != E; ++I) {
+    if (std::find(Legal.begin(), Legal.end(), Candidates[I]) == Legal.end())
+      continue;
+    if (BestIdx == Candidates.size() || Proba[I] > Proba[BestIdx])
+      BestIdx = I;
+  }
+  return BestIdx == Candidates.size() ? Candidates.front()
+                                      : Candidates[BestIdx];
+}
+
+double BrainyModel::accuracy(const std::vector<TrainExample> &Examples,
+                             bool AppOrderOblivious) const {
+  if (Examples.empty())
+    return 0;
+  size_t Correct = 0;
+  for (const TrainExample &Ex : Examples)
+    if (predict(Ex.Features, AppOrderOblivious) == Ex.BestDs)
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Examples.size());
+}
+
+std::string BrainyModel::toString() const {
+  std::string Out = "brainy-model v1\n";
+  Out += "model ";
+  Out += modelKindName(Kind);
+  Out += '\n';
+  Out += "candidates";
+  for (DsKind Kind2 : Candidates) {
+    Out += ' ';
+    Out += dsKindName(Kind2);
+  }
+  Out += '\n';
+  Out += "weights";
+  char Buf[48];
+  for (double W : FeatureWeights) {
+    std::snprintf(Buf, sizeof(Buf), " %.17g", W);
+    Out += Buf;
+  }
+  Out += '\n';
+  Out += "trained ";
+  Out += trained() ? "1" : "0";
+  Out += '\n';
+  if (trained()) {
+    Out += "normalizer\n";
+    Out += Norm.toString();
+    Out += "net\n";
+    Out += Net.toString();
+  }
+  Out += "end-model\n";
+  return Out;
+}
+
+static bool takeLine(const std::string &Text, size_t &Pos,
+                     std::string &Line) {
+  if (Pos >= Text.size())
+    return false;
+  size_t Eol = Text.find('\n', Pos);
+  if (Eol == std::string::npos)
+    Eol = Text.size();
+  Line = Text.substr(Pos, Eol - Pos);
+  Pos = Eol + 1;
+  return true;
+}
+
+bool BrainyModel::fromString(const std::string &Text, BrainyModel &Out) {
+  size_t Pos = 0;
+  std::string Line;
+  if (!takeLine(Text, Pos, Line) || Line != "brainy-model v1")
+    return false;
+  if (!takeLine(Text, Pos, Line) || Line.rfind("model ", 0) != 0)
+    return false;
+  std::string Name = Line.substr(6);
+  bool FoundKind = false;
+  for (unsigned I = 0; I != NumModelKinds; ++I) {
+    auto Kind = static_cast<ModelKind>(I);
+    if (Name == modelKindName(Kind)) {
+      Out.Kind = Kind;
+      FoundKind = true;
+      break;
+    }
+  }
+  if (!FoundKind)
+    return false;
+  Out.Candidates = modelCandidates(Out.Kind);
+
+  if (!takeLine(Text, Pos, Line) || Line.rfind("candidates", 0) != 0)
+    return false;
+  if (!takeLine(Text, Pos, Line) || Line.rfind("weights", 0) != 0)
+    return false;
+  {
+    Out.FeatureWeights.clear();
+    const char *P = Line.c_str() + 7;
+    char *End = nullptr;
+    for (unsigned I = 0; I != NumFeatures; ++I) {
+      double V = std::strtod(P, &End);
+      if (End == P)
+        return false;
+      Out.FeatureWeights.push_back(V);
+      P = End;
+    }
+  }
+  if (!takeLine(Text, Pos, Line) || Line.rfind("trained ", 0) != 0)
+    return false;
+  bool IsTrained = Line.substr(8) == "1";
+  if (IsTrained) {
+    if (!takeLine(Text, Pos, Line) || Line != "normalizer")
+      return false;
+    // The normalizer consumes "<dim>\n" + dim lines.
+    std::string DimLine;
+    size_t NormStart = Pos;
+    if (!takeLine(Text, Pos, DimLine))
+      return false;
+    unsigned long Dim = std::strtoul(DimLine.c_str(), nullptr, 10);
+    for (unsigned long I = 0; I != Dim; ++I)
+      if (!takeLine(Text, Pos, Line))
+        return false;
+    if (!Normalizer::fromString(Text.substr(NormStart, Pos - NormStart),
+                                Out.Norm))
+      return false;
+    if (!takeLine(Text, Pos, Line) || Line != "net")
+      return false;
+    // The net consumes the rest up to "end-model".
+    size_t EndPos = Text.find("end-model", Pos);
+    if (EndPos == std::string::npos)
+      return false;
+    if (!NeuralNet::fromString(Text.substr(Pos, EndPos - Pos), Out.Net))
+      return false;
+  }
+  return true;
+}

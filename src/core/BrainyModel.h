@@ -1,0 +1,73 @@
+//===- core/BrainyModel.h - One per-original-DS ANN model ------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One trained selection model: the ANN for a single original data
+/// structure (Section 5 — "the target data structures have their own ANN
+/// model"), bundled with its normalisation statistics, optional GA feature
+/// weights, and its candidate vocabulary. Predicting for an order-aware
+/// application masks order-changing candidates at query time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_BRAINYMODEL_H
+#define BRAINY_CORE_BRAINYMODEL_H
+
+#include "core/TrainingFramework.h"
+#include "ml/GaSelect.h"
+
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// A trained per-original-DS selection model.
+class BrainyModel {
+public:
+  BrainyModel() = default;
+
+  /// Trains a model for \p Kind from Phase II examples.
+  /// \p FeatureWeights optional GA importance weights (empty = all 1).
+  static BrainyModel train(ModelKind Kind,
+                           const std::vector<TrainExample> &Examples,
+                           const NetConfig &Config,
+                           std::vector<double> FeatureWeights = {});
+
+  ModelKind kind() const { return Kind; }
+  const std::vector<DsKind> &candidates() const { return Candidates; }
+  bool trained() const { return Net.inputs() != 0; }
+
+  /// Recommends the best replacement for an app with the given profiled
+  /// features. \p AppOrderOblivious masks order-changing candidates for
+  /// order-sensitive apps (Table 1's limitation column).
+  DsKind predict(const FeatureVector &Features,
+                 bool AppOrderOblivious) const;
+
+  /// Per-candidate probabilities (aligned with candidates()).
+  std::vector<double> predictProba(const FeatureVector &Features) const;
+
+  /// Accuracy over labelled examples (label masked per example's own
+  /// orderedness is not needed here: examples carry legal labels).
+  double accuracy(const std::vector<TrainExample> &Examples,
+                  bool AppOrderOblivious) const;
+
+  /// Text round trip for persistence.
+  std::string toString() const;
+  static bool fromString(const std::string &Text, BrainyModel &Out);
+
+private:
+  std::vector<double> preprocess(const FeatureVector &Features) const;
+
+  ModelKind Kind = ModelKind::Vector;
+  std::vector<DsKind> Candidates;
+  std::vector<double> FeatureWeights;
+  Normalizer Norm;
+  NeuralNet Net;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_BRAINYMODEL_H

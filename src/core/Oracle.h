@@ -1,0 +1,53 @@
+//===- core/Oracle.h - Exhaustive best-DS measurement ----------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Oracle of the paper's evaluation: run the same application on every
+/// legal candidate and take the fastest ("the ideal data structure
+/// selection (Oracle) ... empirically determined across program inputs on
+/// each microarchitecture", Section 6.2). Also the measurement step of
+/// Phase I (Algorithm 1), including the 5% winner margin of footnote 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_ORACLE_H
+#define BRAINY_CORE_ORACLE_H
+
+#include "appgen/AppRunner.h"
+
+#include <array>
+#include <vector>
+
+namespace brainy {
+
+/// Outcome of racing one application across candidate containers.
+struct RaceResult {
+  DsKind Best = DsKind::Vector;
+  /// Cycles per raced kind (0 for kinds not raced).
+  std::array<double, NumDsKinds> Cycles{};
+  /// (secondBest - best) / best; 0 when fewer than two candidates.
+  double Margin = 0;
+
+  double cyclesOf(DsKind Kind) const {
+    return Cycles[static_cast<unsigned>(Kind)];
+  }
+};
+
+/// Runs \p Spec on every kind in \p Candidates under \p Machine and ranks
+/// them by simulated cycles. \p Candidates must be non-empty.
+RaceResult raceCandidates(const AppSpec &Spec,
+                          const std::vector<DsKind> &Candidates,
+                          const MachineConfig &Machine);
+
+/// Convenience: the measured-best legal replacement for \p Spec's app when
+/// its original structure is \p Original (honours the app's
+/// order-obliviousness).
+RaceResult oracleBest(const AppSpec &Spec, DsKind Original,
+                      const MachineConfig &Machine);
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_ORACLE_H

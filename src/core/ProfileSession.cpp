@@ -1,0 +1,81 @@
+//===- core/ProfileSession.cpp --------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileSession.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace brainy;
+
+ProfileSession::ProfileSession(MachineConfig MachineArg)
+    : Machine(std::move(MachineArg)) {}
+
+ProfileSession::~ProfileSession() = default;
+
+Container &ProfileSession::create(const std::string &Context, DsKind Kind,
+                                  uint32_t ElemBytes) {
+  Entry E;
+  E.Context = Context;
+  // Each container gets its own machine model so cycles and counters are
+  // attributable per construction site (isolated caches; the paper's
+  // instrumentation has the same per-structure accounting granularity).
+  E.Model = std::make_unique<MachineModel>(Machine);
+  E.C = std::make_unique<ProfiledContainer>(
+      makeContainer(Kind, ElemBytes, E.Model.get()));
+  Entries.push_back(std::move(E));
+  return *Entries.back().C;
+}
+
+std::vector<ProfileSession::Finding>
+ProfileSession::analyze(const Brainy &Advisor) const {
+  std::vector<Finding> Findings;
+  double TotalCycles = 0;
+  for (const Entry &E : Entries)
+    TotalCycles += E.Model->cycles();
+
+  for (const Entry &E : Entries) {
+    Finding F;
+    F.Context = E.Context;
+    F.Original = E.C->kind();
+    F.Cycles = E.Model->cycles();
+    F.CycleShare = TotalCycles > 0 ? F.Cycles / TotalCycles : 0;
+    F.Features = extractFeatures(E.C->features(), E.Model->counters(),
+                                 Machine.L1.BlockBytes);
+    F.OrderOblivious = E.C->features().orderOblivious();
+    F.Recommended = Advisor.recommend(F.Original, E.C->features(), F.Features);
+    Findings.push_back(std::move(F));
+  }
+  // "Sorted by relative execution time ... a prioritized list of which
+  // data structures are most important to change."
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const Finding &A, const Finding &B) {
+                     return A.Cycles > B.Cycles;
+                   });
+  return Findings;
+}
+
+std::string ProfileSession::report(const Brainy &Advisor) const {
+  std::vector<Finding> Findings = analyze(Advisor);
+  TextTable Table;
+  Table.setHeader({"priority", "context", "time share", "current",
+                   "suggested", "order-obliv"});
+  unsigned Priority = 1;
+  for (const Finding &F : Findings) {
+    bool Change = F.Recommended != F.Original;
+    Table.addRow({formatStr("%u", Priority++), F.Context,
+                  formatPercent(F.CycleShare), dsKindName(F.Original),
+                  Change ? dsKindName(F.Recommended) : "(keep)",
+                  F.OrderOblivious ? "yes" : "no"});
+  }
+  std::string Out =
+      formatStr("Brainy replacement report — machine %s, %zu container%s\n",
+                Machine.Name.c_str(), Findings.size(),
+                Findings.size() == 1 ? "" : "s");
+  Out += Table.render();
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- core/ProfileSession.h - Context-sensitive profiling -----*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime side of the paper's usage model (Section 3, Figure 3): an
+/// application links against the profiling library, every container is
+/// registered under its construction-site context ("the calling sequences
+/// are considered at the data structure's construction time [so]
+/// developers know the location in the source code of the data structures
+/// to be replaced"), and at exit the traces are sorted by relative
+/// execution time into a prioritised list of what to replace with what.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_PROFILESESSION_H
+#define BRAINY_CORE_PROFILESESSION_H
+
+#include "core/Brainy.h"
+#include "profile/ProfiledContainer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Owns a set of profiled containers, one machine model each, and renders
+/// the prioritised replacement report.
+class ProfileSession {
+public:
+  /// \p Machine the microarchitecture every registered container runs on.
+  explicit ProfileSession(MachineConfig Machine);
+  ~ProfileSession();
+
+  ProfileSession(const ProfileSession &) = delete;
+  ProfileSession &operator=(const ProfileSession &) = delete;
+
+  /// Creates and registers a profiled container of \p Kind under the
+  /// source context \p Context (e.g. "XalanDOMStringCache.cpp:212
+  /// m_busyList"). The session keeps ownership; the reference stays valid
+  /// for the session's lifetime.
+  Container &create(const std::string &Context, DsKind Kind,
+                    uint32_t ElemBytes = 8);
+
+  /// Number of registered containers.
+  size_t size() const { return Entries.size(); }
+
+  /// One analysed container, post-processing applied.
+  struct Finding {
+    std::string Context;
+    DsKind Original;
+    DsKind Recommended;
+    double Cycles = 0;
+    double CycleShare = 0; ///< fraction of all profiled cycles
+    FeatureVector Features;
+    bool OrderOblivious = true;
+  };
+
+  /// Post-processes every registered container: extracts features, asks
+  /// \p Advisor for replacements, and sorts by relative execution time —
+  /// most important to change first.
+  std::vector<Finding> analyze(const Brainy &Advisor) const;
+
+  /// Renders analyze() as the paper-style prioritised report.
+  std::string report(const Brainy &Advisor) const;
+
+private:
+  struct Entry {
+    std::string Context;
+    std::unique_ptr<MachineModel> Model;
+    std::unique_ptr<ProfiledContainer> C;
+  };
+
+  MachineConfig Machine;
+  std::vector<Entry> Entries;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_PROFILESESSION_H

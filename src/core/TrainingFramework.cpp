@@ -1,0 +1,189 @@
+//===- core/TrainingFramework.cpp -----------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TrainingFramework.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+using namespace brainy;
+
+bool TrainingFramework::specMatchesModel(uint64_t Seed,
+                                         ModelKind Model) const {
+  AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
+  switch (Model) {
+  case ModelKind::Vector:
+  case ModelKind::List:
+    return !Spec.OrderOblivious;
+  case ModelKind::VectorOO:
+  case ModelKind::ListOO:
+    return Spec.OrderOblivious;
+  case ModelKind::Set:
+  case ModelKind::Map:
+    // The set/map models serve both usages; the candidate list narrows to
+    // order-preserving replacements for order-sensitive apps.
+    return true;
+  }
+  return false;
+}
+
+PhaseOneResult TrainingFramework::phaseOne(ModelKind Model) const {
+  PhaseOneResult Result;
+  DsKind Original = modelOriginal(Model);
+  std::vector<DsKind> FullCandidates = modelCandidates(Model);
+
+  std::array<unsigned, NumDsKinds> WinCount{};
+  auto AllFull = [&]() {
+    for (DsKind Kind : FullCandidates)
+      if (WinCount[static_cast<unsigned>(Kind)] < Options.TargetPerDs)
+        return false;
+    return true;
+  };
+
+  for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
+    if (AllFull())
+      break;
+    uint64_t Seed = Options.FirstSeed + Offset;
+    ++Result.SeedsScanned;
+    if (!specMatchesModel(Seed, Model))
+      continue;
+
+    AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
+    std::vector<DsKind> Candidates =
+        replacementCandidates(Original, Spec.OrderOblivious);
+    RaceResult Race = raceCandidates(Spec, Candidates, Machine);
+    // Footnote 2: only record clear winners, so marginal apps do not teach
+    // the model noise.
+    if (Candidates.size() > 1 && Race.Margin < Options.WinnerMargin) {
+      ++Result.MarginRejects;
+      continue;
+    }
+    ++WinCount[static_cast<unsigned>(Race.Best)];
+    Result.SeedDsPairs.push_back({Seed, Race.Best});
+  }
+  return Result;
+}
+
+std::array<PhaseOneResult, NumModelKinds>
+TrainingFramework::phaseOneAll() const {
+  std::array<PhaseOneResult, NumModelKinds> Results;
+  std::array<std::array<unsigned, NumDsKinds>, NumModelKinds> WinCount{};
+
+  auto ModelFull = [&](unsigned M) {
+    for (DsKind Kind : modelCandidates(static_cast<ModelKind>(M)))
+      if (WinCount[M][static_cast<unsigned>(Kind)] < Options.TargetPerDs)
+        return false;
+    return true;
+  };
+  auto AllFull = [&]() {
+    for (unsigned M = 0; M != NumModelKinds; ++M)
+      if (!ModelFull(M))
+        return false;
+    return true;
+  };
+
+  for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
+    if (AllFull())
+      break;
+    uint64_t Seed = Options.FirstSeed + Offset;
+    AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
+
+    // One measurement per kind per seed, shared across families.
+    std::array<double, NumDsKinds> Cycles;
+    std::array<bool, NumDsKinds> Measured{};
+    auto CyclesOf = [&](DsKind Kind) {
+      auto I = static_cast<unsigned>(Kind);
+      if (!Measured[I]) {
+        Cycles[I] = runApp(Spec, Kind, Machine).Cycles;
+        Measured[I] = true;
+      }
+      return Cycles[I];
+    };
+
+    for (unsigned M = 0; M != NumModelKinds; ++M) {
+      auto Model = static_cast<ModelKind>(M);
+      if (ModelFull(M))
+        continue;
+      if (!specMatchesModel(Seed, Model))
+        continue;
+      ++Results[M].SeedsScanned;
+
+      std::vector<DsKind> Candidates = replacementCandidates(
+          modelOriginal(Model), Spec.OrderOblivious);
+      DsKind Best = Candidates.front();
+      double BestCycles = CyclesOf(Best);
+      double Second = 0;
+      bool HaveSecond = false;
+      for (size_t I = 1, E = Candidates.size(); I != E; ++I) {
+        double C = CyclesOf(Candidates[I]);
+        if (C < BestCycles) {
+          Second = BestCycles;
+          HaveSecond = true;
+          BestCycles = C;
+          Best = Candidates[I];
+        } else if (!HaveSecond || C < Second) {
+          Second = C;
+          HaveSecond = true;
+        }
+      }
+      double Margin =
+          HaveSecond && BestCycles > 0 ? (Second - BestCycles) / BestCycles
+                                       : 0.0;
+      if (Candidates.size() > 1 && Margin < Options.WinnerMargin) {
+        ++Results[M].MarginRejects;
+        continue;
+      }
+      ++WinCount[M][static_cast<unsigned>(Best)];
+      Results[M].SeedDsPairs.push_back({Seed, Best});
+    }
+  }
+  return Results;
+}
+
+std::vector<TrainExample>
+TrainingFramework::phaseTwo(ModelKind Model,
+                            const PhaseOneResult &Pairs) const {
+  DsKind Original = modelOriginal(Model);
+  unsigned Cap =
+      Options.MaxPerDsPhase2 ? Options.MaxPerDsPhase2 : Options.TargetPerDs;
+
+  std::array<unsigned, NumDsKinds> Taken{};
+  std::vector<TrainExample> Examples;
+  Examples.reserve(Pairs.SeedDsPairs.size());
+  for (const SeedBest &Pair : Pairs.SeedDsPairs) {
+    unsigned &Count = Taken[static_cast<unsigned>(Pair.BestDs)];
+    // "Phase II does not accept the rest": drop surplus examples of an
+    // already-full class before paying for feature profiling.
+    if (Count >= Cap)
+      continue;
+    ++Count;
+
+    AppSpec Spec = AppSpec::fromSeed(Pair.Seed, Options.GenConfig);
+    ProfiledOutcome Out = runAppProfiled(Spec, Original, Machine);
+    TrainExample Ex;
+    Ex.Features = Out.Features;
+    Ex.BestDs = Pair.BestDs;
+    Ex.Seed = Pair.Seed;
+    Examples.push_back(Ex);
+  }
+  return Examples;
+}
+
+Dataset brainy::examplesToDataset(const std::vector<TrainExample> &Examples,
+                                  const std::vector<DsKind> &Candidates) {
+  Dataset Data;
+  for (const TrainExample &Ex : Examples) {
+    auto It = std::find(Candidates.begin(), Candidates.end(), Ex.BestDs);
+    if (It == Candidates.end())
+      continue;
+    std::vector<double> Row(Ex.Features.Values.begin(),
+                            Ex.Features.Values.end());
+    Data.add(std::move(Row),
+             static_cast<unsigned>(It - Candidates.begin()));
+  }
+  return Data;
+}

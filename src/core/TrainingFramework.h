@@ -1,0 +1,113 @@
+//===- core/TrainingFramework.h - Two-phase training (Alg. 1&2) -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's training framework (Section 4.3, Figures 4 & 5):
+///
+///  * Phase I (Algorithm 1): generate application sets from successive
+///    seeds, run every legal candidate, and record (seed, bestDS) pairs —
+///    only when the winner beats every alternative by the 5% margin
+///    (footnote 2). Stop once each candidate has enough winning apps.
+///  * Phase II (Algorithm 2): regenerate each recorded seed's application,
+///    run it on the *original* structure with profiling, and emit
+///    (features, bestDS) training examples. Regeneration-from-seed is what
+///    lets millions of training apps exist without disk space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_TRAININGFRAMEWORK_H
+#define BRAINY_CORE_TRAININGFRAMEWORK_H
+
+#include "core/Oracle.h"
+#include "ml/NeuralNet.h"
+#include "profile/TraceFile.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace brainy {
+
+/// Knobs for both training phases.
+struct TrainOptions {
+  AppConfig GenConfig;
+  /// Seeds are consumed from FirstSeed upward.
+  uint64_t FirstSeed = 1;
+  /// Phase I's "need more sets" threshold: stop once every candidate DS of
+  /// the model family has this many winning applications (the paper's
+  /// adjustable per-DS threshold, default "e.g., ten thousand").
+  unsigned TargetPerDs = 60;
+  /// Safety cap on seeds consumed by one Phase I run.
+  uint64_t MaxSeeds = 20000;
+  /// Footnote 2: record a best DS only when it is at least this much
+  /// faster than every alternative.
+  double WinnerMargin = 0.05;
+  /// Phase II cap per best-DS class ("the two-phase training framework can
+  /// prevent extra applications ... from being fed into Phase II").
+  unsigned MaxPerDsPhase2 = 0; ///< 0 = same as TargetPerDs
+  /// Network hyperparameters for the final model.
+  NetConfig Net;
+};
+
+/// A recorded Phase I winner.
+struct SeedBest {
+  uint64_t Seed = 0;
+  DsKind BestDs = DsKind::Vector;
+};
+
+/// Phase I result for one model family.
+struct PhaseOneResult {
+  std::vector<SeedBest> SeedDsPairs;
+  /// Seeds consumed (matching and non-matching apps both count).
+  uint64_t SeedsScanned = 0;
+  /// Apps whose winner failed the 5% margin (discarded).
+  uint64_t MarginRejects = 0;
+};
+
+/// Runs both training phases for the six model families of one machine.
+class TrainingFramework {
+public:
+  TrainingFramework(TrainOptions Options, MachineConfig Machine)
+      : Options(std::move(Options)), Machine(std::move(Machine)) {}
+
+  /// Algorithm 1 for \p Model: scans seeds, races candidates, records
+  /// margin-passing winners until every candidate reaches TargetPerDs or
+  /// MaxSeeds is exhausted.
+  PhaseOneResult phaseOne(ModelKind Model) const;
+
+  /// Algorithm 1 for every model family in a single seed sweep. Each
+  /// candidate kind runs an application at most once per seed and the
+  /// measurement is shared by every family racing it — e.g. the vector and
+  /// list families race the same {vector, list, deque} runs. Produces the
+  /// same winners as per-family phaseOne at a fraction of the cost.
+  std::array<PhaseOneResult, NumModelKinds> phaseOneAll() const;
+
+  /// Algorithm 2: regenerates each recorded seed, profiles the app on the
+  /// model's *original* structure, and emits training examples.
+  std::vector<TrainExample> phaseTwo(ModelKind Model,
+                                     const PhaseOneResult &Pairs) const;
+
+  /// Whether the app generated from \p Seed belongs to \p Model's family
+  /// (original-DS usage with matching order-obliviousness).
+  bool specMatchesModel(uint64_t Seed, ModelKind Model) const;
+
+  const TrainOptions &options() const { return Options; }
+  const MachineConfig &machine() const { return Machine; }
+
+private:
+  TrainOptions Options;
+  MachineConfig Machine;
+};
+
+/// Converts training examples into an ML dataset over \p Candidates
+/// (labels = index into Candidates). Examples whose label is not in
+/// \p Candidates are skipped.
+Dataset examplesToDataset(const std::vector<TrainExample> &Examples,
+                          const std::vector<DsKind> &Candidates);
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_TRAININGFRAMEWORK_H

@@ -1,0 +1,42 @@
+//===- machine/BranchPredictor.cpp ----------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/BranchPredictor.h"
+
+#include <cassert>
+
+using namespace brainy;
+
+bool BranchPredictor::observe(BranchSite Site, bool Taken) {
+  auto Index = static_cast<uint32_t>(Site);
+  assert(Index < NumSites && "invalid branch site");
+  uint8_t &Counter = Counters[Index];
+  bool Predicted = Counter >= 2;
+  bool Wrong = Predicted != Taken;
+
+  ++Branches;
+  if (Wrong) {
+    ++Mispredicts;
+    ++PerSiteMiss[Index];
+  }
+  if (Taken) {
+    if (Counter < 3)
+      ++Counter;
+  } else {
+    if (Counter > 0)
+      --Counter;
+  }
+  return Wrong;
+}
+
+void BranchPredictor::reset() {
+  // Weakly not-taken start: rare exceptional paths mispredict immediately,
+  // matching the paper's resize-branch observation.
+  Counters.fill(1);
+  PerSiteMiss.fill(0);
+  Branches = 0;
+  Mispredicts = 0;
+}

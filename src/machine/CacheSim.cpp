@@ -1,0 +1,92 @@
+//===- machine/CacheSim.cpp -----------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/CacheSim.h"
+
+using namespace brainy;
+
+static uint32_t log2Exact(uint64_t Value) {
+  assert(Value != 0 && (Value & (Value - 1)) == 0 &&
+         "cache geometry values must be powers of two");
+  uint32_t Shift = 0;
+  while ((Value >> Shift) != 1)
+    ++Shift;
+  return Shift;
+}
+
+CacheSim::CacheSim(CacheGeometry Geometry) : Geom(Geometry) {
+  assert(Geom.numSets() >= 1 && "cache smaller than one set");
+  BlockShift = log2Exact(Geom.BlockBytes);
+  uint64_t NumSets = Geom.numSets();
+  (void)log2Exact(NumSets); // Asserts power-of-two set count.
+  SetMask = NumSets - 1;
+  Ways.resize(NumSets * Geom.Associativity);
+}
+
+bool CacheSim::access(uint64_t Addr) {
+  uint64_t Block = Addr >> BlockShift;
+  uint64_t Set = Block & SetMask;
+  uint64_t Tag = Block >> 1; // Keep set bits in the tag; harmless and simple.
+  Way *SetBase = &Ways[Set * Geom.Associativity];
+  ++Clock;
+
+  Way *Victim = SetBase;
+  for (uint32_t W = 0; W != Geom.Associativity; ++W) {
+    Way &Entry = SetBase[W];
+    if (Entry.LastUse != 0 && Entry.Tag == Tag) {
+      Entry.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (Entry.LastUse < Victim->LastUse)
+      Victim = &Entry;
+  }
+  ++Misses;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+uint32_t CacheSim::accessRange(uint64_t Addr, uint32_t Bytes) {
+  if (Bytes == 0)
+    Bytes = 1;
+  uint64_t First = Addr >> BlockShift;
+  uint64_t Last = (Addr + Bytes - 1) >> BlockShift;
+  uint32_t MissCount = 0;
+  for (uint64_t Block = First; Block <= Last; ++Block)
+    if (!access(Block << BlockShift))
+      ++MissCount;
+  return MissCount;
+}
+
+void CacheSim::fill(uint64_t Addr) {
+  uint64_t Block = Addr >> BlockShift;
+  uint64_t Set = Block & SetMask;
+  uint64_t Tag = Block >> 1;
+  Way *SetBase = &Ways[Set * Geom.Associativity];
+  ++Clock;
+
+  Way *Victim = SetBase;
+  for (uint32_t W = 0; W != Geom.Associativity; ++W) {
+    Way &Entry = SetBase[W];
+    if (Entry.LastUse != 0 && Entry.Tag == Tag) {
+      Entry.LastUse = Clock;
+      return;
+    }
+    if (Entry.LastUse < Victim->LastUse)
+      Victim = &Entry;
+  }
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+}
+
+void CacheSim::reset() {
+  for (Way &Entry : Ways)
+    Entry = Way();
+  Clock = 0;
+  Hits = 0;
+  Misses = 0;
+}

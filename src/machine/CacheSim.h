@@ -1,0 +1,83 @@
+//===- machine/CacheSim.h - Set-associative cache simulator ----*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic set-associative LRU cache model. Brainy's models use L1 miss
+/// rate as a predictive feature (Table 3) and the paper's motivating example
+/// hinges on L2 capacity differences between the Core2 (4 MB) and the Atom
+/// (512 KB), so the simulator models both levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_MACHINE_CACHESIM_H
+#define BRAINY_MACHINE_CACHESIM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace brainy {
+
+/// Geometry of one cache level.
+struct CacheGeometry {
+  uint64_t SizeBytes = 32 * 1024;
+  uint32_t Associativity = 8;
+  uint32_t BlockBytes = 64;
+
+  uint64_t numSets() const {
+    return SizeBytes / (static_cast<uint64_t>(Associativity) * BlockBytes);
+  }
+};
+
+/// One level of set-associative cache with true-LRU replacement.
+class CacheSim {
+public:
+  explicit CacheSim(CacheGeometry Geometry);
+
+  /// Looks up the block containing \p Addr, filling on miss.
+  /// \returns true on hit.
+  bool access(uint64_t Addr);
+
+  /// Looks up every block overlapped by [Addr, Addr+Bytes).
+  /// \returns the number of misses among the touched blocks.
+  uint32_t accessRange(uint64_t Addr, uint32_t Bytes);
+
+  /// Fills the block containing \p Addr without touching hit/miss counters
+  /// (models a hardware prefetch completing before the demand access).
+  void fill(uint64_t Addr);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t accesses() const { return Hits + Misses; }
+  double missRate() const {
+    uint64_t Total = accesses();
+    return Total ? static_cast<double>(Misses) / static_cast<double>(Total)
+                 : 0.0;
+  }
+
+  const CacheGeometry &geometry() const { return Geom; }
+
+  /// Invalidates all contents and zeroes counters.
+  void reset();
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0; ///< monotonically increasing timestamp; 0 = invalid
+  };
+
+  CacheGeometry Geom;
+  uint64_t SetMask;
+  uint32_t BlockShift;
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  std::vector<Way> Ways; ///< NumSets x Associativity, row-major
+};
+
+} // namespace brainy
+
+#endif // BRAINY_MACHINE_CACHESIM_H

@@ -1,0 +1,75 @@
+//===- machine/EventSink.h - Runtime event consumer interface --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Containers report their dynamic behaviour — memory touches, the
+/// data-dependent conditional branches the paper found predictive (e.g. the
+/// "should vector resize?" branch), straight-line instruction estimates, and
+/// allocator traffic — through this interface. A MachineModel consumes the
+/// stream to produce the hardware features PAPI supplied in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_MACHINE_EVENTSINK_H
+#define BRAINY_MACHINE_EVENTSINK_H
+
+#include <cstdint>
+
+namespace brainy {
+
+/// Identifies a static conditional-branch site inside a container
+/// implementation. Sites are stable small integers so a bimodal predictor
+/// table can be indexed by them, mirroring per-PC prediction.
+enum class BranchSite : uint32_t {
+  VectorResizeCheck,   ///< capacity check on vector/deque insertion
+  VectorShiftLoop,     ///< element-move loop bound on mid insertion/erase
+  ListWalkLoop,        ///< node-walk loop continuation
+  TreeCompareLeft,     ///< BST descent: go left?
+  TreeRebalance,       ///< rotation-needed check (RB recolour / AVL rotate)
+  HashBucketWalk,      ///< chained-bucket walk continuation
+  HashResizeCheck,     ///< load-factor check on hash insertion
+  SearchHit,           ///< did the current element match the probe key?
+  IterContinue,        ///< generic iteration continuation
+  NumSites
+};
+
+/// Consumer of container runtime events.
+///
+/// Implementations must be cheap: the hot container paths call these once or
+/// more per touched element. All methods have empty inline defaults so a
+/// partial observer only pays for what it overrides.
+class EventSink {
+public:
+  virtual ~EventSink();
+
+  /// A data-memory touch of \p Bytes starting at simulated address \p Addr.
+  virtual void onAccess(uint64_t Addr, uint32_t Bytes) {
+    (void)Addr;
+    (void)Bytes;
+  }
+
+  /// A data-dependent conditional branch at \p Site resolving to \p Taken.
+  virtual void onBranch(BranchSite Site, bool Taken) {
+    (void)Site;
+    (void)Taken;
+  }
+
+  /// \p Count instructions of straight-line work (no memory/branch effects).
+  virtual void onInstructions(uint64_t Count) { (void)Count; }
+
+  /// A heap allocation of \p Bytes (allocator bookkeeping cost).
+  virtual void onAlloc(uint64_t Bytes) { (void)Bytes; }
+
+  /// A heap release of \p Bytes.
+  virtual void onFree(uint64_t Bytes) { (void)Bytes; }
+};
+
+/// Returns a short stable name for \p Site (for traces and tests).
+const char *branchSiteName(BranchSite Site);
+
+} // namespace brainy
+
+#endif // BRAINY_MACHINE_EVENTSINK_H

@@ -1,0 +1,159 @@
+//===- machine/MachineModel.cpp -------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineModel.h"
+
+using namespace brainy;
+
+EventSink::~EventSink() = default;
+
+const char *brainy::branchSiteName(BranchSite Site) {
+  switch (Site) {
+  case BranchSite::VectorResizeCheck:
+    return "vector-resize-check";
+  case BranchSite::VectorShiftLoop:
+    return "vector-shift-loop";
+  case BranchSite::ListWalkLoop:
+    return "list-walk-loop";
+  case BranchSite::TreeCompareLeft:
+    return "tree-compare-left";
+  case BranchSite::TreeRebalance:
+    return "tree-rebalance";
+  case BranchSite::HashBucketWalk:
+    return "hash-bucket-walk";
+  case BranchSite::HashResizeCheck:
+    return "hash-resize-check";
+  case BranchSite::SearchHit:
+    return "search-hit";
+  case BranchSite::IterContinue:
+    return "iter-continue";
+  case BranchSite::NumSites:
+    break;
+  }
+  return "invalid-branch-site";
+}
+
+MachineConfig MachineConfig::core2() {
+  MachineConfig Cfg;
+  Cfg.Name = "core2";
+  Cfg.L1 = CacheGeometry{32 * 1024, 8, 64};
+  Cfg.L2 = CacheGeometry{4 * 1024 * 1024, 16, 64};
+  Cfg.L1HitCycles = 3;
+  Cfg.StreamHitCycles = 1.0;
+  Cfg.L2HitCycles = 15;
+  Cfg.MemoryCycles = 200;
+  // 4-wide out-of-order core: much of a miss overlaps independent work.
+  Cfg.MissExposure = 0.6;
+  Cfg.PrefetchDepth = 2;
+  Cfg.MispredictPenalty = 15;
+  Cfg.BaseCpi = 0.45;
+  Cfg.ClockGhz = 2.4;
+  return Cfg;
+}
+
+MachineConfig MachineConfig::atom() {
+  MachineConfig Cfg;
+  Cfg.Name = "atom";
+  Cfg.L1 = CacheGeometry{32 * 1024, 8, 64};
+  Cfg.L2 = CacheGeometry{512 * 1024, 8, 64};
+  Cfg.L1HitCycles = 3;
+  Cfg.StreamHitCycles = 1.5;
+  Cfg.L2HitCycles = 18;
+  // ~85ns main memory at 1.6 GHz.
+  Cfg.MemoryCycles = 136;
+  // 2-wide in-order core: misses are fully exposed.
+  Cfg.MissExposure = 1.0;
+  Cfg.PrefetchDepth = 1;
+  Cfg.MispredictPenalty = 11;
+  Cfg.BaseCpi = 1.1;
+  Cfg.ClockGhz = 1.6;
+  return Cfg;
+}
+
+MachineModel::MachineModel(MachineConfig Config)
+    : Cfg(std::move(Config)), L1(Cfg.L1), L2(Cfg.L2) {}
+
+void MachineModel::onAccess(uint64_t Addr, uint32_t Bytes) {
+  if (Bytes == 0)
+    Bytes = 1;
+  uint32_t BlockBytes = Cfg.L1.BlockBytes;
+  uint64_t First = Addr / BlockBytes;
+  uint64_t Last = (Addr + Bytes - 1) / BlockBytes;
+  for (uint64_t Block = First; Block <= Last; ++Block) {
+    uint64_t BlockAddr = Block * BlockBytes;
+    // Streaming prefetcher: a sequential block-to-block pattern pulls the
+    // next line(s) in ahead of the demand access.
+    bool Sequential = Block == LastBlock + 1;
+    bool Streaming = Sequential || Block == LastBlock;
+    if (Sequential)
+      for (unsigned D = 1; D <= Cfg.PrefetchDepth; ++D) {
+        L2.fill(BlockAddr + static_cast<uint64_t>(D) * BlockBytes);
+        L1.fill(BlockAddr + static_cast<uint64_t>(D) * BlockBytes);
+      }
+    LastBlock = Block;
+    if (L1.access(BlockAddr)) {
+      Cycles += Streaming ? Cfg.StreamHitCycles : Cfg.L1HitCycles;
+      continue;
+    }
+    if (L2.access(BlockAddr)) {
+      Cycles += Cfg.L1HitCycles + Cfg.L2HitCycles * Cfg.MissExposure;
+      continue;
+    }
+    Cycles += Cfg.L1HitCycles +
+              (Cfg.L2HitCycles + Cfg.MemoryCycles) * Cfg.MissExposure;
+  }
+}
+
+void MachineModel::onBranch(BranchSite Site, bool Taken) {
+  // The branch instruction itself.
+  ++Instructions;
+  Cycles += Cfg.BaseCpi;
+  if (Predictor.observe(Site, Taken))
+    Cycles += Cfg.MispredictPenalty;
+}
+
+void MachineModel::onInstructions(uint64_t Count) {
+  Instructions += Count;
+  Cycles += static_cast<double>(Count) * Cfg.BaseCpi;
+}
+
+void MachineModel::onAlloc(uint64_t Bytes) {
+  (void)Bytes;
+  ++Allocations;
+  onInstructions(static_cast<uint64_t>(Cfg.AllocInstructions));
+}
+
+void MachineModel::onFree(uint64_t Bytes) {
+  (void)Bytes;
+  ++Frees;
+  onInstructions(static_cast<uint64_t>(Cfg.FreeInstructions));
+}
+
+HardwareCounters MachineModel::counters() const {
+  HardwareCounters C;
+  C.Instructions = Instructions;
+  C.L1Accesses = L1.accesses();
+  C.L1Misses = L1.misses();
+  C.L2Accesses = L2.accesses();
+  C.L2Misses = L2.misses();
+  C.Branches = Predictor.branches();
+  C.BranchMispredicts = Predictor.mispredicts();
+  C.Allocations = Allocations;
+  C.Frees = Frees;
+  C.Cycles = Cycles;
+  return C;
+}
+
+void MachineModel::reset() {
+  L1.reset();
+  L2.reset();
+  Predictor.reset();
+  Cycles = 0;
+  Instructions = 0;
+  Allocations = 0;
+  Frees = 0;
+  LastBlock = ~0ULL;
+}

@@ -1,0 +1,34 @@
+//===- machine/SimAllocator.cpp -------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/SimAllocator.h"
+
+using namespace brainy;
+
+uint64_t SimAllocator::allocate(uint64_t Bytes) {
+  uint64_t Size = roundSize(Bytes);
+  ++Allocations;
+  Live += Size;
+  if (Live > Peak)
+    Peak = Live;
+
+  auto It = FreeLists.find(Size);
+  if (It != FreeLists.end() && !It->second.empty()) {
+    uint64_t Addr = It->second.back();
+    It->second.pop_back();
+    return Addr;
+  }
+  uint64_t Addr = Next;
+  Next += Size;
+  return Addr;
+}
+
+void SimAllocator::release(uint64_t Addr, uint64_t Bytes) {
+  uint64_t Size = roundSize(Bytes);
+  assert(Live >= Size && "releasing more bytes than are live");
+  Live -= Size;
+  FreeLists[Size].push_back(Addr);
+}

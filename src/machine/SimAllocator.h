@@ -1,0 +1,62 @@
+//===- machine/SimAllocator.h - Deterministic address allocator -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Containers report *simulated* addresses to the cache model rather than
+/// real heap pointers, so that (a) runs are bit-reproducible across
+/// machines, and (b) the layout reflects the configured DataElemSize rather
+/// than the host element representation. SimAllocator hands out those
+/// addresses with malloc-like behaviour: size-class free lists reused LIFO
+/// (recently freed memory is warm), bump allocation otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_MACHINE_SIMALLOCATOR_H
+#define BRAINY_MACHINE_SIMALLOCATOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace brainy {
+
+/// Deterministic malloc model for simulated node/array addresses.
+class SimAllocator {
+public:
+  /// \p Base is the first address handed out; distinct containers can use
+  /// distinct bases to model separate heap regions.
+  explicit SimAllocator(uint64_t Base = 0x10000000ULL) : Next(Base) {}
+
+  /// Returns a 16-byte-aligned simulated address for \p Bytes.
+  uint64_t allocate(uint64_t Bytes);
+
+  /// Returns \p Addr (previously allocated with \p Bytes) to the free list.
+  void release(uint64_t Addr, uint64_t Bytes);
+
+  /// Bytes currently live (allocated minus released).
+  uint64_t liveBytes() const { return Live; }
+
+  /// High-water mark of live bytes — the paper's "memory bloat" signal.
+  uint64_t peakBytes() const { return Peak; }
+
+  /// Total number of allocate() calls.
+  uint64_t allocationCount() const { return Allocations; }
+
+private:
+  static uint64_t roundSize(uint64_t Bytes) { return (Bytes + 15) & ~15ULL; }
+
+  uint64_t Next;
+  uint64_t Live = 0;
+  uint64_t Peak = 0;
+  uint64_t Allocations = 0;
+  /// Size-class (rounded byte count) -> LIFO stack of freed addresses.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> FreeLists;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_MACHINE_SIMALLOCATOR_H

@@ -1,0 +1,95 @@
+//===- ml/Dataset.cpp -----------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace brainy;
+
+unsigned Dataset::numClasses() const {
+  unsigned Max = 0;
+  for (unsigned L : Labels)
+    if (L + 1 > Max)
+      Max = L + 1;
+  return Max;
+}
+
+void Normalizer::fit(const std::vector<std::vector<double>> &Data) {
+  Means.clear();
+  Stds.clear();
+  if (Data.empty())
+    return;
+  size_t D = Data.front().size();
+  Means.assign(D, 0.0);
+  Stds.assign(D, 0.0);
+  for (const auto &Row : Data) {
+    assert(Row.size() == D && "ragged dataset");
+    for (size_t I = 0; I != D; ++I)
+      Means[I] += Row[I];
+  }
+  double N = static_cast<double>(Data.size());
+  for (size_t I = 0; I != D; ++I)
+    Means[I] /= N;
+  for (const auto &Row : Data)
+    for (size_t I = 0; I != D; ++I) {
+      double Delta = Row[I] - Means[I];
+      Stds[I] += Delta * Delta;
+    }
+  for (size_t I = 0; I != D; ++I) {
+    Stds[I] = std::sqrt(Stds[I] / N);
+    if (Stds[I] < 1e-12)
+      Stds[I] = 1.0;
+  }
+}
+
+void Normalizer::apply(std::vector<double> &Row) const {
+  assert(Row.size() == Means.size() && "dimension mismatch");
+  for (size_t I = 0, E = Row.size(); I != E; ++I)
+    Row[I] = (Row[I] - Means[I]) / Stds[I];
+}
+
+void Normalizer::applyAll(std::vector<std::vector<double>> &Data) const {
+  for (auto &Row : Data)
+    apply(Row);
+}
+
+std::string Normalizer::toString() const {
+  std::string Out;
+  char Buf[80];
+  std::snprintf(Buf, sizeof(Buf), "%zu\n", Means.size());
+  Out += Buf;
+  for (size_t I = 0, E = Means.size(); I != E; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%.17g %.17g\n", Means[I], Stds[I]);
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool Normalizer::fromString(const std::string &Text, Normalizer &Out) {
+  const char *Pos = Text.c_str();
+  char *End = nullptr;
+  unsigned long D = std::strtoul(Pos, &End, 10);
+  if (End == Pos)
+    return false;
+  Pos = End;
+  Out.Means.assign(D, 0.0);
+  Out.Stds.assign(D, 1.0);
+  for (unsigned long I = 0; I != D; ++I) {
+    Out.Means[I] = std::strtod(Pos, &End);
+    if (End == Pos)
+      return false;
+    Pos = End;
+    Out.Stds[I] = std::strtod(Pos, &End);
+    if (End == Pos)
+      return false;
+    Pos = End;
+  }
+  return true;
+}

@@ -1,0 +1,71 @@
+//===- ml/Dataset.h - Training data and normalisation ----------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense labelled dataset plus per-column z-score normalisation. Feature
+/// scales differ by orders of magnitude (fractions vs. raw costs), so
+/// normalisation statistics are fitted on the training split and reapplied
+/// at inference time (they persist with the model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ML_DATASET_H
+#define BRAINY_ML_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Labelled dense dataset: Rows[i] is an example, Labels[i] its class.
+struct Dataset {
+  std::vector<std::vector<double>> Rows;
+  std::vector<unsigned> Labels;
+
+  size_t size() const { return Rows.size(); }
+  bool empty() const { return Rows.empty(); }
+  unsigned dimension() const {
+    return Rows.empty() ? 0 : static_cast<unsigned>(Rows.front().size());
+  }
+  /// 1 + max label (0 for empty).
+  unsigned numClasses() const;
+
+  void add(std::vector<double> Row, unsigned Label) {
+    Rows.push_back(std::move(Row));
+    Labels.push_back(Label);
+  }
+};
+
+/// Per-column z-score normaliser.
+class Normalizer {
+public:
+  /// Fits means and standard deviations on \p Data (constant columns get
+  /// std 1 so they normalise to 0).
+  void fit(const std::vector<std::vector<double>> &Data);
+
+  /// Normalises one row in place. Requires fitted dimensions to match.
+  void apply(std::vector<double> &Row) const;
+
+  /// Normalises a whole dataset in place.
+  void applyAll(std::vector<std::vector<double>> &Data) const;
+
+  unsigned dimension() const { return static_cast<unsigned>(Means.size()); }
+  const std::vector<double> &means() const { return Means; }
+  const std::vector<double> &stds() const { return Stds; }
+
+  /// Text round trip for model persistence.
+  std::string toString() const;
+  static bool fromString(const std::string &Text, Normalizer &Out);
+
+private:
+  std::vector<double> Means;
+  std::vector<double> Stds;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_ML_DATASET_H

@@ -1,0 +1,170 @@
+//===- ml/GaSelect.cpp ----------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/GaSelect.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace brainy;
+
+namespace {
+
+/// Fixed train/holdout split with per-chromosome feature scaling.
+class FitnessEvaluator {
+public:
+  FitnessEvaluator(const Dataset &Data, const GaConfig &Config,
+                   unsigned NumClasses)
+      : Config(Config), NumClasses(NumClasses) {
+    std::vector<size_t> Order(Data.size());
+    for (size_t I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    Rng Splitter(Config.Seed ^ 0x1234abcdULL);
+    Splitter.shuffle(Order);
+    size_t HoldoutCount = static_cast<size_t>(
+        static_cast<double>(Data.size()) * Config.HoldoutFraction);
+    if (HoldoutCount == 0 && Data.size() > 1)
+      HoldoutCount = 1;
+    for (size_t I = 0, E = Order.size(); I != E; ++I) {
+      Dataset &Target = I < HoldoutCount ? Holdout : Train;
+      Target.add(Data.Rows[Order[I]], Data.Labels[Order[I]]);
+    }
+  }
+
+  /// Holdout accuracy of a quick net trained on weight-scaled features,
+  /// minus a small sparsity pressure on the chromosome.
+  double operator()(const std::vector<double> &Weights) const {
+    if (Train.empty() || Holdout.empty())
+      return 0;
+    Dataset ScaledTrain = scaled(Train, Weights);
+    NeuralNet Net = trainNetwork(ScaledTrain, Config.Net, NumClasses);
+    Dataset ScaledHoldout = scaled(Holdout, Weights);
+    double MeanWeight = 0;
+    for (double W : Weights)
+      MeanWeight += W;
+    MeanWeight /= static_cast<double>(Weights.size());
+    return Net.accuracy(ScaledHoldout) - Config.SparsityPenalty * MeanWeight;
+  }
+
+private:
+  static Dataset scaled(const Dataset &Data,
+                        const std::vector<double> &Weights) {
+    Dataset Out;
+    Out.Labels = Data.Labels;
+    Out.Rows = Data.Rows;
+    for (auto &Row : Out.Rows) {
+      assert(Row.size() == Weights.size() && "weight dimension mismatch");
+      for (size_t I = 0, E = Row.size(); I != E; ++I)
+        Row[I] *= Weights[I];
+    }
+    return Out;
+  }
+
+  GaConfig Config;
+  unsigned NumClasses;
+  Dataset Train;
+  Dataset Holdout;
+};
+
+} // namespace
+
+GaResult brainy::selectFeatures(const Dataset &Data, const GaConfig &Config,
+                                unsigned NumClasses) {
+  GaResult Result;
+  unsigned D = Data.dimension();
+  if (D == 0 || Data.size() < 4) {
+    Result.Weights.assign(D, 1.0);
+    for (unsigned I = 0; I != D; ++I)
+      Result.Ranked.push_back(I);
+    return Result;
+  }
+
+  FitnessEvaluator Fitness(Data, Config,
+                           NumClasses ? NumClasses : Data.numClasses());
+  Rng R(Config.Seed);
+
+  // Initial population: one all-ones chromosome (baseline: keep
+  // everything) plus random weight vectors.
+  std::vector<std::vector<double>> Population;
+  Population.push_back(std::vector<double>(D, 1.0));
+  while (Population.size() < Config.Population) {
+    std::vector<double> Chromosome(D);
+    for (double &G : Chromosome)
+      G = R.nextDouble();
+    Population.push_back(std::move(Chromosome));
+  }
+
+  std::vector<double> Scores(Population.size());
+  for (size_t I = 0, E = Population.size(); I != E; ++I)
+    Scores[I] = Fitness(Population[I]);
+
+  auto Tournament = [&]() -> size_t {
+    size_t Best = R.nextBelow(Population.size());
+    for (unsigned T = 1; T < Config.TournamentSize; ++T) {
+      size_t Other = R.nextBelow(Population.size());
+      if (Scores[Other] > Scores[Best])
+        Best = Other;
+    }
+    return Best;
+  };
+
+  for (unsigned Gen = 0; Gen != Config.Generations; ++Gen) {
+    std::vector<std::vector<double>> Next;
+    std::vector<double> NextScores;
+
+    // Elitism: carry the best chromosome over unchanged.
+    size_t EliteIdx = 0;
+    for (size_t I = 1, E = Scores.size(); I != E; ++I)
+      if (Scores[I] > Scores[EliteIdx])
+        EliteIdx = I;
+    Next.push_back(Population[EliteIdx]);
+    NextScores.push_back(Scores[EliteIdx]);
+
+    while (Next.size() < Population.size()) {
+      const std::vector<double> &A = Population[Tournament()];
+      const std::vector<double> &B = Population[Tournament()];
+      std::vector<double> Child(D);
+      for (unsigned I = 0; I != D; ++I) {
+        // Blend crossover with per-gene mixing.
+        double Mix = 0.5 + (R.nextDouble() - 0.5) * Config.CrossoverBlend;
+        Child[I] = A[I] * Mix + B[I] * (1 - Mix);
+        if (R.nextBool(Config.MutationProb)) {
+          // Box-Muller gaussian step; keeps evolution out of local optima.
+          double U1 = R.nextDouble();
+          double U2 = R.nextDouble();
+          if (U1 < 1e-12)
+            U1 = 1e-12;
+          double Gauss =
+              std::sqrt(-2 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+          Child[I] += Gauss * Config.MutationSigma;
+        }
+        Child[I] = std::clamp(Child[I], 0.0, 1.0);
+      }
+      NextScores.push_back(Fitness(Child));
+      Next.push_back(std::move(Child));
+    }
+    Population = std::move(Next);
+    Scores = std::move(NextScores);
+  }
+
+  size_t BestIdx = 0;
+  for (size_t I = 1, E = Scores.size(); I != E; ++I)
+    if (Scores[I] > Scores[BestIdx])
+      BestIdx = I;
+  Result.Weights = Population[BestIdx];
+  Result.Fitness = Scores[BestIdx];
+  Result.Ranked.resize(D);
+  for (unsigned I = 0; I != D; ++I)
+    Result.Ranked[I] = I;
+  std::stable_sort(Result.Ranked.begin(), Result.Ranked.end(),
+                   [&Result](unsigned A, unsigned B) {
+                     return Result.Weights[A] > Result.Weights[B];
+                   });
+  return Result;
+}

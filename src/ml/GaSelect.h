@@ -1,0 +1,63 @@
+//===- ml/GaSelect.h - Genetic-algorithm feature selection -----*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's feature-selection pass (Section 5.1): a genetic algorithm
+/// whose chromosomes are *real-valued weights* over the feature set
+/// ("this work constitutes the chromosome as real-valued weights ... that
+/// show which feature has more impact on the resulting model instead of
+/// binary values"). Fitness is holdout accuracy of a quickly trained
+/// network on the weighted features; mutation keeps the search out of
+/// local optima. The ranked weights reproduce Table 3's top-5 feature
+/// lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ML_GASELECT_H
+#define BRAINY_ML_GASELECT_H
+
+#include "ml/NeuralNet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace brainy {
+
+/// Genetic-algorithm parameters.
+struct GaConfig {
+  unsigned Population = 10;
+  unsigned Generations = 8;
+  unsigned TournamentSize = 3;
+  double CrossoverBlend = 0.5; ///< per-gene blend factor range
+  double MutationProb = 0.2;   ///< per-gene mutation probability
+  double MutationSigma = 0.3;  ///< gaussian mutation step
+  double HoldoutFraction = 0.3;
+  /// Small pressure toward sparse weight vectors so uninformative features
+  /// sink in the ranking instead of riding along at full weight.
+  double SparsityPenalty = 0.02;
+  /// Quick-training config used inside the fitness function.
+  NetConfig Net = {12, 30, 0.05, 0.99, 0.9, 1e-4, 0x77};
+  uint64_t Seed = 0x5eed;
+};
+
+/// Result of a feature-selection run.
+struct GaResult {
+  /// Per-feature importance weights in [0, 1].
+  std::vector<double> Weights;
+  /// Holdout accuracy achieved by the best chromosome.
+  double Fitness = 0;
+  /// Feature indices sorted by decreasing weight.
+  std::vector<unsigned> Ranked;
+};
+
+/// Runs the GA over \p Data (already normalised). \p NumClasses as in
+/// trainNetwork. Deterministic for a fixed config.
+GaResult selectFeatures(const Dataset &Data, const GaConfig &Config,
+                        unsigned NumClasses = 0);
+
+} // namespace brainy
+
+#endif // BRAINY_ML_GASELECT_H

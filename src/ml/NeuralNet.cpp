@@ -1,0 +1,225 @@
+//===- ml/NeuralNet.cpp ---------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/NeuralNet.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace brainy;
+
+NeuralNet::NeuralNet(unsigned Inputs, unsigned Hidden, unsigned Outputs,
+                     uint64_t Seed)
+    : NumIn(Inputs), NumHidden(Hidden), NumOut(Outputs) {
+  assert(Inputs && Hidden && Outputs && "degenerate network shape");
+  W1.assign(static_cast<size_t>(NumHidden) * (NumIn + 1), 0.0);
+  W2.assign(static_cast<size_t>(NumOut) * (NumHidden + 1), 0.0);
+  V1.assign(W1.size(), 0.0);
+  V2.assign(W2.size(), 0.0);
+
+  Rng R(Seed);
+  double Limit1 = std::sqrt(6.0 / (NumIn + NumHidden));
+  for (double &W : W1)
+    W = (R.nextDouble() * 2 - 1) * Limit1;
+  double Limit2 = std::sqrt(6.0 / (NumHidden + NumOut));
+  for (double &W : W2)
+    W = (R.nextDouble() * 2 - 1) * Limit2;
+}
+
+void NeuralNet::forward(const std::vector<double> &X,
+                        std::vector<double> &HiddenAct,
+                        std::vector<double> &Proba) const {
+  assert(X.size() == NumIn && "input dimension mismatch");
+  HiddenAct.assign(NumHidden, 0.0);
+  for (unsigned H = 0; H != NumHidden; ++H) {
+    const double *Row = &W1[static_cast<size_t>(H) * (NumIn + 1)];
+    double Acc = Row[NumIn]; // bias
+    for (unsigned I = 0; I != NumIn; ++I)
+      Acc += Row[I] * X[I];
+    HiddenAct[H] = std::tanh(Acc);
+  }
+
+  Proba.assign(NumOut, 0.0);
+  double MaxLogit = -1e300;
+  for (unsigned O = 0; O != NumOut; ++O) {
+    const double *Row = &W2[static_cast<size_t>(O) * (NumHidden + 1)];
+    double Acc = Row[NumHidden]; // bias
+    for (unsigned H = 0; H != NumHidden; ++H)
+      Acc += Row[H] * HiddenAct[H];
+    Proba[O] = Acc;
+    if (Acc > MaxLogit)
+      MaxLogit = Acc;
+  }
+  double Sum = 0;
+  for (double &P : Proba) {
+    P = std::exp(P - MaxLogit);
+    Sum += P;
+  }
+  for (double &P : Proba)
+    P /= Sum;
+}
+
+std::vector<double>
+NeuralNet::predictProba(const std::vector<double> &X) const {
+  std::vector<double> HiddenAct, Proba;
+  forward(X, HiddenAct, Proba);
+  return Proba;
+}
+
+unsigned NeuralNet::predict(const std::vector<double> &X) const {
+  std::vector<double> Proba = predictProba(X);
+  unsigned Best = 0;
+  for (unsigned O = 1; O != NumOut; ++O)
+    if (Proba[O] > Proba[Best])
+      Best = O;
+  return Best;
+}
+
+double NeuralNet::trainEpoch(const Dataset &Data, double LearningRate,
+                             double Momentum, double L2, Rng &Shuffler) {
+  assert(!Data.empty() && "cannot train on an empty dataset");
+  std::vector<size_t> Order(Data.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  Shuffler.shuffle(Order);
+
+  std::vector<double> HiddenAct, Proba;
+  std::vector<double> DeltaOut(NumOut), DeltaHidden(NumHidden);
+  double LossSum = 0;
+
+  for (size_t Index : Order) {
+    const std::vector<double> &X = Data.Rows[Index];
+    unsigned Label = Data.Labels[Index];
+    assert(Label < NumOut && "label outside network output range");
+    forward(X, HiddenAct, Proba);
+    LossSum += -std::log(Proba[Label] > 1e-300 ? Proba[Label] : 1e-300);
+
+    // Softmax + cross-entropy gradient at the output.
+    for (unsigned O = 0; O != NumOut; ++O)
+      DeltaOut[O] = Proba[O] - (O == Label ? 1.0 : 0.0);
+
+    // Backprop into the hidden layer.
+    for (unsigned H = 0; H != NumHidden; ++H) {
+      double Acc = 0;
+      for (unsigned O = 0; O != NumOut; ++O)
+        Acc += DeltaOut[O] * W2[static_cast<size_t>(O) * (NumHidden + 1) + H];
+      DeltaHidden[H] = Acc * (1.0 - HiddenAct[H] * HiddenAct[H]);
+    }
+
+    // Output-layer update with momentum + L2.
+    for (unsigned O = 0; O != NumOut; ++O) {
+      double *Row = &W2[static_cast<size_t>(O) * (NumHidden + 1)];
+      double *VRow = &V2[static_cast<size_t>(O) * (NumHidden + 1)];
+      for (unsigned H = 0; H != NumHidden; ++H) {
+        double Grad = DeltaOut[O] * HiddenAct[H] + L2 * Row[H];
+        VRow[H] = Momentum * VRow[H] - LearningRate * Grad;
+        Row[H] += VRow[H];
+      }
+      double GradB = DeltaOut[O];
+      VRow[NumHidden] = Momentum * VRow[NumHidden] - LearningRate * GradB;
+      Row[NumHidden] += VRow[NumHidden];
+    }
+
+    // Hidden-layer update.
+    for (unsigned H = 0; H != NumHidden; ++H) {
+      double *Row = &W1[static_cast<size_t>(H) * (NumIn + 1)];
+      double *VRow = &V1[static_cast<size_t>(H) * (NumIn + 1)];
+      for (unsigned I = 0; I != NumIn; ++I) {
+        double Grad = DeltaHidden[H] * X[I] + L2 * Row[I];
+        VRow[I] = Momentum * VRow[I] - LearningRate * Grad;
+        Row[I] += VRow[I];
+      }
+      double GradB = DeltaHidden[H];
+      VRow[NumIn] = Momentum * VRow[NumIn] - LearningRate * GradB;
+      Row[NumIn] += VRow[NumIn];
+    }
+  }
+  return LossSum / static_cast<double>(Data.size());
+}
+
+double NeuralNet::accuracy(const Dataset &Data) const {
+  if (Data.empty())
+    return 0;
+  size_t Correct = 0;
+  for (size_t I = 0, E = Data.size(); I != E; ++I)
+    if (predict(Data.Rows[I]) == Data.Labels[I])
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Data.size());
+}
+
+std::string NeuralNet::toString() const {
+  std::string Out;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%u %u %u\n", NumIn, NumHidden, NumOut);
+  Out += Buf;
+  auto Dump = [&Out, &Buf](const std::vector<double> &W) {
+    for (double V : W) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g\n", V);
+      Out += Buf;
+    }
+  };
+  Dump(W1);
+  Dump(W2);
+  return Out;
+}
+
+bool NeuralNet::fromString(const std::string &Text, NeuralNet &Out) {
+  const char *Pos = Text.c_str();
+  char *End = nullptr;
+  unsigned long In = std::strtoul(Pos, &End, 10);
+  if (End == Pos)
+    return false;
+  Pos = End;
+  unsigned long Hidden = std::strtoul(Pos, &End, 10);
+  if (End == Pos)
+    return false;
+  Pos = End;
+  unsigned long Outputs = std::strtoul(Pos, &End, 10);
+  if (End == Pos || !In || !Hidden || !Outputs)
+    return false;
+  Pos = End;
+
+  Out = NeuralNet();
+  Out.NumIn = static_cast<unsigned>(In);
+  Out.NumHidden = static_cast<unsigned>(Hidden);
+  Out.NumOut = static_cast<unsigned>(Outputs);
+  Out.W1.assign(Hidden * (In + 1), 0.0);
+  Out.W2.assign(Outputs * (Hidden + 1), 0.0);
+  Out.V1.assign(Out.W1.size(), 0.0);
+  Out.V2.assign(Out.W2.size(), 0.0);
+  auto Load = [&Pos](std::vector<double> &W) {
+    for (double &V : W) {
+      char *E = nullptr;
+      V = std::strtod(Pos, &E);
+      if (E == Pos)
+        return false;
+      Pos = E;
+    }
+    return true;
+  };
+  return Load(Out.W1) && Load(Out.W2);
+}
+
+NeuralNet brainy::trainNetwork(const Dataset &Data, const NetConfig &Config,
+                               unsigned NumClasses) {
+  unsigned Classes = NumClasses ? NumClasses : Data.numClasses();
+  if (Classes < 2)
+    Classes = 2;
+  NeuralNet Net(Data.dimension(), Config.HiddenUnits, Classes, Config.Seed);
+  if (Data.empty())
+    return Net;
+  Rng Shuffler(Config.Seed ^ 0x9e3779b97f4a7c15ULL);
+  double LearningRate = Config.LearningRate;
+  for (unsigned E = 0; E != Config.Epochs; ++E) {
+    Net.trainEpoch(Data, LearningRate, Config.Momentum, Config.L2, Shuffler);
+    LearningRate *= Config.LearningRateDecay;
+  }
+  return Net;
+}

@@ -1,0 +1,91 @@
+//===- ml/NeuralNet.h - Backpropagation MLP classifier ---------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's learner (Section 5): an artificial neural network trained
+/// with backpropagation, one per original data structure. This is a
+/// single-hidden-layer MLP — tanh hidden units, softmax output,
+/// cross-entropy loss — trained by per-example SGD with momentum and L2
+/// regularisation. Everything is seeded and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ML_NEURALNET_H
+#define BRAINY_ML_NEURALNET_H
+
+#include "ml/Dataset.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Training hyperparameters.
+struct NetConfig {
+  unsigned HiddenUnits = 16;
+  unsigned Epochs = 80;
+  double LearningRate = 0.05;
+  /// Multiplied into the learning rate each epoch.
+  double LearningRateDecay = 0.99;
+  double Momentum = 0.9;
+  double L2 = 1e-4;
+  uint64_t Seed = 0x42;
+};
+
+/// Single-hidden-layer MLP classifier.
+class NeuralNet {
+public:
+  NeuralNet() = default;
+  /// Initialises Xavier-uniform weights from \p Seed.
+  NeuralNet(unsigned Inputs, unsigned Hidden, unsigned Outputs,
+            uint64_t Seed);
+
+  unsigned inputs() const { return NumIn; }
+  unsigned hidden() const { return NumHidden; }
+  unsigned outputs() const { return NumOut; }
+
+  /// Class probabilities for \p X (softmax over the output layer).
+  std::vector<double> predictProba(const std::vector<double> &X) const;
+
+  /// Most probable class.
+  unsigned predict(const std::vector<double> &X) const;
+
+  /// One SGD pass over \p Data in a seeded shuffled order.
+  /// \returns mean cross-entropy loss over the epoch.
+  double trainEpoch(const Dataset &Data, double LearningRate,
+                    double Momentum, double L2, class Rng &Shuffler);
+
+  /// Fraction of \p Data classified correctly.
+  double accuracy(const Dataset &Data) const;
+
+  /// Text round trip for model persistence.
+  std::string toString() const;
+  static bool fromString(const std::string &Text, NeuralNet &Out);
+
+private:
+  void forward(const std::vector<double> &X, std::vector<double> &HiddenAct,
+               std::vector<double> &Proba) const;
+
+  unsigned NumIn = 0;
+  unsigned NumHidden = 0;
+  unsigned NumOut = 0;
+  // Row-major weight matrices with bias folded in as the last column.
+  std::vector<double> W1; ///< NumHidden x (NumIn + 1)
+  std::vector<double> W2; ///< NumOut x (NumHidden + 1)
+  std::vector<double> V1; ///< momentum buffers
+  std::vector<double> V2;
+};
+
+/// Trains a fresh network on \p Data (already normalised) under \p Config.
+/// \p NumClasses overrides the inferred class count when some class is
+/// absent from the training split.
+NeuralNet trainNetwork(const Dataset &Data, const NetConfig &Config,
+                       unsigned NumClasses = 0);
+
+} // namespace brainy
+
+#endif // BRAINY_ML_NEURALNET_H

@@ -1,0 +1,158 @@
+//===- profile/Features.cpp -----------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Features.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace brainy;
+
+const char *brainy::featureName(FeatureId Id) {
+  switch (Id) {
+  case FeatureId::InsertFrac:
+    return "insert";
+  case FeatureId::InsertAtFrac:
+    return "insert_at";
+  case FeatureId::PushFrontFrac:
+    return "push_front";
+  case FeatureId::EraseFrac:
+    return "erase";
+  case FeatureId::EraseAtFrac:
+    return "erase_at";
+  case FeatureId::FindFrac:
+    return "find";
+  case FeatureId::IterateFrac:
+    return "iterate";
+  case FeatureId::InsertCostAvg:
+    return "insert_cost";
+  case FeatureId::EraseCostAvg:
+    return "erase_cost";
+  case FeatureId::FindCostAvg:
+    return "find_cost";
+  case FeatureId::FindCostRel:
+    return "find_cost_rel";
+  case FeatureId::IterateLenAvg:
+    return "iterate_len";
+  case FeatureId::ResizeRatio:
+    return "resizing";
+  case FeatureId::AvgSizeLog:
+    return "avg_size";
+  case FeatureId::MaxSizeLog:
+    return "max_size";
+  case FeatureId::ElemBytesF:
+    return "elem_bytes";
+  case FeatureId::ElemPerBlock:
+    return "data-size/cache-block";
+  case FeatureId::FindHitRate:
+    return "find_hit_rate";
+  case FeatureId::EraseHitRate:
+    return "erase_hit_rate";
+  case FeatureId::MemBloat:
+    return "mem_bloat";
+  case FeatureId::L1MissRate:
+    return "L1_miss";
+  case FeatureId::L2MissRate:
+    return "L2_miss";
+  case FeatureId::BrMissRate:
+    return "br_miss";
+  case FeatureId::CyclesPerCall:
+    return "cycles_per_call";
+  case FeatureId::InstrPerCall:
+    return "instr_per_call";
+  case FeatureId::NumFeatures:
+    break;
+  }
+  return "invalid";
+}
+
+std::string FeatureVector::toTsv() const {
+  std::string Out;
+  char Buf[48];
+  for (unsigned I = 0; I != NumFeatures; ++I) {
+    if (I)
+      Out += '\t';
+    std::snprintf(Buf, sizeof(Buf), "%.9g", Values[I]);
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool FeatureVector::fromTsv(const std::string &Line, FeatureVector &Out) {
+  const char *Pos = Line.c_str();
+  for (unsigned I = 0; I != NumFeatures; ++I) {
+    char *End = nullptr;
+    double V = std::strtod(Pos, &End);
+    if (End == Pos)
+      return false;
+    Out.Values[I] = V;
+    Pos = End;
+    if (*Pos == '\t')
+      ++Pos;
+  }
+  return true;
+}
+
+FeatureVector brainy::extractFeatures(const SoftwareFeatures &Sw,
+                                      const HardwareCounters &Hw,
+                                      uint32_t BlockBytes) {
+  FeatureVector F;
+  double Total = static_cast<double>(Sw.totalCalls());
+  if (Total == 0)
+    Total = 1;
+
+  auto Frac = [Total](uint64_t Count) {
+    return static_cast<double>(Count) / Total;
+  };
+  auto AvgCost = [](uint64_t Cost, uint64_t Count) {
+    return Count ? static_cast<double>(Cost) / static_cast<double>(Count)
+                 : 0.0;
+  };
+
+  uint64_t AllInserts = Sw.InsertCount + Sw.InsertAtCount + Sw.PushFrontCount;
+  uint64_t AllErases = Sw.EraseCount + Sw.EraseAtCount;
+
+  F[FeatureId::InsertFrac] = Frac(Sw.InsertCount);
+  F[FeatureId::InsertAtFrac] = Frac(Sw.InsertAtCount);
+  F[FeatureId::PushFrontFrac] = Frac(Sw.PushFrontCount);
+  F[FeatureId::EraseFrac] = Frac(Sw.EraseCount);
+  F[FeatureId::EraseAtFrac] = Frac(Sw.EraseAtCount);
+  F[FeatureId::FindFrac] = Frac(Sw.FindCount);
+  F[FeatureId::IterateFrac] = Frac(Sw.IterateCount);
+
+  F[FeatureId::InsertCostAvg] = AvgCost(Sw.InsertCost, AllInserts);
+  F[FeatureId::EraseCostAvg] = AvgCost(Sw.EraseCost, AllErases);
+  F[FeatureId::FindCostAvg] = AvgCost(Sw.FindCost, Sw.FindCount);
+  double AvgSize = Sw.SizeStats.mean();
+  F[FeatureId::FindCostRel] =
+      F[FeatureId::FindCostAvg] / (AvgSize > 1 ? AvgSize : 1);
+  F[FeatureId::IterateLenAvg] = AvgCost(Sw.IterateSteps, Sw.IterateCount);
+  F[FeatureId::ResizeRatio] = static_cast<double>(Sw.Resizes) / Total;
+  F[FeatureId::AvgSizeLog] = std::log1p(AvgSize);
+  F[FeatureId::MaxSizeLog] = std::log1p(Sw.SizeStats.max());
+  F[FeatureId::ElemBytesF] = Sw.ElementBytes;
+  F[FeatureId::ElemPerBlock] =
+      static_cast<double>(Sw.ElementBytes) / static_cast<double>(BlockBytes);
+  F[FeatureId::FindHitRate] =
+      Sw.FindCount ? static_cast<double>(Sw.FindHits) /
+                         static_cast<double>(Sw.FindCount)
+                   : 0.0;
+  F[FeatureId::EraseHitRate] =
+      AllErases ? static_cast<double>(Sw.EraseHits) /
+                      static_cast<double>(AllErases)
+                : 0.0;
+  double MaxPayload = Sw.SizeStats.max() * Sw.ElementBytes;
+  F[FeatureId::MemBloat] =
+      MaxPayload > 0 ? static_cast<double>(Sw.PeakSimBytes) / MaxPayload : 1.0;
+
+  F[FeatureId::L1MissRate] = Hw.l1MissRate();
+  F[FeatureId::L2MissRate] = Hw.l2MissRate();
+  F[FeatureId::BrMissRate] = Hw.branchMispredictRate();
+  F[FeatureId::CyclesPerCall] = std::log1p(Hw.Cycles / Total);
+  F[FeatureId::InstrPerCall] =
+      std::log1p(static_cast<double>(Hw.Instructions) / Total);
+  return F;
+}

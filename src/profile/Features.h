@@ -1,0 +1,138 @@
+//===- profile/Features.h - Software + hardware feature schema -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The features Brainy's instrumentation collects (paper Section 5.1):
+/// software features — interface invocation counts and their per-call
+/// "costs" (elements touched by find, elements shifted by insert/erase,
+/// resize counts, element size vs cache block) — and hardware features from
+/// the machine model (L1/L2 miss rates, conditional-branch misprediction
+/// rate). One fixed named schema is shared by all six models; the genetic
+/// feature-selection pass (Table 3) weighs which entries matter per model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_PROFILE_FEATURES_H
+#define BRAINY_PROFILE_FEATURES_H
+
+#include "machine/MachineModel.h"
+#include "support/Stats.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace brainy {
+
+/// Raw per-interface software measurements for one container's run.
+struct SoftwareFeatures {
+  // Invocation counts per interface function.
+  uint64_t InsertCount = 0;    ///< tail/natural insert
+  uint64_t InsertAtCount = 0;  ///< positional (middle) insert
+  uint64_t PushFrontCount = 0; ///< front insert
+  uint64_t EraseCount = 0;     ///< erase by value/key
+  uint64_t EraseAtCount = 0;   ///< positional erase
+  uint64_t FindCount = 0;
+  uint64_t IterateCount = 0;   ///< iterate() calls (not steps)
+
+  // Accumulated per-call costs (paper: "how much work is done on their
+  // invocation").
+  uint64_t InsertCost = 0;  ///< shifts/probes/descent on all inserts
+  uint64_t EraseCost = 0;
+  uint64_t FindCost = 0;    ///< elements touched until search finished
+  uint64_t IterateSteps = 0;
+
+  // Hit statistics.
+  uint64_t FindHits = 0;
+  uint64_t EraseHits = 0;
+
+  // Structure shape over time: size sampled after every interface call.
+  OnlineStats SizeStats;
+
+  // Capacity growths (vector/deque/hash) observed during the run.
+  uint64_t Resizes = 0;
+
+  // Memory shape.
+  uint64_t PeakSimBytes = 0;
+  uint32_t ElementBytes = 8;
+
+  /// Total interface invocations.
+  uint64_t totalCalls() const {
+    return InsertCount + InsertAtCount + PushFrontCount + EraseCount +
+           EraseAtCount + FindCount + IterateCount;
+  }
+
+  /// The paper's order-obliviousness criterion: no explicit iteration and
+  /// no position-dependent operations — "every data access is performed by
+  /// find" (Section 5.1).
+  bool orderOblivious() const {
+    return IterateCount == 0 && InsertAtCount == 0 && EraseAtCount == 0;
+  }
+};
+
+/// Indices into the fixed feature schema.
+enum class FeatureId : uint8_t {
+  InsertFrac,     ///< insert calls / total
+  InsertAtFrac,
+  PushFrontFrac,
+  EraseFrac,
+  EraseAtFrac,
+  FindFrac,
+  IterateFrac,
+  InsertCostAvg,  ///< avg per-insert cost
+  EraseCostAvg,
+  FindCostAvg,    ///< avg elements touched per find
+  FindCostRel,    ///< FindCostAvg / avg size (search-pattern shape)
+  IterateLenAvg,  ///< avg steps per iterate call
+  ResizeRatio,    ///< resizes / total calls (Figure 6's Y axis)
+  AvgSizeLog,     ///< log1p(mean element count)
+  MaxSizeLog,     ///< log1p(max element count)
+  ElemBytesF,     ///< element size in bytes
+  ElemPerBlock,   ///< data-size / cache-block-size (Table 3 feature)
+  FindHitRate,
+  EraseHitRate,
+  MemBloat,       ///< peak sim bytes / payload bytes at max size
+  L1MissRate,     ///< hardware feature
+  L2MissRate,     ///< hardware feature
+  BrMissRate,     ///< hardware feature (Table 3's "br miss")
+  CyclesPerCall,  ///< log1p(cycles / total calls)
+  InstrPerCall,   ///< log1p(instructions / total calls)
+  NumFeatures
+};
+
+constexpr unsigned NumFeatures =
+    static_cast<unsigned>(FeatureId::NumFeatures);
+
+/// Stable short name for reports (Table 3-style output).
+const char *featureName(FeatureId Id);
+
+/// A fully extracted example: fixed-size vector of doubles.
+struct FeatureVector {
+  std::array<double, NumFeatures> Values{};
+
+  double &operator[](FeatureId Id) {
+    return Values[static_cast<unsigned>(Id)];
+  }
+  double operator[](FeatureId Id) const {
+    return Values[static_cast<unsigned>(Id)];
+  }
+
+  /// Serialises to tab-separated text (one line, no newline).
+  std::string toTsv() const;
+
+  /// Parses a toTsv() line. Returns false on malformed input.
+  static bool fromTsv(const std::string &Line, FeatureVector &Out);
+};
+
+/// Combines software and hardware measurements into the model's input.
+/// \p BlockBytes the cache-block size of the machine the run executed on.
+FeatureVector extractFeatures(const SoftwareFeatures &Sw,
+                              const HardwareCounters &Hw,
+                              uint32_t BlockBytes);
+
+} // namespace brainy
+
+#endif // BRAINY_PROFILE_FEATURES_H

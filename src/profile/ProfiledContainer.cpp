@@ -1,0 +1,86 @@
+//===- profile/ProfiledContainer.cpp --------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfiledContainer.h"
+
+#include <cassert>
+
+using namespace brainy;
+
+ProfiledContainer::ProfiledContainer(std::unique_ptr<Container> InnerArg)
+    : Inner(std::move(InnerArg)) {
+  assert(Inner && "ProfiledContainer requires a container");
+  Sw.ElementBytes = Inner->elementBytes();
+}
+
+void ProfiledContainer::finishSample() {
+  Sw.SizeStats.add(static_cast<double>(Inner->size()));
+  Sw.Resizes = Inner->resizeCount();
+  Sw.PeakSimBytes = Inner->simPeakBytes();
+  Sw.ElementBytes = Inner->elementBytes();
+}
+
+ds::OpResult ProfiledContainer::insert(ds::Key K) {
+  ds::OpResult R = Inner->insert(K);
+  ++Sw.InsertCount;
+  Sw.InsertCost += R.Cost;
+  finishSample();
+  return R;
+}
+
+ds::OpResult ProfiledContainer::insertAt(uint64_t Pos, ds::Key K) {
+  ds::OpResult R = Inner->insertAt(Pos, K);
+  ++Sw.InsertAtCount;
+  Sw.InsertCost += R.Cost;
+  finishSample();
+  return R;
+}
+
+ds::OpResult ProfiledContainer::pushFront(ds::Key K) {
+  ds::OpResult R = Inner->pushFront(K);
+  ++Sw.PushFrontCount;
+  Sw.InsertCost += R.Cost;
+  finishSample();
+  return R;
+}
+
+ds::OpResult ProfiledContainer::erase(ds::Key K) {
+  ds::OpResult R = Inner->erase(K);
+  ++Sw.EraseCount;
+  Sw.EraseCost += R.Cost;
+  if (R.Found)
+    ++Sw.EraseHits;
+  finishSample();
+  return R;
+}
+
+ds::OpResult ProfiledContainer::eraseAt(uint64_t Pos) {
+  ds::OpResult R = Inner->eraseAt(Pos);
+  ++Sw.EraseAtCount;
+  Sw.EraseCost += R.Cost;
+  if (R.Found)
+    ++Sw.EraseHits;
+  finishSample();
+  return R;
+}
+
+ds::OpResult ProfiledContainer::find(ds::Key K) {
+  ds::OpResult R = Inner->find(K);
+  ++Sw.FindCount;
+  Sw.FindCost += R.Cost;
+  if (R.Found)
+    ++Sw.FindHits;
+  finishSample();
+  return R;
+}
+
+ds::OpResult ProfiledContainer::iterate(uint64_t Steps) {
+  ds::OpResult R = Inner->iterate(Steps);
+  ++Sw.IterateCount;
+  Sw.IterateSteps += R.Cost;
+  finishSample();
+  return R;
+}

@@ -1,0 +1,67 @@
+//===- profile/ProfiledContainer.h - Instrumented ADT wrapper --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "profiling data structures": wrappers that record how the
+/// application uses a container (software features) while the underlying
+/// machine model records hardware features, then forward to the original
+/// implementation ("their interface functions contain code which records
+/// the behaviors ... and then calls the original interfaces", Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_PROFILE_PROFILEDCONTAINER_H
+#define BRAINY_PROFILE_PROFILEDCONTAINER_H
+
+#include "adt/Container.h"
+#include "profile/Features.h"
+
+#include <memory>
+
+namespace brainy {
+
+/// Container decorator that accumulates SoftwareFeatures across all calls.
+class ProfiledContainer final : public Container {
+public:
+  /// Wraps \p Inner (must be non-null); takes ownership.
+  explicit ProfiledContainer(std::unique_ptr<Container> Inner);
+
+  DsKind kind() const override { return Inner->kind(); }
+
+  ds::OpResult insert(ds::Key K) override;
+  ds::OpResult insertAt(uint64_t Pos, ds::Key K) override;
+  ds::OpResult pushFront(ds::Key K) override;
+  ds::OpResult erase(ds::Key K) override;
+  ds::OpResult eraseAt(uint64_t Pos) override;
+  ds::OpResult find(ds::Key K) override;
+  ds::OpResult iterate(uint64_t Steps) override;
+
+  uint64_t size() const override { return Inner->size(); }
+  void clear() override { Inner->clear(); }
+  void setSink(EventSink *Sink) override { Inner->setSink(Sink); }
+  uint64_t simLiveBytes() const override { return Inner->simLiveBytes(); }
+  uint64_t simPeakBytes() const override { return Inner->simPeakBytes(); }
+  uint64_t resizeCount() const override { return Inner->resizeCount(); }
+  uint32_t elementBytes() const override { return Inner->elementBytes(); }
+
+  /// The software features recorded so far. Resize/peak-memory fields are
+  /// refreshed from the wrapped container on each call.
+  const SoftwareFeatures &features() const { return Sw; }
+
+  /// Clears recorded features (not the container contents).
+  void resetFeatures() { Sw = SoftwareFeatures(); finishSample(); }
+
+private:
+  /// Updates the post-call derived fields (size sample, resizes, peak).
+  void finishSample();
+
+  std::unique_ptr<Container> Inner;
+  SoftwareFeatures Sw;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_PROFILE_PROFILEDCONTAINER_H

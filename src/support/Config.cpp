@@ -1,0 +1,165 @@
+//===- support/Config.cpp -------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Config.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace brainy;
+
+static std::string trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+Config Config::fromString(const std::string &Text) {
+  Config Result;
+  size_t Pos = 0;
+  unsigned LineNo = 0;
+  while (Pos <= Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos) {
+      Result.Errors.push_back("line " + std::to_string(LineNo) +
+                              ": expected 'Key = Value'");
+      continue;
+    }
+    std::string Key = trim(Line.substr(0, Eq));
+    std::string Value = trim(Line.substr(Eq + 1));
+    if (Key.empty()) {
+      Result.Errors.push_back("line " + std::to_string(LineNo) +
+                              ": empty key");
+      continue;
+    }
+    Result.Values[Key] = Value;
+  }
+  return Result;
+}
+
+Config Config::fromFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Config Result;
+    Result.Errors.push_back("cannot open '" + Path +
+                            "': " + std::strerror(errno));
+    return Result;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return fromString(Text);
+}
+
+std::string Config::getString(const std::string &Key,
+                              const std::string &Default) const {
+  auto It = Values.find(Key);
+  return It == Values.end() ? Default : It->second;
+}
+
+int64_t Config::getInt(const std::string &Key, int64_t Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(It->second.c_str(), &End, 0);
+  if (errno != 0 || End == It->second.c_str() || *trim(End).c_str() != '\0')
+    return Default;
+  return V;
+}
+
+double Config::getDouble(const std::string &Key, double Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(It->second.c_str(), &End);
+  if (errno != 0 || End == It->second.c_str() || *trim(End).c_str() != '\0')
+    return Default;
+  return V;
+}
+
+bool Config::getBool(const std::string &Key, bool Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  std::string V;
+  for (char C : It->second)
+    V.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  if (V == "true" || V == "1" || V == "yes")
+    return true;
+  if (V == "false" || V == "0" || V == "no")
+    return false;
+  return Default;
+}
+
+std::vector<int64_t> Config::getIntList(const std::string &Key,
+                                        std::vector<int64_t> Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  std::string V = trim(It->second);
+  if (V.empty())
+    return Default;
+  if (V.front() == '{') {
+    if (V.back() != '}')
+      return Default;
+    V = V.substr(1, V.size() - 2);
+  }
+  std::vector<int64_t> Result;
+  size_t Pos = 0;
+  while (Pos <= V.size()) {
+    size_t Comma = V.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = V.size();
+    std::string Item = trim(V.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+    if (Item.empty())
+      continue;
+    errno = 0;
+    char *End = nullptr;
+    long long N = std::strtoll(Item.c_str(), &End, 0);
+    if (errno != 0 || End == Item.c_str() || *End != '\0')
+      return Default;
+    Result.push_back(N);
+  }
+  if (Result.empty())
+    return Default;
+  return Result;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> Result;
+  Result.reserve(Values.size());
+  for (const auto &KV : Values)
+    Result.push_back(KV.first);
+  return Result;
+}

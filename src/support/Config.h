@@ -1,0 +1,73 @@
+//===- support/Config.h - key=value configuration files --------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper drives its application generator from a configuration file
+/// (Table 2: TotalInterfCalls, DataElemSize, MaxInsertVal, ...). This is the
+/// parser for that format: `Key = Value` lines, `#` comments, and
+/// brace-delimited integer lists like `DataElemSize = {4, 8, 64}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_CONFIG_H
+#define BRAINY_SUPPORT_CONFIG_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// An ordered collection of key/value settings parsed from a config file.
+class Config {
+public:
+  /// Parses \p Text in the Table 2 format. Unparsable lines are recorded as
+  /// errors rather than aborting, so callers can report all problems at once.
+  static Config fromString(const std::string &Text);
+
+  /// Reads and parses \p Path. Sets an error if the file cannot be read.
+  static Config fromFile(const std::string &Path);
+
+  bool hasErrors() const { return !Errors.empty(); }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  bool has(const std::string &Key) const { return Values.count(Key) != 0; }
+
+  /// Raw string value; \p Default if missing.
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+
+  /// Integer value; \p Default if missing or malformed.
+  int64_t getInt(const std::string &Key, int64_t Default = 0) const;
+
+  /// Floating-point value; \p Default if missing or malformed.
+  double getDouble(const std::string &Key, double Default = 0.0) const;
+
+  /// Boolean: accepts true/false/1/0/yes/no (case-insensitive).
+  bool getBool(const std::string &Key, bool Default = false) const;
+
+  /// Integer list from a `{a, b, c}` value (a bare integer is a 1-list).
+  /// Returns \p Default when the key is missing or malformed.
+  std::vector<int64_t> getIntList(const std::string &Key,
+                                  std::vector<int64_t> Default = {}) const;
+
+  /// Sets (or overrides) a key programmatically.
+  void set(const std::string &Key, const std::string &Value) {
+    Values[Key] = Value;
+  }
+
+  /// All keys in sorted order, for diagnostics.
+  std::vector<std::string> keys() const;
+
+private:
+  std::map<std::string, std::string> Values;
+  std::vector<std::string> Errors;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_CONFIG_H

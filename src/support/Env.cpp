@@ -1,0 +1,28 @@
+//===- support/Env.cpp ----------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+
+using namespace brainy;
+
+double brainy::experimentScale() {
+  const char *Raw = std::getenv("BRAINY_SCALE");
+  if (!Raw)
+    return 1.0;
+  char *End = nullptr;
+  double V = std::strtod(Raw, &End);
+  if (End == Raw || V <= 0)
+    return 1.0;
+  return V;
+}
+
+uint64_t brainy::scaledCount(uint64_t Base, uint64_t Min) {
+  double Scaled = static_cast<double>(Base) * experimentScale();
+  auto Result = static_cast<uint64_t>(Scaled);
+  return Result < Min ? Min : Result;
+}

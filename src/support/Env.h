@@ -1,0 +1,30 @@
+//===- support/Env.h - Environment-driven experiment scaling ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark harnesses reproduce the paper's experiments at a default
+/// scale that completes quickly on one core. Set BRAINY_SCALE to a positive
+/// float to multiply training-set sizes and validation counts (1.0 default;
+/// larger gets closer to the paper's raw counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_ENV_H
+#define BRAINY_SUPPORT_ENV_H
+
+#include <cstdint>
+
+namespace brainy {
+
+/// Returns the BRAINY_SCALE multiplier (default 1.0; clamped to be > 0).
+double experimentScale();
+
+/// Scales \p Base by experimentScale(), never below \p Min.
+uint64_t scaledCount(uint64_t Base, uint64_t Min = 1);
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_ENV_H

@@ -1,0 +1,28 @@
+//===- support/Rng.cpp ----------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+using namespace brainy;
+
+size_t Rng::nextWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "cannot sample from an empty weight vector");
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "weights must be non-negative");
+    Total += W;
+  }
+  if (Total <= 0)
+    return Weights.size() - 1;
+  double Point = nextDouble() * Total;
+  double Acc = 0;
+  for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+    Acc += Weights[I];
+    if (Point < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}

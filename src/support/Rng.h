@@ -1,0 +1,123 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the Brainy reproduction of "Brainy: Effective Selection of Data
+// Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded pseudo-random number generation used everywhere randomness is
+/// needed. Brainy's application generator regenerates applications from a
+/// recorded seed (paper Section 4.3), so all randomness must be fully
+/// deterministic given the seed and must have a vanishingly small chance of
+/// colliding sequences across distinct seeds. We use SplitMix64 for seeding
+/// and xoshiro256** for the stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_RNG_H
+#define BRAINY_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace brainy {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+/// Passes through every 64-bit value exactly once over its period.
+inline uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// xoshiro256** generator: fast, high-quality, 2^256-1 period.
+///
+/// Not cryptographic; this is a simulation/workload-generation RNG. The API
+/// deliberately mirrors the small subset of <random> that Brainy needs,
+/// without the cross-platform distribution-nondeterminism of <random>.
+class Rng {
+public:
+  /// Seeds the stream; two different seeds give unrelated streams.
+  explicit Rng(uint64_t Seed = 0x853c49e6748fea9bULL) { reseed(Seed); }
+
+  /// Re-initialises the stream from \p Seed. Deterministic.
+  void reseed(uint64_t Seed) {
+    uint64_t Sm = Seed;
+    for (uint64_t &Word : S)
+      Word = splitMix64(Sm);
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    __uint128_t M = static_cast<__uint128_t>(next()) * Bound;
+    auto Lo = static_cast<uint64_t>(M);
+    if (Lo < Bound) {
+      uint64_t Threshold = -Bound % Bound;
+      while (Lo < Threshold) {
+        M = static_cast<__uint128_t>(next()) * Bound;
+        Lo = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    // Span == 0 means the full 64-bit range.
+    if (Span == 0)
+      return static_cast<int64_t>(next());
+    return Lo + static_cast<int64_t>(nextBelow(Span));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  /// Returns Weights.size() - 1 as a safe fallback if all weights are zero.
+  size_t nextWeighted(const std::vector<double> &Weights);
+
+  /// Shuffles \p Values in place (Fisher-Yates).
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_RNG_H

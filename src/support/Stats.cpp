@@ -1,0 +1,130 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace brainy;
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  uint64_t Combined = N + Other.N;
+  double Delta = Other.Mean - Mean;
+  double CombinedMean =
+      Mean + Delta * static_cast<double>(Other.N) / static_cast<double>(Combined);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) /
+                       static_cast<double>(Combined);
+  Mean = CombinedMean;
+  MinV = std::min(MinV, Other.MinV);
+  MaxV = std::max(MaxV, Other.MaxV);
+  N = Combined;
+}
+
+double brainy::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double brainy::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0;
+  double M = mean(Values);
+  double Acc = 0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / static_cast<double>(Values.size()));
+}
+
+double brainy::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double brainy::percentile(std::vector<double> Values, double Pct) {
+  assert(!Values.empty() && "percentile of empty sample");
+  assert(Pct >= 0 && Pct <= 100 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = Pct / 100.0 * static_cast<double>(Values.size() - 1);
+  auto Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1 - Frac) + Values[Hi] * Frac;
+}
+
+std::vector<double>
+brainy::leastSquares(const std::vector<std::vector<double>> &Rows,
+                     const std::vector<double> &Targets, double Ridge) {
+  if (Rows.empty())
+    return {};
+  assert(Rows.size() == Targets.size() && "row/target count mismatch");
+  size_t D = Rows.front().size();
+
+  // Build the normal equations A = X^T X + ridge*I, B = X^T y.
+  std::vector<std::vector<double>> A(D, std::vector<double>(D, 0.0));
+  std::vector<double> B(D, 0.0);
+  for (size_t R = 0, E = Rows.size(); R != E; ++R) {
+    const std::vector<double> &X = Rows[R];
+    assert(X.size() == D && "inconsistent regressor dimension");
+    for (size_t I = 0; I != D; ++I) {
+      B[I] += X[I] * Targets[R];
+      for (size_t J = 0; J != D; ++J)
+        A[I][J] += X[I] * X[J];
+    }
+  }
+  for (size_t I = 0; I != D; ++I)
+    A[I][I] += Ridge;
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t Col = 0; Col != D; ++Col) {
+    size_t Pivot = Col;
+    for (size_t R = Col + 1; R != D; ++R)
+      if (std::fabs(A[R][Col]) > std::fabs(A[Pivot][Col]))
+        Pivot = R;
+    std::swap(A[Col], A[Pivot]);
+    std::swap(B[Col], B[Pivot]);
+    double Diag = A[Col][Col];
+    if (std::fabs(Diag) < 1e-30)
+      continue; // Degenerate column; leave coefficient at whatever falls out.
+    for (size_t R = Col + 1; R != D; ++R) {
+      double Factor = A[R][Col] / Diag;
+      if (Factor == 0)
+        continue;
+      for (size_t C = Col; C != D; ++C)
+        A[R][C] -= Factor * A[Col][C];
+      B[R] -= Factor * B[Col];
+    }
+  }
+  std::vector<double> Coeffs(D, 0.0);
+  for (size_t I = D; I-- > 0;) {
+    double Acc = B[I];
+    for (size_t J = I + 1; J != D; ++J)
+      Acc -= A[I][J] * Coeffs[J];
+    Coeffs[I] = std::fabs(A[I][I]) < 1e-30 ? 0.0 : Acc / A[I][I];
+  }
+  return Coeffs;
+}

@@ -1,0 +1,85 @@
+//===- support/Stats.h - Small statistics helpers --------------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators and batch statistics used by feature extraction, model
+/// normalisation, and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_STATS_H
+#define BRAINY_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace brainy {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+public:
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    if (N == 1 || X < MinV)
+      MinV = X;
+    if (N == 1 || X > MaxV)
+      MaxV = X;
+  }
+
+  uint64_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const {
+    return N > 1 ? M2 / static_cast<double>(N) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return N ? MinV : 0.0; }
+  double max() const { return N ? MaxV : 0.0; }
+  double sum() const { return Mean * static_cast<double>(N); }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const OnlineStats &Other);
+
+private:
+  uint64_t N = 0;
+  double Mean = 0;
+  double M2 = 0;
+  double MinV = 0;
+  double MaxV = 0;
+};
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Population standard deviation of \p Values; 0 for fewer than two values.
+double stddev(const std::vector<double> &Values);
+
+/// Geometric mean of strictly positive \p Values; 0 for an empty vector.
+double geomean(const std::vector<double> &Values);
+
+/// Percentile in [0,100] using linear interpolation between order statistics.
+/// Sorts a copy of the input. Requires a non-empty vector.
+double percentile(std::vector<double> Values, double Pct);
+
+/// Ordinary least squares for y ~= Coeffs . x, solving the normal equations
+/// with Gaussian elimination plus a small ridge term for stability.
+///
+/// \param Rows each row is one observation's regressor vector; all rows must
+///        have the same dimension.
+/// \param Targets one target value per row.
+/// \returns the coefficient vector (empty if Rows is empty).
+std::vector<double> leastSquares(const std::vector<std::vector<double>> &Rows,
+                                 const std::vector<double> &Targets,
+                                 double Ridge = 1e-9);
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_STATS_H

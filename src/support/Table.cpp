@@ -1,0 +1,82 @@
+//===- support/Table.cpp --------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cstdarg>
+
+using namespace brainy;
+
+std::string TextTable::render() const {
+  // Compute column widths across header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0, E = Cells.size(); I != E; ++I)
+      if (Cells[I].size() > Widths[I])
+        Widths[I] = Cells[I].size();
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto Emit = [&Widths](std::string &Out,
+                        const std::vector<std::string> &Cells) {
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      Out += Cell;
+      if (I + 1 != E) {
+        Out.append(Widths[I] - Cell.size(), ' ');
+        Out += " | ";
+      }
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Emit(Out, Header);
+    size_t RuleLen = 0;
+    for (size_t I = 0, E = Widths.size(); I != E; ++I)
+      RuleLen += Widths[I] + (I + 1 != E ? 3 : 0);
+    Out.append(RuleLen, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Out, Row);
+  return Out;
+}
+
+void TextTable::print(std::FILE *Out) const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), Out ? Out : stdout);
+}
+
+std::string brainy::formatStr(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, ArgsCopy);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string brainy::formatDouble(double Value, int Digits) {
+  return formatStr("%.*f", Digits, Value);
+}
+
+std::string brainy::formatPercent(double Fraction) {
+  return formatStr("%.2f%%", Fraction * 100.0);
+}

@@ -1,0 +1,62 @@
+//===- support/Table.h - Fixed-width text table printing -------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark harnesses regenerate the paper's tables and figure series
+/// as text. TextTable collects rows of cells and prints them with aligned
+/// columns so each bench binary's output reads like the paper's artefact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_TABLE_H
+#define BRAINY_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Collects string cells and renders an aligned, pipe-separated table.
+class TextTable {
+public:
+  /// Sets the header row (also defines the column count used for alignment).
+  void setHeader(std::vector<std::string> Cells) {
+    Header = std::move(Cells);
+  }
+
+  /// Appends a data row. Rows may be ragged; missing cells print empty.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Renders the table to a string, with a rule under the header.
+  std::string render() const;
+
+  /// Renders and writes to \p Out (defaults inside to stdout when null).
+  void print(std::FILE *Out = nullptr) const;
+
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// printf-style convenience returning std::string.
+std::string formatStr(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with \p Digits fraction digits.
+std::string formatDouble(double Value, int Digits = 2);
+
+/// Formats \p Value as a percentage with two fraction digits, e.g. "27.00%".
+std::string formatPercent(double Fraction);
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_TABLE_H

@@ -1,0 +1,162 @@
+//===- survey/Survey.cpp --------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "survey/Survey.h"
+
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <cctype>
+
+using namespace brainy;
+
+std::vector<std::string> brainy::surveyedContainerNames() {
+  return {"vector",   "list",     "map",      "set",     "deque",
+          "multimap", "multiset", "hash_map", "hash_set"};
+}
+
+namespace {
+
+/// Strips // and /* */ comments and string/char literals so declarations in
+/// comments don't count as references.
+std::string stripNonCode(const std::string &Source) {
+  std::string Out;
+  Out.reserve(Source.size());
+  enum { Code, Line, Block, Str, Chr } State = Code;
+  for (size_t I = 0, E = Source.size(); I != E; ++I) {
+    char C = Source[I];
+    char Next = I + 1 < E ? Source[I + 1] : '\0';
+    switch (State) {
+    case Code:
+      if (C == '/' && Next == '/') {
+        State = Line;
+        ++I;
+      } else if (C == '/' && Next == '*') {
+        State = Block;
+        ++I;
+      } else if (C == '"') {
+        State = Str;
+        Out += ' ';
+      } else if (C == '\'') {
+        State = Chr;
+        Out += ' ';
+      } else {
+        Out += C;
+      }
+      break;
+    case Line:
+      if (C == '\n') {
+        State = Code;
+        Out += '\n';
+      }
+      break;
+    case Block:
+      if (C == '*' && Next == '/') {
+        State = Code;
+        ++I;
+      }
+      break;
+    case Str:
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        State = Code;
+      break;
+    case Chr:
+      if (C == '\\')
+        ++I;
+      else if (C == '\'')
+        State = Code;
+      break;
+    }
+  }
+  return Out;
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+} // namespace
+
+std::map<std::string, uint64_t>
+brainy::countContainerRefs(const std::string &Source) {
+  std::map<std::string, uint64_t> Counts;
+  std::string Code = stripNonCode(Source);
+  for (const std::string &Name : surveyedContainerNames()) {
+    uint64_t Count = 0;
+    size_t Pos = 0;
+    while ((Pos = Code.find(Name, Pos)) != std::string::npos) {
+      size_t End = Pos + Name.size();
+      bool LeftOk = Pos == 0 || !isIdentChar(Code[Pos - 1]);
+      bool RightOk = End >= Code.size() || !isIdentChar(Code[End]);
+      if (LeftOk && RightOk) {
+        // Require template use or an explicit namespace qualifier, so the
+        // word "set" in an identifierless context doesn't count.
+        bool Templated = End < Code.size() && Code[End] == '<';
+        bool Qualified =
+            Pos >= 2 && Code[Pos - 1] == ':' && Code[Pos - 2] == ':';
+        if (Templated || Qualified)
+          ++Count;
+      }
+      Pos = End;
+    }
+    Counts[Name] = Count;
+  }
+  // hash_map/hash_set contain "map"/"set" only as suffixes after '_', which
+  // the left-boundary check already rejects, so no double counting occurs.
+  return Counts;
+}
+
+void brainy::mergeCounts(std::map<std::string, uint64_t> &Into,
+                         const std::map<std::string, uint64_t> &From) {
+  for (const auto &KV : From)
+    Into[KV.first] += KV.second;
+}
+
+std::string brainy::generateCorpusFile(uint64_t Seed) {
+  // Relative usage mix shaped after Figure 2's ordering.
+  struct Usage {
+    const char *Name;
+    double Weight;
+    const char *Elem;
+  };
+  static const Usage Mix[] = {
+      {"vector", 1.00, "int"},          {"list", 0.34, "Node"},
+      {"map", 0.30, "std::string"},     {"set", 0.24, "int"},
+      {"deque", 0.08, "Task"},          {"hash_map", 0.05, "uint64_t"},
+      {"multimap", 0.04, "Key"},        {"hash_set", 0.03, "int"},
+      {"multiset", 0.02, "Event"},
+  };
+
+  Rng R(Seed ^ 0xc0de5ea7c0de5ea7ULL);
+  std::string Out = "// synthetic corpus file " + std::to_string(Seed) +
+                    "\n#include <vector>\n#include <map>\n\n";
+  unsigned Decls = 3 + static_cast<unsigned>(R.nextBelow(12));
+  std::vector<double> Weights;
+  for (const Usage &U : Mix)
+    Weights.push_back(U.Weight);
+  for (unsigned D = 0; D != Decls; ++D) {
+    const Usage &U = Mix[R.nextWeighted(Weights)];
+    bool Qualify = R.nextBool(0.7);
+    Out += formatStr("%s%s<%s> member_%u_%u;\n", Qualify ? "std::" : "",
+                     U.Name, U.Elem, D,
+                     static_cast<unsigned>(R.nextBelow(1000)));
+    if (R.nextBool(0.2))
+      Out += formatStr("// a commented-out std::%s<%s> should not count\n",
+                       U.Name, U.Elem);
+  }
+  Out += "\nint main() { return 0; }\n";
+  return Out;
+}
+
+std::map<std::string, uint64_t> brainy::surveyCorpus(unsigned Files,
+                                                     uint64_t FirstSeed) {
+  std::map<std::string, uint64_t> Totals;
+  for (unsigned I = 0; I != Files; ++I)
+    mergeCounts(Totals, countContainerRefs(generateCorpusFile(FirstSeed + I)));
+  return Totals;
+}

@@ -1,0 +1,51 @@
+//===- survey/Survey.h - Container-usage survey (Figure 2) -----*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper chose its target data structures by counting static references
+/// to each STL container over the (now defunct) Google Code Search index
+/// (Figure 2). This module reproduces the *methodology*: a lightweight
+/// scanner that counts container-type references in C++ source text, plus a
+/// deterministic synthetic corpus generator whose usage mix follows the
+/// published ordering (vector >> list > map > set > the rest), so the bench
+/// can regenerate the figure from an actually scanned corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SURVEY_SURVEY_H
+#define BRAINY_SURVEY_SURVEY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Container spellings the scanner recognises.
+std::vector<std::string> surveyedContainerNames();
+
+/// Counts static references to each surveyed container in \p Source.
+/// A reference is the container name followed by '<' (template use) or
+/// preceded by "std::"/"__gnu_cxx::" — comments and string literals are
+/// skipped.
+std::map<std::string, uint64_t> countContainerRefs(const std::string &Source);
+
+/// Merges per-file counts.
+void mergeCounts(std::map<std::string, uint64_t> &Into,
+                 const std::map<std::string, uint64_t> &From);
+
+/// Generates one synthetic C++ source file. Different seeds give different
+/// files; the corpus-wide container mix follows Figure 2's ordering.
+std::string generateCorpusFile(uint64_t Seed);
+
+/// Generates and scans \p Files corpus files, returning total counts.
+std::map<std::string, uint64_t> surveyCorpus(unsigned Files,
+                                             uint64_t FirstSeed = 1);
+
+} // namespace brainy
+
+#endif // BRAINY_SURVEY_SURVEY_H

@@ -1,0 +1,142 @@
+//===- workloads/CaseStudy.h - Case-study workload framework ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates Brainy on four real applications whose container
+/// usage it characterises in Sections 6.2-6.5: Xalancbmk's string cache, a
+/// Chord DHT simulator's pending-message list, RelipmoC's basic-block sets,
+/// and a ray tracer's sphere groups. This framework hosts faithful
+/// miniature versions of those container interactions (see DESIGN.md's
+/// substitution table): each case study drives the container under
+/// selection through the uniform ADT with multiple inputs sized to move the
+/// optimum, exactly as the paper's inputs do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_WORKLOADS_CASESTUDY_H
+#define BRAINY_WORKLOADS_CASESTUDY_H
+
+#include "appgen/AppRunner.h"
+#include "core/Oracle.h"
+#include "profile/ProfiledContainer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// Forwards container calls while notifying an OpObserver — how the
+/// Perflint baseline watches a case study's original structure.
+class ObservedOps {
+public:
+  ObservedOps(Container &C, OpObserver *Observer)
+      : C(C), Observer(Observer) {}
+
+  ds::OpResult insert(ds::Key K) {
+    notify(AppOp::Insert, 0);
+    return C.insert(K);
+  }
+  ds::OpResult insertAt(uint64_t Pos, ds::Key K) {
+    notify(AppOp::InsertAt, 0);
+    return C.insertAt(Pos, K);
+  }
+  ds::OpResult pushFront(ds::Key K) {
+    notify(AppOp::PushFront, 0);
+    return C.pushFront(K);
+  }
+  ds::OpResult erase(ds::Key K) {
+    notify(AppOp::Erase, 0);
+    return C.erase(K);
+  }
+  ds::OpResult eraseAt(uint64_t Pos) {
+    notify(AppOp::EraseAt, 0);
+    return C.eraseAt(Pos);
+  }
+  ds::OpResult find(ds::Key K) {
+    notify(AppOp::Find, 0);
+    return C.find(K);
+  }
+  ds::OpResult iterate(uint64_t Steps) {
+    notify(AppOp::Iterate, Steps);
+    return C.iterate(Steps);
+  }
+  uint64_t size() const { return C.size(); }
+
+private:
+  void notify(AppOp Op, uint64_t Arg) {
+    if (Observer)
+      Observer->onOp(Op, C.size(), Arg);
+  }
+
+  Container &C;
+  OpObserver *Observer;
+};
+
+/// One run's measurements.
+struct WorkloadRun {
+  RunOutcome Run;
+  SoftwareFeatures Sw;   ///< populated by runProfiled
+  FeatureVector Features;
+};
+
+/// Base class for the four case studies.
+class CaseStudy {
+public:
+  virtual ~CaseStudy();
+
+  virtual const char *name() const = 0;
+  /// The structure the original application uses.
+  virtual DsKind original() const = 0;
+  /// The replacement candidates raced in the paper's figures (original
+  /// first).
+  virtual std::vector<DsKind> candidates() const = 0;
+  virtual std::vector<std::string> inputNames() const = 0;
+  /// Simulated bytes per stored element.
+  virtual uint32_t elementBytes() const = 0;
+  /// Whether this usage is a key->value map (Perflint's "set" suggestion
+  /// is then read as the map equivalent, paper footnote 5).
+  virtual bool mapUsage() const { return false; }
+  /// Developer-supplied order-obliviousness (the usage-model human in the
+  /// loop of Figure 3); when true, order-changing replacements are legal
+  /// even if the app iterates for order-irrelevant scans.
+  virtual bool orderOblivious() const = 0;
+
+  /// Drives the workload's container interaction for \p Input.
+  virtual void drive(ObservedOps &Ops, unsigned Input) const = 0;
+
+  /// Executes on \p Kind under \p Machine; cycles are the "execution
+  /// time" of the figures.
+  WorkloadRun run(DsKind Kind, unsigned Input, const MachineConfig &Machine,
+                  OpObserver *Observer = nullptr) const;
+
+  /// Executes on the *original* structure with the profiling wrapper —
+  /// the advisor's input.
+  WorkloadRun runProfiled(unsigned Input, const MachineConfig &Machine,
+                          OpObserver *Observer = nullptr) const;
+
+  /// Races candidates() and returns per-kind cycles + the winner.
+  RaceResult race(unsigned Input, const MachineConfig &Machine) const;
+};
+
+/// Maps a set-family recommendation onto its map-family twin when the
+/// workload's elements are key->value records (paper footnote 5 applies
+/// the same reading to Perflint's suggestions). Identity when \p MapUsage
+/// is false.
+DsKind asMapVariant(DsKind Kind, bool MapUsage);
+
+/// The four paper case studies (Sections 6.2-6.5).
+std::unique_ptr<CaseStudy> makeXalanCache();
+std::unique_ptr<CaseStudy> makeChordSim();
+std::unique_ptr<CaseStudy> makeRelipmoC();
+std::unique_ptr<CaseStudy> makeRaytrace();
+
+/// All four, in paper order.
+std::vector<std::unique_ptr<CaseStudy>> allCaseStudies();
+
+} // namespace brainy
+
+#endif // BRAINY_WORKLOADS_CASESTUDY_H

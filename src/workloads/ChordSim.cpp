@@ -1,0 +1,132 @@
+//===- workloads/ChordSim.cpp - Chord DHT simulator (§6.3) ----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// Miniature of the paper's Chord lookup-protocol simulator: queries enter
+/// a pending list of routing messages; each response locates its message by
+/// ID (the original does std::find_if over a vector) and drops it. Message
+/// IDs grow monotonically, and responses mostly arrive for the oldest
+/// outstanding queries — the vector's hits cluster near the front. The
+/// inputs move the pending population and response pattern, which flips
+/// the optimum between map-like structures and the original vector
+/// (Figures 12/13).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudy.h"
+
+#include "support/Rng.h"
+
+#include <deque>
+
+using namespace brainy;
+
+namespace {
+
+struct ChordParams {
+  uint64_t InitialPending;
+  uint64_t Messages;      ///< send/respond churn pairs
+  uint64_t ExtraLookups;  ///< response checks that only probe
+  double FrontRate;       ///< responses matching the oldest pending entries
+  double DropRate;        ///< responses that drop their message
+  double MissRate;        ///< probes for already-dropped queries
+};
+
+class ChordSim final : public CaseStudy {
+public:
+  const char *name() const override { return "chord"; }
+  DsKind original() const override { return DsKind::Vector; }
+  std::vector<DsKind> candidates() const override {
+    // Figure 12 races vector, map, and hash_map. The messages are keyed by
+    // their ID field, so the tree/hash kinds are the map variants (element
+    // bytes cover the mapped message payload).
+    return {DsKind::Vector, DsKind::Map, DsKind::HashMap};
+  }
+  std::vector<std::string> inputNames() const override {
+    return {"small", "medium", "large"};
+  }
+  uint32_t elementBytes() const override { return 56; }
+  bool mapUsage() const override { return true; }
+  bool orderOblivious() const override { return true; }
+
+  void drive(ObservedOps &Ops, unsigned Input) const override;
+
+private:
+  static ChordParams params(unsigned Input) {
+    switch (Input) {
+    case 0: // small: few nodes, tiny pending list, heavy churn
+      return {12, 18000, 2000, 0.85, 1.0, 0.02};
+    case 1: // medium: large pending population, deep random lookups
+      return {4000, 9000, 9000, 0.30, 0.9, 0.02};
+    default: // large: huge in-flight window, responses near-FIFO, long-
+             // lived messages (lookup-failure recording, no drops)
+      return {8000, 2500, 9000, 0.985, 0.0, 0.0};
+    }
+  }
+};
+
+void ChordSim::drive(ObservedOps &Ops, unsigned Input) const {
+  ChordParams P = params(Input);
+  Rng R(0xc402d + Input * 0x517cc1b727220a95ULL);
+
+  std::deque<ds::Key> PendingOrder; // oldest first (app state)
+  int64_t NextId = 1;
+
+  auto Send = [&]() {
+    ds::Key Id = NextId++;
+    Ops.insert(Id);
+    PendingOrder.push_back(Id);
+  };
+  for (uint64_t I = 0; I != P.InitialPending; ++I)
+    Send();
+
+  auto PickResponse = [&]() -> size_t {
+    if (R.nextBool(P.FrontRate))
+      return R.nextBelow(PendingOrder.size() < 4 ? PendingOrder.size() : 4);
+    return R.nextBelow(PendingOrder.size());
+  };
+
+  uint64_t Budget[2] = {P.Messages, P.ExtraLookups};
+  std::vector<double> Weights(2);
+  for (;;) {
+    Weights[0] = static_cast<double>(Budget[0]);
+    Weights[1] = static_cast<double>(Budget[1]);
+    if (Budget[0] == 0 && Budget[1] == 0)
+      break;
+    if (R.nextWeighted(Weights) == 0) {
+      // One protocol step: a response arrives for some pending message and
+      // (usually) drops it; a fresh query replaces it.
+      --Budget[0];
+      if (!PendingOrder.empty()) {
+        size_t Pos = PickResponse();
+        ds::Key Id = PendingOrder[Pos];
+        Ops.find(Id);
+        if (R.nextBool(P.DropRate)) {
+          Ops.erase(Id);
+          PendingOrder.erase(PendingOrder.begin() +
+                             static_cast<ptrdiff_t>(Pos));
+          Send();
+        }
+      } else {
+        Send();
+      }
+    } else {
+      // A response check for an outstanding query; rarely, the query has
+      // already been dropped (lookup-failure accounting).
+      --Budget[1];
+      if (PendingOrder.empty() || R.nextBool(P.MissRate)) {
+        Ops.find(-static_cast<int64_t>(R.nextBelow(1 << 20)) - 1);
+      } else {
+        Ops.find(PendingOrder[PickResponse()]);
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<CaseStudy> brainy::makeChordSim() {
+  return std::make_unique<ChordSim>();
+}

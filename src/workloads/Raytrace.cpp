@@ -1,0 +1,78 @@
+//===- workloads/Raytrace.cpp - Sphere-group ray tracer (§6.5) ------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// Miniature of the paper's ray tracer: spheres are partitioned into
+/// groups stored in an std::list; tracing a ray intersects the group and,
+/// on a hit, iterates over every sphere in it. The list is "heavily
+/// accessed and iterated during the ray tracing", which is why vector is
+/// the right structure. Scene construction inserts spheres at arbitrary
+/// positions (spatial sorting), scattering the list's node allocation
+/// order relative to traversal order.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudy.h"
+
+#include "support/Rng.h"
+
+using namespace brainy;
+
+namespace {
+
+class Raytrace final : public CaseStudy {
+public:
+  const char *name() const override { return "raytrace"; }
+  DsKind original() const override { return DsKind::List; }
+  std::vector<DsKind> candidates() const override {
+    // Sphere order within a group is the traversal order the renderer
+    // depends on, so only order-preserving sequences are legal.
+    return {DsKind::List, DsKind::Vector, DsKind::Deque};
+  }
+  std::vector<std::string> inputNames() const override {
+    return {"default"};
+  }
+  uint32_t elementBytes() const override { return 64; }
+  bool orderOblivious() const override { return false; }
+
+  void drive(ObservedOps &Ops, unsigned Input) const override;
+};
+
+void Raytrace::drive(ObservedOps &Ops, unsigned Input) const {
+  Rng R(0x4a57ace + Input);
+  const uint64_t Spheres = 220;
+  const uint64_t Rays = 9000;
+  const uint64_t SceneEdits = 120;
+
+  // Scene build: spheres are placed into the group sorted spatially, so
+  // insertions land at arbitrary positions.
+  for (uint64_t I = 0; I != Spheres; ++I) {
+    uint64_t Pos = R.nextBelow(Ops.size() + 1);
+    Ops.insertAt(Pos, static_cast<ds::Key>(I));
+  }
+
+  // Render: each ray that hits the group's bounding volume intersects all
+  // of its spheres; a few rays bail out early (miss the bound).
+  for (uint64_t Ray = 0; Ray != Rays; ++Ray) {
+    if (R.nextBool(0.12)) {
+      Ops.iterate(1 + R.nextBelow(8)); // early bound reject
+      continue;
+    }
+    Ops.iterate(Spheres);
+    // Occasional incremental scene edit between frames.
+    if (Ray % (Rays / (SceneEdits ? SceneEdits : 1) + 1) == 0) {
+      uint64_t Pos = R.nextBelow(Ops.size() + 1);
+      Ops.insertAt(Pos, static_cast<ds::Key>(Spheres + Ray));
+      if (Ops.size() > Spheres)
+        Ops.eraseAt(R.nextBelow(Ops.size()));
+    }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<CaseStudy> brainy::makeRaytrace() {
+  return std::make_unique<Raytrace>();
+}

@@ -1,0 +1,109 @@
+//===- workloads/RelipmoC.cpp - i386->C decompiler (§6.4) -----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// Miniature of RelipmoC's analysis core: the decompiler builds a set of
+/// basic blocks (an std::set, i.e. a red-black tree) and then runs data-
+/// and control-flow analyses that "frequently check if a basic block
+/// belongs to the program constructs", interleaving many membership tests
+/// with short and long in-order iterations over block lists and a little
+/// churn as constructs are recovered. The find-heavy mix is why Brainy
+/// suggests the AVL set (shallower searches at the price of more rotation
+/// work).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudy.h"
+
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace brainy;
+
+namespace {
+
+class RelipmoC final : public CaseStudy {
+public:
+  const char *name() const override { return "relipmoc"; }
+  DsKind original() const override { return DsKind::Set; }
+  std::vector<DsKind> candidates() const override {
+    // Iteration order over basic blocks is meaningful to the recovered
+    // program text, so only the order-preserving alternative is legal —
+    // which is also why Perflint cannot be compared here (Section 6.4).
+    return {DsKind::Set, DsKind::AvlSet};
+  }
+  std::vector<std::string> inputNames() const override {
+    return {"default"};
+  }
+  uint32_t elementBytes() const override { return 32; }
+  bool orderOblivious() const override { return false; }
+
+  void drive(ObservedOps &Ops, unsigned Input) const override;
+};
+
+void RelipmoC::drive(ObservedOps &Ops, unsigned Input) const {
+  Rng R(0x2e11b0c + Input);
+  const uint64_t NumBlocks = 8400;
+  const uint64_t MembershipChecks = 60000;
+  const uint64_t ShortIterations = 2500; ///< short construct lists
+  const uint64_t LongIterations = 120;   ///< whole-function walks
+  const uint64_t ChurnPairs = 800;       ///< simplification insert/erase
+
+  // Build the basic-block set in discovery order: linear disassembly finds
+  // blocks at ascending code addresses, so keys arrive nearly sorted —
+  // exactly where the red-black tree's looser balance costs extra depth
+  // while the AVL tree stays tight.
+  std::vector<ds::Key> Blocks;
+  Blocks.reserve(NumBlocks);
+  ds::Key Addr = 0x400000;
+  for (uint64_t I = 0; I != NumBlocks; ++I) {
+    Addr += 16 + static_cast<ds::Key>(R.nextBelow(48));
+    Ops.insert(Addr);
+    Blocks.push_back(Addr);
+  }
+
+  uint64_t Budget[4] = {MembershipChecks, ShortIterations, LongIterations,
+                        ChurnPairs};
+  std::vector<double> Weights(4);
+  for (;;) {
+    bool Any = false;
+    for (unsigned I = 0; I != 4; ++I) {
+      Weights[I] = static_cast<double>(Budget[I]);
+      Any |= Budget[I] != 0;
+    }
+    if (!Any)
+      break;
+    switch (R.nextWeighted(Weights)) {
+    case 0: // does this block belong to the construct?
+      --Budget[0];
+      Ops.find(Blocks[R.nextBelow(Blocks.size())]);
+      break;
+    case 1: // iterate a short list of blocks (nesting-level scan)
+      --Budget[1];
+      Ops.iterate(4 + R.nextBelow(12));
+      break;
+    case 2: // iterate a long list (whole-function data-flow pass)
+      --Budget[2];
+      Ops.iterate(NumBlocks / 4 + R.nextBelow(NumBlocks / 4));
+      break;
+    default: { // constructs recovered: merge/split blocks
+      --Budget[3];
+      ds::Key Gone = Blocks[R.nextBelow(Blocks.size())];
+      Ops.erase(Gone);
+      ds::Key Id = static_cast<ds::Key>(R.nextBelow(1u << 30));
+      Ops.insert(Id);
+      Blocks.push_back(Id);
+      break;
+    }
+    }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<CaseStudy> brainy::makeRelipmoC() {
+  return std::make_unique<RelipmoC>();
+}

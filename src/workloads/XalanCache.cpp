@@ -1,0 +1,150 @@
+//===- workloads/XalanCache.cpp - Xalancbmk string cache (§6.2) -----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// Miniature of Xalancbmk's XalanDOMStringCache: a two-level cache of
+/// string objects with a busy list (the container under selection, a
+/// vector in the original) and an available list. Releasing a string
+/// searches the busy list (`find`), and on a hit moves the string to the
+/// available list (`erase`). The three inputs reproduce the paper's
+/// behavioural differences (Table 4): "test" does few finds that touch
+/// many elements, "train" does a flood of finds that succeed at the very
+/// beginning of the array plus frequent erases of the head element, and
+/// "reference" does many deep finds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudy.h"
+
+#include "support/Rng.h"
+
+#include <deque>
+
+using namespace brainy;
+
+namespace {
+
+struct XalanParams {
+  uint64_t InitialBusy;
+  uint64_t Finds;
+  /// Probability that a find's target sits within the first few busy
+  /// entries ("a majority of find operations succeed ... in the very
+  /// beginning of the dynamic array", Section 6.2); the rest are uniform.
+  double FrontRate;
+  uint64_t HeadErases;   ///< release of the oldest busy string
+  uint64_t RandomErases; ///< release of an arbitrary busy string
+  uint64_t Inserts;      ///< new strings entering the busy list
+  double MissRate;       ///< finds probing ids that are not busy
+};
+
+class XalanCache final : public CaseStudy {
+public:
+  const char *name() const override { return "xalancbmk"; }
+  DsKind original() const override { return DsKind::Vector; }
+  std::vector<DsKind> candidates() const override {
+    // Figure 10 races vector, set, and hash_set.
+    return {DsKind::Vector, DsKind::Set, DsKind::HashSet};
+  }
+  std::vector<std::string> inputNames() const override {
+    return {"test", "train", "reference"};
+  }
+  uint32_t elementBytes() const override { return 16; }
+  bool orderOblivious() const override { return true; }
+
+  void drive(ObservedOps &Ops, unsigned Input) const override;
+
+private:
+  static XalanParams params(unsigned Input) {
+    switch (Input) {
+    case 0: // test: few finds, each touching many elements
+      return {1200, 4000, 0.10, 20, 60, 400, 0.25};
+    case 1: // train: find flood succeeding at the head + head erases
+      return {300, 40000, 0.998, 80, 0, 80, 0.003};
+    default: // reference: many deep finds
+      return {2500, 15000, 0.20, 300, 300, 2500, 0.10};
+    }
+  }
+};
+
+void XalanCache::drive(ObservedOps &Ops, unsigned Input) const {
+  XalanParams P = params(Input);
+  Rng R(0x8a1a9 + Input * 0x9e3779b9ULL);
+
+  std::deque<ds::Key> BusyOrder; // insertion-ordered mirror (app state)
+  int64_t NextId = 1;
+
+  auto InsertBusy = [&]() {
+    ds::Key Id = NextId++;
+    Ops.insert(Id);
+    BusyOrder.push_back(Id);
+  };
+  for (uint64_t I = 0; I != P.InitialBusy; ++I)
+    InsertBusy();
+
+  auto PickBusyPos = [&](double FrontRate) -> size_t {
+    // Front hits target the oldest busy string: the cache recycles
+    // strings first-in-first-out, so release-time searches succeed at the
+    // very beginning of the array.
+    if (R.nextBool(FrontRate))
+      return 0;
+    return R.nextBelow(BusyOrder.size());
+  };
+
+  // Weighted interleave of the remaining operation budget so the phases
+  // overlap the way the real transform loop does.
+  uint64_t Remaining[4] = {P.Finds, P.HeadErases, P.RandomErases, P.Inserts};
+  std::vector<double> Weights(4);
+  for (;;) {
+    bool Any = false;
+    for (unsigned I = 0; I != 4; ++I) {
+      Weights[I] = static_cast<double>(Remaining[I]);
+      Any |= Remaining[I] != 0;
+    }
+    if (!Any)
+      break;
+    switch (R.nextWeighted(Weights)) {
+    case 0: { // release-path find
+      --Remaining[0];
+      if (BusyOrder.empty() || R.nextBool(P.MissRate)) {
+        Ops.find(-static_cast<int64_t>(R.nextBelow(1 << 20)) - 1);
+      } else {
+        Ops.find(BusyOrder[PickBusyPos(P.FrontRate)]);
+      }
+      break;
+    }
+    case 1: { // release the oldest busy string
+      --Remaining[1];
+      if (BusyOrder.empty())
+        break;
+      ds::Key Id = BusyOrder.front();
+      Ops.find(Id);
+      Ops.erase(Id);
+      BusyOrder.pop_front();
+      break;
+    }
+    case 2: { // release an arbitrary busy string
+      --Remaining[2];
+      if (BusyOrder.empty())
+        break;
+      size_t Pos = PickBusyPos(0.0);
+      ds::Key Id = BusyOrder[Pos];
+      Ops.find(Id);
+      Ops.erase(Id);
+      BusyOrder.erase(BusyOrder.begin() + static_cast<ptrdiff_t>(Pos));
+      break;
+    }
+    default: // a new string becomes busy
+      --Remaining[3];
+      InsertBusy();
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<CaseStudy> brainy::makeXalanCache() {
+  return std::make_unique<XalanCache>();
+}

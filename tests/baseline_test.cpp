@@ -1,0 +1,127 @@
+//===- tests/baseline_test.cpp - Perflint baseline tests ------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Perflint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace brainy;
+
+TEST(PerflintCostTest, PaperExampleCosts) {
+  // Section 6.2: "for the cost of a find operation among N data elements,
+  // vector leverages average case for linear search, i.e., 3/4N, while set
+  // uses log N for binary search".
+  EXPECT_DOUBLE_EQ(
+      perflintAsymptoticCost(DsKind::Vector, AppOp::Find, 1000, 0), 750.0);
+  EXPECT_NEAR(perflintAsymptoticCost(DsKind::Set, AppOp::Find, 1024, 0),
+              10.0, 1e-9);
+}
+
+TEST(PerflintCostTest, CostsScaleWithN) {
+  for (AppOp Op : {AppOp::Find, AppOp::Erase, AppOp::InsertAt}) {
+    double Small = perflintAsymptoticCost(DsKind::Vector, Op, 10, 0);
+    double Large = perflintAsymptoticCost(DsKind::Vector, Op, 10000, 0);
+    EXPECT_GT(Large, Small) << appOpName(Op);
+  }
+  // Hash costs are N-independent for keyed ops.
+  EXPECT_DOUBLE_EQ(
+      perflintAsymptoticCost(DsKind::HashSet, AppOp::Find, 10, 0),
+      perflintAsymptoticCost(DsKind::HashSet, AppOp::Find, 100000, 0));
+}
+
+TEST(PerflintCostTest, IterateScalesWithSteps) {
+  double One = perflintAsymptoticCost(DsKind::List, AppOp::Iterate, 50, 1);
+  double Many =
+      perflintAsymptoticCost(DsKind::List, AppOp::Iterate, 50, 100);
+  EXPECT_NEAR(Many, One * 100, 1e-9);
+}
+
+TEST(PerflintCandidatesTest, VocabularyMatchesPaper) {
+  // vector -> set supported, hash_set not (Section 6.2).
+  std::vector<DsKind> V = perflintCandidates(DsKind::Vector);
+  EXPECT_NE(std::find(V.begin(), V.end(), DsKind::Set), V.end());
+  EXPECT_EQ(std::find(V.begin(), V.end(), DsKind::HashSet), V.end());
+  EXPECT_EQ(std::find(V.begin(), V.end(), DsKind::AvlSet), V.end());
+  // "it does not support any replacement for set" (Section 6.4).
+  EXPECT_TRUE(perflintCandidates(DsKind::Set).empty());
+  EXPECT_TRUE(perflintCandidates(DsKind::Map).empty());
+}
+
+TEST(PerflintAdvisorTest, FindHeavyLargeStreamPrefersSet) {
+  PerflintCoefficients Coefficients; // unit coefficients
+  PerflintAdvisor Advisor(DsKind::Vector, Coefficients);
+  for (int I = 0; I != 1000; ++I)
+    Advisor.onOp(AppOp::Find, 5000, 0);
+  EXPECT_EQ(Advisor.recommend(), DsKind::Set);
+  EXPECT_LT(Advisor.predictedCost(DsKind::Set),
+            Advisor.predictedCost(DsKind::Vector));
+}
+
+TEST(PerflintAdvisorTest, IterationHeavyKeepsVector) {
+  PerflintCoefficients Coefficients;
+  PerflintAdvisor Advisor(DsKind::List, Coefficients);
+  for (int I = 0; I != 1000; ++I)
+    Advisor.onOp(AppOp::Iterate, 200, 200);
+  // Vector iteration is the cheapest in the hand model.
+  EXPECT_EQ(Advisor.recommend(), DsKind::Vector);
+}
+
+TEST(PerflintAdvisorTest, UnsupportedOriginalKeepsIt) {
+  PerflintCoefficients Coefficients;
+  PerflintAdvisor Advisor(DsKind::Set, Coefficients);
+  EXPECT_FALSE(Advisor.supported());
+  Advisor.onOp(AppOp::Find, 100, 0);
+  EXPECT_EQ(Advisor.recommend(), DsKind::Set);
+}
+
+TEST(PerflintAdvisorTest, CoefficientsBiasTheChoice) {
+  PerflintCoefficients Coefficients;
+  Coefficients[DsKind::Set] = 100.0; // make tree time expensive
+  PerflintAdvisor Advisor(DsKind::Vector, Coefficients);
+  for (int I = 0; I != 100; ++I)
+    Advisor.onOp(AppOp::Find, 50, 0);
+  EXPECT_NE(Advisor.recommend(), DsKind::Set);
+}
+
+TEST(PerflintCoefficientsTest, RoundTrip) {
+  PerflintCoefficients C;
+  C[DsKind::Vector] = 1.5;
+  C[DsKind::HashMap] = 0.25;
+  PerflintCoefficients D;
+  ASSERT_TRUE(PerflintCoefficients::fromString(C.toString(), D));
+  EXPECT_DOUBLE_EQ(D[DsKind::Vector], 1.5);
+  EXPECT_DOUBLE_EQ(D[DsKind::HashMap], 0.25);
+  PerflintCoefficients Bad;
+  EXPECT_FALSE(PerflintCoefficients::fromString("1 2 nope", Bad));
+}
+
+TEST(PerflintCalibrationTest, FitsPositiveCoefficients) {
+  AppConfig Cfg;
+  Cfg.TotalInterfCalls = 200;
+  Cfg.MaxInitialSize = 500;
+  PerflintCoefficients C =
+      calibratePerflint(Cfg, MachineConfig::core2(), 1, 6);
+  for (unsigned I = 0; I != NumDsKinds; ++I)
+    EXPECT_GT(C.CyclesPerUnit[I], 0.0);
+}
+
+TEST(PerflintCalibrationTest, PredictionsCorrelateWithMeasurement) {
+  AppConfig Cfg;
+  Cfg.TotalInterfCalls = 200;
+  Cfg.MaxInitialSize = 500;
+  MachineConfig MC = MachineConfig::core2();
+  PerflintCoefficients C = calibratePerflint(Cfg, MC, 1, 8);
+  // On a fresh app, predicted vector cost should land within ~5x of the
+  // measured cycles (the hand model is coarse; the regression anchors it).
+  AppSpec Spec = AppSpec::fromSeed(999, Cfg);
+  PerflintAdvisor Advisor(DsKind::Vector, C);
+  RunOutcome Out = runApp(Spec, DsKind::Vector, MC, &Advisor);
+  double Predicted = Advisor.predictedCost(DsKind::Vector);
+  EXPECT_GT(Predicted, Out.Cycles / 5);
+  EXPECT_LT(Predicted, Out.Cycles * 5);
+}

@@ -1,0 +1,145 @@
+//===- tests/containers_hash_test.cpp - HashTable tests -------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "containers/HashTable.h"
+#include "machine/MachineModel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace brainy;
+using namespace brainy::ds;
+
+TEST(HashTableTest, InsertFindErase) {
+  HashTable H;
+  EXPECT_TRUE(H.insert(1).Found);
+  EXPECT_TRUE(H.insert(2).Found);
+  EXPECT_FALSE(H.insert(1).Found); // duplicate
+  EXPECT_EQ(H.size(), 2u);
+  EXPECT_TRUE(H.find(1).Found);
+  EXPECT_FALSE(H.find(3).Found);
+  EXPECT_TRUE(H.erase(1).Found);
+  EXPECT_FALSE(H.erase(1).Found);
+  EXPECT_EQ(H.size(), 1u);
+}
+
+TEST(HashTableTest, ResizesKeepLoadFactorBounded) {
+  HashTable H;
+  for (Key K = 0; K != 1000; ++K)
+    H.insert(K);
+  EXPECT_GE(H.bucketCount(), 1000u);
+  EXPECT_GT(H.resizeCount(), 0u);
+  // With splitmix dispersion, chains stay short.
+  EXPECT_LE(H.maxChainLength(), 8u);
+  for (Key K = 0; K != 1000; ++K)
+    EXPECT_TRUE(H.find(K).Found);
+}
+
+TEST(HashTableTest, MirrorsUnorderedSetUnderChurn) {
+  HashTable H;
+  std::unordered_set<Key> Ref;
+  Rng R(5);
+  for (int I = 0; I != 8000; ++I) {
+    Key K = static_cast<Key>(R.nextBelow(600));
+    switch (R.nextBelow(3)) {
+    case 0:
+      ASSERT_EQ(H.insert(K).Found, Ref.insert(K).second);
+      break;
+    case 1:
+      ASSERT_EQ(H.erase(K).Found, Ref.erase(K) == 1);
+      break;
+    default:
+      ASSERT_EQ(H.find(K).Found, Ref.count(K) == 1);
+      break;
+    }
+    ASSERT_EQ(H.size(), Ref.size());
+  }
+}
+
+TEST(HashTableTest, IterateTouchesEveryElementOnce) {
+  HashTable H;
+  for (Key K = 0; K != 37; ++K)
+    H.insert(K);
+  // One full pass visits each element exactly once (bucket order).
+  OpResult R = H.iterate(37);
+  EXPECT_EQ(R.Cost, 37u);
+  // Next pass wraps and revisits.
+  EXPECT_EQ(H.iterate(37).Cost, 37u);
+}
+
+TEST(HashTableTest, EraseAtRemovesSomeElement) {
+  HashTable H;
+  for (Key K = 0; K != 10; ++K)
+    H.insert(K);
+  EXPECT_TRUE(H.eraseAt(3).Found);
+  EXPECT_EQ(H.size(), 9u);
+  EXPECT_FALSE(H.eraseAt(9).Found); // out of range now
+}
+
+TEST(HashTableTest, ClearAndReuse) {
+  HashTable H(32);
+  for (Key K = 0; K != 100; ++K)
+    H.insert(K);
+  uint64_t LiveBefore = H.simLiveBytes();
+  EXPECT_GT(LiveBefore, 100u * 32);
+  H.clear();
+  EXPECT_EQ(H.size(), 0u);
+  // Bucket array remains allocated; nodes are gone.
+  EXPECT_LT(H.simLiveBytes(), LiveBefore);
+  EXPECT_TRUE(H.insert(1).Found);
+}
+
+TEST(HashTableTest, RehashBranchPattern) {
+  MachineModel M(MachineConfig::core2());
+  HashTable H(8, &M);
+  for (Key K = 0; K != 100; ++K)
+    H.insert(K);
+  // The load-factor check fired on every insert; rehashes are rare takens.
+  HardwareCounters C = M.counters();
+  EXPECT_GT(C.Branches, 100u);
+  EXPECT_GT(H.resizeCount(), 1u);
+}
+
+TEST(HashTableTest, FindCostIsChainProbes) {
+  HashTable H;
+  H.insert(42);
+  OpResult Hit = H.find(42);
+  EXPECT_EQ(Hit.Cost, 1u);
+  OpResult MissEmpty = H.find(43);
+  EXPECT_LE(MissEmpty.Cost, 1u); // empty or 1-chain bucket
+}
+
+TEST(HashTableTest, NegativeAndExtremeKeys) {
+  HashTable H;
+  const Key Extremes[] = {-1, -1000000, 0, INT64_MAX, INT64_MIN};
+  for (Key K : Extremes)
+    EXPECT_TRUE(H.insert(K).Found);
+  for (Key K : Extremes)
+    EXPECT_TRUE(H.find(K).Found);
+  EXPECT_EQ(H.size(), 5u);
+}
+
+class HashScaleSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HashScaleSweep, AllElementsReachableAfterGrowth) {
+  unsigned N = GetParam();
+  HashTable H;
+  Rng R(N);
+  std::unordered_set<Key> Ref;
+  while (Ref.size() < N) {
+    Key K = static_cast<Key>(R.next());
+    H.insert(K);
+    Ref.insert(K);
+  }
+  EXPECT_EQ(H.size(), Ref.size());
+  for (Key K : Ref)
+    ASSERT_TRUE(H.find(K).Found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HashScaleSweep,
+                         ::testing::Values(10, 100, 1000, 5000));

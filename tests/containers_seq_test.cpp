@@ -1,0 +1,402 @@
+//===- tests/containers_seq_test.cpp - Vector/List/Deque tests ------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "containers/Deque.h"
+#include "containers/List.h"
+#include "containers/Vector.h"
+#include "machine/MachineModel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+using namespace brainy;
+using namespace brainy::ds;
+
+//===----------------------------------------------------------------------===//
+// Vector
+//===----------------------------------------------------------------------===//
+
+TEST(VectorTest, PushAndAccess) {
+  Vector V;
+  for (Key K : {3, 1, 4, 1, 5})
+    V.pushBack(K);
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V.at(0), 3);
+  EXPECT_EQ(V.at(4), 5);
+}
+
+TEST(VectorTest, PushFrontShiftsEverything) {
+  Vector V;
+  V.pushBack(1);
+  V.pushBack(2);
+  OpResult R = V.pushFront(0);
+  EXPECT_TRUE(R.Found);
+  EXPECT_EQ(R.Cost, 2u); // two elements shifted
+  EXPECT_EQ(V.at(0), 0);
+  EXPECT_EQ(V.at(2), 2);
+}
+
+TEST(VectorTest, InsertAtClampsAndShifts) {
+  Vector V;
+  for (Key K : {10, 20, 30})
+    V.pushBack(K);
+  V.insertAt(1, 15);
+  EXPECT_EQ(V.at(1), 15);
+  EXPECT_EQ(V.at(3), 30);
+  V.insertAt(99, 40); // clamped to the tail
+  EXPECT_EQ(V.at(4), 40);
+}
+
+TEST(VectorTest, FindCostIsElementsTouched) {
+  Vector V;
+  for (Key K = 0; K != 10; ++K)
+    V.pushBack(K);
+  OpResult Hit = V.find(4);
+  EXPECT_TRUE(Hit.Found);
+  EXPECT_EQ(Hit.Cost, 5u); // touched 0..4
+  OpResult Miss = V.find(99);
+  EXPECT_FALSE(Miss.Found);
+  EXPECT_EQ(Miss.Cost, 10u); // full scan
+}
+
+TEST(VectorTest, EraseValueSearchesThenShifts) {
+  Vector V;
+  for (Key K : {7, 8, 9, 10})
+    V.pushBack(K);
+  OpResult R = V.eraseValue(8);
+  EXPECT_TRUE(R.Found);
+  EXPECT_EQ(R.Cost, 2u + 2u); // scan(7,8) + shift(9,10)
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(V.at(1), 9);
+  EXPECT_FALSE(V.eraseValue(8).Found);
+}
+
+TEST(VectorTest, EraseAtOutOfRange) {
+  Vector V;
+  V.pushBack(1);
+  EXPECT_FALSE(V.eraseAt(1).Found);
+  EXPECT_TRUE(V.eraseAt(0).Found);
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(VectorTest, ResizeCountGrowsLogarithmically) {
+  Vector V;
+  for (Key K = 0; K != 1000; ++K)
+    V.pushBack(K);
+  // Initial capacity 8, doubling: 8,16,...,1024 -> 8 growths.
+  EXPECT_EQ(V.resizeCount(), 8u);
+}
+
+TEST(VectorTest, IterateWrapsAndCounts) {
+  Vector V;
+  for (Key K : {1, 2, 3})
+    V.pushBack(K);
+  OpResult R = V.iterate(7);
+  EXPECT_TRUE(R.Found);
+  EXPECT_EQ(R.Cost, 7u);
+  EXPECT_FALSE(Vector().iterate(3).Found);
+}
+
+TEST(VectorTest, ClearReleasesSimMemory) {
+  Vector V(64);
+  for (Key K = 0; K != 100; ++K)
+    V.pushBack(K);
+  EXPECT_GT(V.simLiveBytes(), 0u);
+  V.clear();
+  EXPECT_EQ(V.simLiveBytes(), 0u);
+  EXPECT_EQ(V.size(), 0u);
+  V.pushBack(5); // usable after clear
+  EXPECT_EQ(V.at(0), 5);
+}
+
+TEST(VectorTest, ResizeBranchFiresOnGrowth) {
+  MachineModel M(MachineConfig::core2());
+  Vector V(8, &M);
+  for (Key K = 0; K != 9; ++K)
+    V.pushBack(K); // grows at 0 (cap 8 alloc) and at 8
+  HardwareCounters C = M.counters();
+  EXPECT_GT(C.Branches, 0u);
+  EXPECT_GT(C.Allocations, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// List
+//===----------------------------------------------------------------------===//
+
+TEST(ListTest, PushBothEnds) {
+  List L;
+  L.pushBack(2);
+  L.pushFront(1);
+  L.pushBack(3);
+  EXPECT_EQ(L.size(), 3u);
+  EXPECT_EQ(L.at(0), 1);
+  EXPECT_EQ(L.at(1), 2);
+  EXPECT_EQ(L.at(2), 3);
+}
+
+TEST(ListTest, ConstantTimeEndInsertion) {
+  List L;
+  for (Key K = 0; K != 100; ++K) {
+    OpResult R = L.pushBack(K);
+    EXPECT_EQ(R.Cost, 0u);
+  }
+}
+
+TEST(ListTest, InsertAtWalks) {
+  List L;
+  for (Key K : {1, 2, 4})
+    L.pushBack(K);
+  OpResult R = L.insertAt(2, 3);
+  EXPECT_EQ(R.Cost, 2u); // walked two nodes
+  EXPECT_EQ(L.at(2), 3);
+  L.insertAt(99, 5); // clamps to tail
+  EXPECT_EQ(L.at(4), 5);
+}
+
+TEST(ListTest, EraseValueAndMisses) {
+  List L;
+  for (Key K : {5, 6, 7})
+    L.pushBack(K);
+  OpResult R = L.eraseValue(6);
+  EXPECT_TRUE(R.Found);
+  EXPECT_EQ(R.Cost, 2u);
+  EXPECT_EQ(L.size(), 2u);
+  EXPECT_FALSE(L.eraseValue(42).Found);
+  EXPECT_EQ(L.at(1), 7);
+}
+
+TEST(ListTest, EraseAtBoundaries) {
+  List L;
+  for (Key K : {1, 2, 3})
+    L.pushBack(K);
+  EXPECT_TRUE(L.eraseAt(0).Found);
+  EXPECT_EQ(L.at(0), 2);
+  EXPECT_TRUE(L.eraseAt(1).Found);
+  EXPECT_EQ(L.size(), 1u);
+  EXPECT_FALSE(L.eraseAt(5).Found);
+}
+
+TEST(ListTest, IterateWrapsAcrossEnd) {
+  List L;
+  for (Key K : {1, 2})
+    L.pushBack(K);
+  EXPECT_EQ(L.iterate(5).Cost, 5u);
+}
+
+TEST(ListTest, CursorSurvivesErase) {
+  List L;
+  for (Key K : {1, 2, 3, 4})
+    L.pushBack(K);
+  L.iterate(2);          // cursor now at node 3
+  L.eraseValue(3);       // erase the node under the cursor
+  OpResult R = L.iterate(1);
+  EXPECT_TRUE(R.Found);  // no crash, cursor moved on
+  EXPECT_EQ(L.size(), 3u);
+}
+
+TEST(ListTest, SimMemoryPerNode) {
+  List L(48); // elem 48 -> node 64 simulated bytes
+  L.pushBack(1);
+  L.pushBack(2);
+  EXPECT_EQ(L.simLiveBytes(), 2u * 64);
+  L.clear();
+  EXPECT_EQ(L.simLiveBytes(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deque
+//===----------------------------------------------------------------------===//
+
+TEST(DequeTest, PushBothEndsO1) {
+  Deque D;
+  D.pushBack(2);
+  OpResult R = D.pushFront(1);
+  EXPECT_LE(R.Cost, 0u + 8); // no shifting (only a possible resize copy)
+  D.pushBack(3);
+  EXPECT_EQ(D.at(0), 1);
+  EXPECT_EQ(D.at(1), 2);
+  EXPECT_EQ(D.at(2), 3);
+}
+
+TEST(DequeTest, InsertShiftsTowardNearerEnd) {
+  Deque D;
+  for (Key K = 0; K != 10; ++K)
+    D.pushBack(K);
+  OpResult NearFront = D.insertAt(1, 100);
+  EXPECT_EQ(NearFront.Cost, 1u);
+  OpResult NearBack = D.insertAt(10, 200);
+  EXPECT_EQ(NearBack.Cost, 1u);
+  EXPECT_EQ(D.at(1), 100);
+  EXPECT_EQ(D.at(10), 200);
+}
+
+TEST(DequeTest, MirrorsStdDequeUnderRandomOps) {
+  Deque D;
+  std::deque<Key> Ref;
+  Rng R(77);
+  for (int I = 0; I != 4000; ++I) {
+    switch (R.nextBelow(6)) {
+    case 0: {
+      Key K = static_cast<Key>(R.nextBelow(1000));
+      D.pushBack(K);
+      Ref.push_back(K);
+      break;
+    }
+    case 1: {
+      Key K = static_cast<Key>(R.nextBelow(1000));
+      D.pushFront(K);
+      Ref.push_front(K);
+      break;
+    }
+    case 2: {
+      uint64_t Pos = R.nextBelow(Ref.size() + 1);
+      Key K = static_cast<Key>(R.nextBelow(1000));
+      D.insertAt(Pos, K);
+      Ref.insert(Ref.begin() + static_cast<ptrdiff_t>(Pos), K);
+      break;
+    }
+    case 3:
+      if (!Ref.empty()) {
+        uint64_t Pos = R.nextBelow(Ref.size());
+        D.eraseAt(Pos);
+        Ref.erase(Ref.begin() + static_cast<ptrdiff_t>(Pos));
+      }
+      break;
+    case 4: {
+      Key K = static_cast<Key>(R.nextBelow(1000));
+      bool Mine = D.find(K).Found;
+      bool Theirs = false;
+      for (Key V : Ref)
+        if (V == K) {
+          Theirs = true;
+          break;
+        }
+      ASSERT_EQ(Mine, Theirs);
+      break;
+    }
+    default: {
+      Key K = static_cast<Key>(R.nextBelow(1000));
+      OpResult Mine = D.eraseValue(K);
+      auto It = std::find(Ref.begin(), Ref.end(), K);
+      ASSERT_EQ(Mine.Found, It != Ref.end());
+      if (It != Ref.end())
+        Ref.erase(It);
+      break;
+    }
+    }
+    ASSERT_EQ(D.size(), Ref.size());
+  }
+  for (size_t I = 0; I != Ref.size(); ++I)
+    ASSERT_EQ(D.at(I), Ref[I]);
+}
+
+TEST(DequeTest, ResizePreservesOrder) {
+  Deque D;
+  for (Key K = 0; K != 5; ++K)
+    D.pushFront(K);
+  for (Key K = 0; K != 100; ++K)
+    D.pushBack(1000 + K);
+  EXPECT_GT(D.resizeCount(), 0u);
+  EXPECT_EQ(D.at(0), 4);
+  EXPECT_EQ(D.at(4), 0);
+  EXPECT_EQ(D.at(5), 1000);
+  EXPECT_EQ(D.at(104), 1099);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-sequence property tests
+//===----------------------------------------------------------------------===//
+
+class SequenceEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+/// Vector, List, and Deque must implement identical sequence semantics:
+/// drive all three with the same operation tape and compare contents.
+TEST_P(SequenceEquivalence, SameTapeSameContents) {
+  uint64_t Seed = GetParam();
+  Vector V;
+  List L;
+  Deque D;
+  Rng R(Seed);
+  for (int I = 0; I != 1500; ++I) {
+    uint64_t Choice = R.nextBelow(6);
+    Key K = static_cast<Key>(R.nextBelow(200));
+    uint64_t Pos = R.nextBelow(V.size() + 1);
+    switch (Choice) {
+    case 0:
+      V.pushBack(K);
+      L.pushBack(K);
+      D.pushBack(K);
+      break;
+    case 1:
+      V.pushFront(K);
+      L.pushFront(K);
+      D.pushFront(K);
+      break;
+    case 2:
+      V.insertAt(Pos, K);
+      L.insertAt(Pos, K);
+      D.insertAt(Pos, K);
+      break;
+    case 3: {
+      OpResult A = V.eraseValue(K);
+      OpResult B = L.eraseValue(K);
+      OpResult C = D.eraseValue(K);
+      ASSERT_EQ(A.Found, B.Found);
+      ASSERT_EQ(A.Found, C.Found);
+      break;
+    }
+    case 4:
+      if (V.size()) {
+        uint64_t P2 = Pos % V.size();
+        V.eraseAt(P2);
+        L.eraseAt(P2);
+        D.eraseAt(P2);
+      }
+      break;
+    default: {
+      OpResult A = V.find(K);
+      OpResult B = L.find(K);
+      OpResult C = D.find(K);
+      ASSERT_EQ(A.Found, B.Found);
+      ASSERT_EQ(A.Found, C.Found);
+      // Linear search from the front touches the same count everywhere.
+      ASSERT_EQ(A.Cost, B.Cost);
+      ASSERT_EQ(A.Cost, C.Cost);
+      break;
+    }
+    }
+    ASSERT_EQ(V.size(), L.size());
+    ASSERT_EQ(V.size(), D.size());
+  }
+  for (uint64_t I = 0; I != V.size(); ++I) {
+    ASSERT_EQ(V.at(I), L.at(I));
+    ASSERT_EQ(V.at(I), D.at(I));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequenceEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+class ElementSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+/// Simulated memory must scale with the configured element size while the
+/// semantics stay identical.
+TEST_P(ElementSizeSweep, VectorFootprintScales) {
+  uint32_t Elem = GetParam();
+  Vector V(Elem);
+  for (Key K = 0; K != 64; ++K)
+    V.pushBack(K);
+  EXPECT_GE(V.simLiveBytes(), 64u * V.elementBytes());
+  EXPECT_EQ(V.elementBytes(), Elem < 8 ? 8u : Elem);
+  EXPECT_EQ(V.find(63).Cost, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElementSizeSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256));

@@ -1,0 +1,285 @@
+//===- tests/core_test.cpp - Oracle / models / advisor unit tests ---------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Brainy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace brainy;
+
+//===----------------------------------------------------------------------===//
+// Oracle
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTest, PicksMinimumCycles) {
+  AppConfig Cfg;
+  Cfg.TotalInterfCalls = 300;
+  AppSpec Spec = AppSpec::fromSeed(5, Cfg);
+  MachineConfig MC = MachineConfig::core2();
+  std::vector<DsKind> Candidates = {DsKind::Vector, DsKind::List,
+                                    DsKind::Deque};
+  RaceResult Race = raceCandidates(Spec, Candidates, MC);
+  double BestCycles = Race.cyclesOf(Race.Best);
+  for (DsKind Kind : Candidates) {
+    EXPECT_GT(Race.cyclesOf(Kind), 0.0);
+    EXPECT_LE(BestCycles, Race.cyclesOf(Kind));
+  }
+  EXPECT_GE(Race.Margin, 0.0);
+}
+
+TEST(OracleTest, SingleCandidateHasZeroMargin) {
+  AppConfig Cfg;
+  Cfg.TotalInterfCalls = 100;
+  AppSpec Spec = AppSpec::fromSeed(5, Cfg);
+  RaceResult Race =
+      raceCandidates(Spec, {DsKind::Vector}, MachineConfig::core2());
+  EXPECT_EQ(Race.Best, DsKind::Vector);
+  EXPECT_DOUBLE_EQ(Race.Margin, 0.0);
+}
+
+TEST(OracleTest, OracleBestHonoursOrderObliviousness) {
+  AppConfig Cfg;
+  Cfg.TotalInterfCalls = 200;
+  MachineConfig MC = MachineConfig::core2();
+  for (uint64_t Seed = 0; Seed != 100; ++Seed) {
+    AppSpec Spec = AppSpec::fromSeed(Seed, Cfg);
+    if (Spec.OrderOblivious)
+      continue;
+    RaceResult Race = oracleBest(Spec, DsKind::Vector, MC);
+    // Order-aware vector app: no associative cycles measured.
+    EXPECT_DOUBLE_EQ(Race.cyclesOf(DsKind::HashSet), 0.0);
+    EXPECT_GT(Race.cyclesOf(DsKind::Vector), 0.0);
+    return;
+  }
+  FAIL() << "no order-aware seed found";
+}
+
+//===----------------------------------------------------------------------===//
+// TrainingFramework
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TrainOptions tinyOptions() {
+  TrainOptions Opts;
+  Opts.TargetPerDs = 4;
+  Opts.MaxSeeds = 250;
+  Opts.GenConfig.TotalInterfCalls = 150;
+  Opts.GenConfig.MaxInitialSize = 300;
+  Opts.Net.Epochs = 15;
+  return Opts;
+}
+
+} // namespace
+
+TEST(TrainingFrameworkTest, SpecMatchingSplitsFamilies) {
+  TrainingFramework FW(tinyOptions(), MachineConfig::core2());
+  unsigned VectorApps = 0, VectorOOApps = 0;
+  for (uint64_t Seed = 1; Seed != 200; ++Seed) {
+    bool Aware = FW.specMatchesModel(Seed, ModelKind::Vector);
+    bool OO = FW.specMatchesModel(Seed, ModelKind::VectorOO);
+    EXPECT_NE(Aware, OO); // exactly one family owns the app
+    EXPECT_TRUE(FW.specMatchesModel(Seed, ModelKind::Set));
+    VectorApps += Aware;
+    VectorOOApps += OO;
+  }
+  EXPECT_GT(VectorApps, 0u);
+  EXPECT_GT(VectorOOApps, 0u);
+}
+
+TEST(TrainingFrameworkTest, PhaseOneRespectsMargin) {
+  TrainOptions Opts = tinyOptions();
+  Opts.WinnerMargin = 0.05;
+  TrainingFramework FW(Opts, MachineConfig::core2());
+  PhaseOneResult P1 = FW.phaseOne(ModelKind::Vector);
+  EXPECT_FALSE(P1.SeedDsPairs.empty());
+  // Every recorded winner must actually win its race by the margin.
+  for (const SeedBest &Pair : P1.SeedDsPairs) {
+    AppSpec Spec = AppSpec::fromSeed(Pair.Seed, Opts.GenConfig);
+    RaceResult Race =
+        oracleBest(Spec, DsKind::Vector, MachineConfig::core2());
+    EXPECT_EQ(Race.Best, Pair.BestDs);
+    EXPECT_GE(Race.Margin, Opts.WinnerMargin);
+  }
+}
+
+TEST(TrainingFrameworkTest, PhaseOneAllMatchesPerModelPhaseOne) {
+  TrainOptions Opts = tinyOptions();
+  TrainingFramework FW(Opts, MachineConfig::core2());
+  auto All = FW.phaseOneAll();
+  for (ModelKind MK : {ModelKind::Vector, ModelKind::Map}) {
+    PhaseOneResult Single = FW.phaseOne(MK);
+    const PhaseOneResult &Shared = All[static_cast<unsigned>(MK)];
+    ASSERT_EQ(Shared.SeedDsPairs.size(), Single.SeedDsPairs.size());
+    for (size_t I = 0; I != Single.SeedDsPairs.size(); ++I) {
+      EXPECT_EQ(Shared.SeedDsPairs[I].Seed, Single.SeedDsPairs[I].Seed);
+      EXPECT_EQ(Shared.SeedDsPairs[I].BestDs, Single.SeedDsPairs[I].BestDs);
+    }
+  }
+}
+
+TEST(TrainingFrameworkTest, PhaseTwoCapsPerClass) {
+  TrainOptions Opts = tinyOptions();
+  Opts.MaxPerDsPhase2 = 2;
+  TrainingFramework FW(Opts, MachineConfig::core2());
+  PhaseOneResult P1 = FW.phaseOne(ModelKind::Vector);
+  std::vector<TrainExample> Examples = FW.phaseTwo(ModelKind::Vector, P1);
+  std::array<unsigned, NumDsKinds> Counts{};
+  for (const TrainExample &Ex : Examples)
+    ++Counts[static_cast<unsigned>(Ex.BestDs)];
+  for (unsigned C : Counts)
+    EXPECT_LE(C, 2u);
+}
+
+TEST(TrainingFrameworkTest, ExamplesToDatasetLabels) {
+  std::vector<TrainExample> Examples(3);
+  Examples[0].BestDs = DsKind::Vector;
+  Examples[1].BestDs = DsKind::Deque;
+  Examples[2].BestDs = DsKind::HashSet; // not in candidate list -> dropped
+  std::vector<DsKind> Candidates = {DsKind::Vector, DsKind::List,
+                                    DsKind::Deque};
+  Dataset D = examplesToDataset(Examples, Candidates);
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_EQ(D.Labels[0], 0u);
+  EXPECT_EQ(D.Labels[1], 2u);
+  EXPECT_EQ(D.dimension(), NumFeatures);
+}
+
+//===----------------------------------------------------------------------===//
+// BrainyModel
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Synthetic, trivially separable examples: find-heavy apps are labelled
+/// hash_set; iterate-heavy apps are labelled vector.
+std::vector<TrainExample> syntheticExamples(unsigned Count) {
+  std::vector<TrainExample> Out;
+  for (unsigned I = 0; I != Count; ++I) {
+    TrainExample Ex;
+    bool FindHeavy = I % 2 == 0;
+    Ex.Seed = I;
+    Ex.BestDs = FindHeavy ? DsKind::HashSet : DsKind::Vector;
+    Ex.Features[FeatureId::FindFrac] = FindHeavy ? 0.9 : 0.05;
+    Ex.Features[FeatureId::InsertFrac] = FindHeavy ? 0.1 : 0.95;
+    Ex.Features[FeatureId::FindCostAvg] = FindHeavy ? 300 : 2;
+    Ex.Features[FeatureId::AvgSizeLog] = 5 + (I % 7) * 0.1;
+    Out.push_back(Ex);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(BrainyModelTest, LearnsSeparableRule) {
+  NetConfig Cfg;
+  Cfg.Epochs = 60;
+  BrainyModel Model =
+      BrainyModel::train(ModelKind::VectorOO, syntheticExamples(60), Cfg);
+  ASSERT_TRUE(Model.trained());
+  TrainExample FindHeavy = syntheticExamples(2)[0];
+  TrainExample InsertHeavy = syntheticExamples(2)[1];
+  EXPECT_EQ(Model.predict(FindHeavy.Features, true), DsKind::HashSet);
+  EXPECT_EQ(Model.predict(InsertHeavy.Features, true), DsKind::Vector);
+  EXPECT_GT(Model.accuracy(syntheticExamples(60), true), 0.95);
+}
+
+TEST(BrainyModelTest, UntrainedPredictsOriginal) {
+  BrainyModel Model =
+      BrainyModel::train(ModelKind::Set, {}, NetConfig());
+  EXPECT_FALSE(Model.trained());
+  FeatureVector F;
+  EXPECT_EQ(Model.predict(F, true), DsKind::Set);
+}
+
+TEST(BrainyModelTest, OrderAwareMaskRestrictsSetModel) {
+  // Train the Set model to always prefer hash_set, then ask for an
+  // order-aware app: hash_set is illegal, so the pick must be in
+  // {set, avl_set}.
+  std::vector<TrainExample> Examples;
+  for (unsigned I = 0; I != 40; ++I) {
+    TrainExample Ex;
+    Ex.BestDs = DsKind::HashSet;
+    Ex.Features[FeatureId::FindFrac] = 0.9;
+    Ex.Features[FeatureId::AvgSizeLog] = 4 + (I % 5) * 0.2;
+    Examples.push_back(Ex);
+  }
+  NetConfig Cfg;
+  Cfg.Epochs = 40;
+  BrainyModel Model = BrainyModel::train(ModelKind::Set, Examples, Cfg);
+  FeatureVector Probe = Examples[0].Features;
+  EXPECT_EQ(Model.predict(Probe, /*AppOrderOblivious=*/true),
+            DsKind::HashSet);
+  DsKind Masked = Model.predict(Probe, /*AppOrderOblivious=*/false);
+  EXPECT_TRUE(Masked == DsKind::Set || Masked == DsKind::AvlSet);
+}
+
+TEST(BrainyModelTest, PersistenceRoundTrip) {
+  NetConfig Cfg;
+  Cfg.Epochs = 30;
+  BrainyModel Model =
+      BrainyModel::train(ModelKind::VectorOO, syntheticExamples(40), Cfg);
+  BrainyModel Loaded;
+  ASSERT_TRUE(BrainyModel::fromString(Model.toString(), Loaded));
+  EXPECT_EQ(Loaded.kind(), Model.kind());
+  EXPECT_EQ(Loaded.trained(), Model.trained());
+  for (const TrainExample &Ex : syntheticExamples(10))
+    EXPECT_EQ(Loaded.predict(Ex.Features, true),
+              Model.predict(Ex.Features, true));
+}
+
+//===----------------------------------------------------------------------===//
+// Brainy bundle
+//===----------------------------------------------------------------------===//
+
+TEST(BrainyBundleTest, TrainSaveLoadRecommend) {
+  TrainOptions Opts = tinyOptions();
+  MachineConfig MC = MachineConfig::core2();
+  Brainy B = Brainy::train(Opts, MC);
+  EXPECT_EQ(B.machineName(), "core2");
+
+  std::string Path = ::testing::TempDir() + "/brainy_bundle_test.txt";
+  ASSERT_TRUE(B.saveFile(Path));
+  Brainy Loaded;
+  ASSERT_TRUE(Brainy::loadFile(Path, Loaded));
+  EXPECT_EQ(Loaded.machineName(), "core2");
+
+  // Same predictions after the round trip.
+  AppSpec Spec = AppSpec::fromSeed(4242, Opts.GenConfig);
+  ProfiledOutcome Out = runAppProfiled(Spec, DsKind::Vector, MC);
+  EXPECT_EQ(B.recommend(DsKind::Vector, Out.Sw, Out.Features),
+            Loaded.recommend(DsKind::Vector, Out.Sw, Out.Features));
+  std::remove(Path.c_str());
+}
+
+TEST(BrainyBundleTest, TrainOrLoadUsesCache) {
+  TrainOptions Opts = tinyOptions();
+  MachineConfig MC = MachineConfig::core2();
+  std::string Path = ::testing::TempDir() + "/brainy_cache_test.txt";
+  std::remove(Path.c_str());
+  Brainy First = Brainy::trainOrLoad(Opts, MC, Path, "tag-a");
+  // Second call must load (we can't time it reliably, but it must succeed
+  // and agree).
+  Brainy Second = Brainy::trainOrLoad(Opts, MC, Path, "tag-a");
+  EXPECT_EQ(First.toString(), Second.toString());
+  // A different tag forces a retrain (file gets rewritten).
+  Brainy Third = Brainy::trainOrLoad(Opts, MC, Path, "tag-b");
+  EXPECT_EQ(Third.machineName(), "core2");
+  std::remove(Path.c_str());
+}
+
+TEST(BrainyBundleTest, RecommendRoutesToModelFamily) {
+  Brainy B; // untrained: every model predicts its original
+  SoftwareFeatures Sw;
+  Sw.FindCount = 10; // order-oblivious profile
+  FeatureVector F;
+  EXPECT_EQ(B.recommend(DsKind::Vector, Sw, F), DsKind::Vector);
+  EXPECT_EQ(B.recommend(DsKind::Map, Sw, F), DsKind::Map);
+  Sw.IterateCount = 5; // now order-aware
+  EXPECT_EQ(B.recommend(DsKind::List, Sw, F), DsKind::List);
+}

@@ -1,0 +1,238 @@
+//===- tests/ml_test.cpp - neural network / GA feature selection ----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/GaSelect.h"
+#include "ml/NeuralNet.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace brainy;
+
+//===----------------------------------------------------------------------===//
+// Normalizer
+//===----------------------------------------------------------------------===//
+
+TEST(NormalizerTest, ZScoresColumns) {
+  Normalizer N;
+  std::vector<std::vector<double>> Data = {{1, 10}, {3, 10}, {5, 10}};
+  N.fit(Data);
+  EXPECT_DOUBLE_EQ(N.means()[0], 3.0);
+  EXPECT_DOUBLE_EQ(N.means()[1], 10.0);
+  // Constant column gets std 1 (maps to 0).
+  EXPECT_DOUBLE_EQ(N.stds()[1], 1.0);
+  std::vector<double> Row = {5, 10};
+  N.apply(Row);
+  EXPECT_GT(Row[0], 0.0);
+  EXPECT_DOUBLE_EQ(Row[1], 0.0);
+  N.applyAll(Data);
+  double Sum = Data[0][0] + Data[1][0] + Data[2][0];
+  EXPECT_NEAR(Sum, 0.0, 1e-12);
+}
+
+TEST(NormalizerTest, StringRoundTrip) {
+  Normalizer N;
+  N.fit({{1, 2, 3}, {4, 5, 6}, {7, 8, 10}});
+  Normalizer M;
+  ASSERT_TRUE(Normalizer::fromString(N.toString(), M));
+  ASSERT_EQ(M.dimension(), 3u);
+  for (unsigned I = 0; I != 3; ++I) {
+    EXPECT_DOUBLE_EQ(M.means()[I], N.means()[I]);
+    EXPECT_DOUBLE_EQ(M.stds()[I], N.stds()[I]);
+  }
+  Normalizer Bad;
+  EXPECT_FALSE(Normalizer::fromString("not-a-number", Bad));
+}
+
+TEST(DatasetTest, Basics) {
+  Dataset D;
+  EXPECT_TRUE(D.empty());
+  EXPECT_EQ(D.numClasses(), 0u);
+  D.add({1, 2}, 0);
+  D.add({3, 4}, 2);
+  EXPECT_EQ(D.size(), 2u);
+  EXPECT_EQ(D.dimension(), 2u);
+  EXPECT_EQ(D.numClasses(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// NeuralNet
+//===----------------------------------------------------------------------===//
+
+TEST(NeuralNetTest, ProbabilitiesFormDistribution) {
+  NeuralNet Net(4, 8, 3, 7);
+  std::vector<double> P = Net.predictProba({0.1, -0.2, 0.3, 0.4});
+  ASSERT_EQ(P.size(), 3u);
+  double Sum = 0;
+  for (double V : P) {
+    EXPECT_GT(V, 0.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(NeuralNetTest, LearnsXor) {
+  // XOR is not linearly separable: exercises the hidden layer.
+  Dataset D;
+  for (int A = 0; A != 2; ++A)
+    for (int B = 0; B != 2; ++B)
+      for (int Rep = 0; Rep != 10; ++Rep)
+        D.add({static_cast<double>(A), static_cast<double>(B)},
+              static_cast<unsigned>(A ^ B));
+  NetConfig Cfg;
+  Cfg.HiddenUnits = 8;
+  Cfg.Epochs = 400;
+  Cfg.LearningRate = 0.2;
+  NeuralNet Net = trainNetwork(D, Cfg);
+  EXPECT_DOUBLE_EQ(Net.accuracy(D), 1.0);
+}
+
+TEST(NeuralNetTest, LearnsGaussianBlobs) {
+  Dataset D;
+  Rng R(5);
+  auto Gauss = [&R]() {
+    double U1 = R.nextDouble() + 1e-12, U2 = R.nextDouble();
+    return std::sqrt(-2 * std::log(U1)) * std::cos(6.2831853 * U2);
+  };
+  for (int I = 0; I != 300; ++I) {
+    unsigned Label = I % 3;
+    double CX = Label == 0 ? -3 : Label == 1 ? 0 : 3;
+    D.add({CX + Gauss() * 0.5, Gauss() * 0.5}, Label);
+  }
+  NetConfig Cfg;
+  Cfg.Epochs = 100;
+  NeuralNet Net = trainNetwork(D, Cfg);
+  EXPECT_GT(Net.accuracy(D), 0.95);
+}
+
+TEST(NeuralNetTest, DeterministicTraining) {
+  Dataset D;
+  Rng R(9);
+  for (int I = 0; I != 100; ++I) {
+    double X = R.nextDouble() * 2 - 1;
+    D.add({X, X * X}, X > 0 ? 1u : 0u);
+  }
+  NetConfig Cfg;
+  Cfg.Epochs = 30;
+  NeuralNet A = trainNetwork(D, Cfg);
+  NeuralNet B = trainNetwork(D, Cfg);
+  EXPECT_EQ(A.toString(), B.toString());
+}
+
+TEST(NeuralNetTest, SerializationRoundTrip) {
+  Dataset D;
+  for (int I = 0; I != 40; ++I)
+    D.add({I * 0.1, 1.0 - I * 0.05}, I % 2);
+  NetConfig Cfg;
+  Cfg.Epochs = 20;
+  NeuralNet Net = trainNetwork(D, Cfg);
+  NeuralNet Loaded;
+  ASSERT_TRUE(NeuralNet::fromString(Net.toString(), Loaded));
+  EXPECT_EQ(Loaded.inputs(), Net.inputs());
+  EXPECT_EQ(Loaded.outputs(), Net.outputs());
+  for (int I = 0; I != 10; ++I) {
+    std::vector<double> X = {I * 0.2, I * -0.1};
+    EXPECT_EQ(Net.predict(X), Loaded.predict(X));
+    std::vector<double> PA = Net.predictProba(X);
+    std::vector<double> PB = Loaded.predictProba(X);
+    for (size_t J = 0; J != PA.size(); ++J)
+      EXPECT_DOUBLE_EQ(PA[J], PB[J]);
+  }
+  NeuralNet Bad;
+  EXPECT_FALSE(NeuralNet::fromString("0 0 0", Bad));
+  EXPECT_FALSE(NeuralNet::fromString("garbage", Bad));
+}
+
+TEST(NeuralNetTest, NumClassesOverride) {
+  Dataset D;
+  D.add({1.0}, 0);
+  D.add({2.0}, 0); // only class 0 present
+  NetConfig Cfg;
+  Cfg.Epochs = 5;
+  NeuralNet Net = trainNetwork(D, Cfg, 4);
+  EXPECT_EQ(Net.outputs(), 4u);
+}
+
+TEST(NeuralNetTest, EpochLossDecreases) {
+  Dataset D;
+  Rng R(21);
+  for (int I = 0; I != 200; ++I) {
+    double X = R.nextDouble() * 4 - 2;
+    D.add({X}, X > 0 ? 1u : 0u);
+  }
+  NeuralNet Net(1, 6, 2, 3);
+  Rng Shuffler(1);
+  double First = Net.trainEpoch(D, 0.1, 0.9, 0, Shuffler);
+  double Last = First;
+  for (int E = 0; E != 30; ++E)
+    Last = Net.trainEpoch(D, 0.1, 0.9, 0, Shuffler);
+  EXPECT_LT(Last, First * 0.5);
+}
+
+//===----------------------------------------------------------------------===//
+// GA feature selection
+//===----------------------------------------------------------------------===//
+
+TEST(GaSelectTest, FindsInformativeFeature) {
+  // Feature 2 fully determines the label; features 0,1,3 are noise.
+  Dataset D;
+  Rng R(33);
+  for (int I = 0; I != 240; ++I) {
+    double Signal = R.nextDouble() * 2 - 1;
+    D.add({R.nextDouble(), R.nextDouble(), Signal, R.nextDouble()},
+          Signal > 0 ? 1u : 0u);
+  }
+  GaConfig Cfg;
+  Cfg.Population = 8;
+  Cfg.Generations = 5;
+  Cfg.Net.Epochs = 25;
+  GaResult Result = selectFeatures(D, Cfg);
+  ASSERT_EQ(Result.Weights.size(), 4u);
+  ASSERT_EQ(Result.Ranked.size(), 4u);
+  EXPECT_EQ(Result.Ranked.front(), 2u);
+  EXPECT_GT(Result.Fitness, 0.85);
+}
+
+TEST(GaSelectTest, DeterministicForSeed) {
+  Dataset D;
+  Rng R(44);
+  for (int I = 0; I != 60; ++I)
+    D.add({R.nextDouble(), R.nextDouble()}, I % 2);
+  GaConfig Cfg;
+  Cfg.Population = 6;
+  Cfg.Generations = 3;
+  Cfg.Net.Epochs = 10;
+  GaResult A = selectFeatures(D, Cfg);
+  GaResult B = selectFeatures(D, Cfg);
+  EXPECT_EQ(A.Weights, B.Weights);
+  EXPECT_EQ(A.Ranked, B.Ranked);
+}
+
+TEST(GaSelectTest, TinyDatasetFallsBack) {
+  Dataset D;
+  D.add({1, 2}, 0);
+  GaResult Result = selectFeatures(D, GaConfig());
+  ASSERT_EQ(Result.Weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(Result.Weights[0], 1.0);
+}
+
+TEST(GaSelectTest, WeightsStayInRange) {
+  Dataset D;
+  Rng R(55);
+  for (int I = 0; I != 100; ++I)
+    D.add({R.nextDouble(), R.nextDouble(), R.nextDouble()}, I % 3);
+  GaConfig Cfg;
+  Cfg.Population = 6;
+  Cfg.Generations = 4;
+  Cfg.Net.Epochs = 10;
+  GaResult Result = selectFeatures(D, Cfg, 3);
+  for (double W : Result.Weights) {
+    EXPECT_GE(W, 0.0);
+    EXPECT_LE(W, 1.0);
+  }
+}

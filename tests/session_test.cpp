@@ -1,0 +1,101 @@
+//===- tests/session_test.cpp - ProfileSession tests ----------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileSession.h"
+
+#include <gtest/gtest.h>
+
+using namespace brainy;
+
+namespace {
+
+/// A deliberately lopsided two-container application: a hot search-heavy
+/// vector and a barely used list.
+void driveSession(ProfileSession &Session, Container &Hot, Container &Cold) {
+  (void)Session;
+  for (ds::Key K = 0; K != 400; ++K)
+    Hot.insert(K);
+  for (int I = 0; I != 3000; ++I)
+    Hot.find(I % 800); // half hits, scanning deep
+  Cold.insert(1);
+  Cold.insert(2);
+  Cold.iterate(2);
+}
+
+} // namespace
+
+TEST(ProfileSessionTest, RegistersAndTracksContexts) {
+  ProfileSession Session(MachineConfig::core2());
+  Container &Hot = Session.create("parser.cpp:42 symbols", DsKind::Vector);
+  Container &Cold = Session.create("driver.cpp:7 options", DsKind::List);
+  EXPECT_EQ(Session.size(), 2u);
+  driveSession(Session, Hot, Cold);
+
+  Brainy Advisor; // untrained: recommends keeping originals
+  auto Findings = Session.analyze(Advisor);
+  ASSERT_EQ(Findings.size(), 2u);
+  // Sorted by relative execution time: the hot vector first.
+  EXPECT_EQ(Findings[0].Context, "parser.cpp:42 symbols");
+  EXPECT_EQ(Findings[0].Original, DsKind::Vector);
+  EXPECT_GT(Findings[0].CycleShare, 0.9);
+  EXPECT_EQ(Findings[1].Original, DsKind::List);
+  double ShareSum = Findings[0].CycleShare + Findings[1].CycleShare;
+  EXPECT_NEAR(ShareSum, 1.0, 1e-9);
+}
+
+TEST(ProfileSessionTest, FeaturesAndOrderedness) {
+  ProfileSession Session(MachineConfig::atom());
+  Container &Hot = Session.create("a", DsKind::Vector);
+  Container &Cold = Session.create("b", DsKind::List);
+  driveSession(Session, Hot, Cold);
+  Brainy Advisor;
+  auto Findings = Session.analyze(Advisor);
+  // The hot vector never iterates -> order-oblivious; the list iterates.
+  EXPECT_TRUE(Findings[0].OrderOblivious);
+  EXPECT_FALSE(Findings[1].OrderOblivious);
+  EXPECT_GT(Findings[0].Features[FeatureId::FindFrac], 0.5);
+}
+
+TEST(ProfileSessionTest, ReportRendersPrioritisedTable) {
+  ProfileSession Session(MachineConfig::core2());
+  Container &Hot = Session.create("hot-site", DsKind::Vector);
+  Container &Cold = Session.create("cold-site", DsKind::List);
+  driveSession(Session, Hot, Cold);
+  Brainy Advisor;
+  std::string Report = Session.report(Advisor);
+  EXPECT_NE(Report.find("hot-site"), std::string::npos);
+  EXPECT_NE(Report.find("cold-site"), std::string::npos);
+  EXPECT_NE(Report.find("priority"), std::string::npos);
+  // Untrained advisor keeps everything.
+  EXPECT_NE(Report.find("(keep)"), std::string::npos);
+  // The hot site is listed before the cold one.
+  EXPECT_LT(Report.find("hot-site"), Report.find("cold-site"));
+}
+
+TEST(ProfileSessionTest, TrainedAdvisorSuggestsChanges) {
+  // Train a model that maps find-heavy profiles to hash_set, then check
+  // the report routes the suggestion through.
+  std::vector<TrainExample> Examples;
+  for (unsigned I = 0; I != 40; ++I) {
+    TrainExample Ex;
+    Ex.BestDs = DsKind::HashSet;
+    Ex.Features[FeatureId::FindFrac] = 0.8 + 0.001 * (I % 10);
+    Ex.Features[FeatureId::FindCostAvg] = 200 + I;
+    Examples.push_back(Ex);
+  }
+  NetConfig Net;
+  Net.Epochs = 40;
+  Brainy Advisor;
+  Advisor.model(ModelKind::VectorOO) =
+      BrainyModel::train(ModelKind::VectorOO, Examples, Net);
+
+  ProfileSession Session(MachineConfig::core2());
+  Container &Hot = Session.create("hot", DsKind::Vector);
+  Container &Cold = Session.create("cold", DsKind::List);
+  driveSession(Session, Hot, Cold);
+  auto Findings = Session.analyze(Advisor);
+  EXPECT_EQ(Findings[0].Recommended, DsKind::HashSet);
+}

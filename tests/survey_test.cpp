@@ -1,0 +1,79 @@
+//===- tests/survey_test.cpp - container-usage survey tests ---------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "survey/Survey.h"
+
+#include <gtest/gtest.h>
+
+using namespace brainy;
+
+TEST(SurveyTest, CountsTemplatedAndQualifiedUses) {
+  auto Counts = countContainerRefs("std::vector<int> V;\n"
+                                   "vector<double> W;\n"
+                                   "std::map<int, int> M;\n");
+  EXPECT_EQ(Counts["vector"], 2u);
+  EXPECT_EQ(Counts["map"], 1u);
+  EXPECT_EQ(Counts["set"], 0u);
+}
+
+TEST(SurveyTest, IgnoresCommentsAndStrings) {
+  auto Counts = countContainerRefs(
+      "// std::vector<int> commented;\n"
+      "/* std::set<int> blocky; */\n"
+      "const char *S = \"std::map<int,int>\";\n"
+      "std::list<int> Real;\n");
+  EXPECT_EQ(Counts["vector"], 0u);
+  EXPECT_EQ(Counts["set"], 0u);
+  EXPECT_EQ(Counts["map"], 0u);
+  EXPECT_EQ(Counts["list"], 1u);
+}
+
+TEST(SurveyTest, WordBoundariesPreventSubstringHits) {
+  auto Counts = countContainerRefs("std::multimap<int,int> MM;\n"
+                                   "hash_map<int,int> HM;\n"
+                                   "my_vector<int> NotStd;\n"
+                                   "int setting = 0; int offset(1);\n");
+  EXPECT_EQ(Counts["map"], 0u); // inside multimap / hash_map only
+  EXPECT_EQ(Counts["multimap"], 1u);
+  EXPECT_EQ(Counts["hash_map"], 1u);
+  EXPECT_EQ(Counts["vector"], 0u); // my_vector is not vector
+  EXPECT_EQ(Counts["set"], 0u);    // "setting"/"offset" are identifiers
+}
+
+TEST(SurveyTest, BareWordWithoutTemplateOrQualifierDoesNotCount) {
+  auto Counts = countContainerRefs("int set = 1; set = 2;\n");
+  EXPECT_EQ(Counts["set"], 0u);
+}
+
+TEST(SurveyTest, MergeAddsCounts) {
+  std::map<std::string, uint64_t> A = {{"vector", 2}};
+  mergeCounts(A, {{"vector", 3}, {"list", 1}});
+  EXPECT_EQ(A["vector"], 5u);
+  EXPECT_EQ(A["list"], 1u);
+}
+
+TEST(SurveyTest, CorpusGenerationIsDeterministic) {
+  EXPECT_EQ(generateCorpusFile(42), generateCorpusFile(42));
+  EXPECT_NE(generateCorpusFile(42), generateCorpusFile(43));
+}
+
+TEST(SurveyTest, CorpusReproducesFigure2Ordering) {
+  // Figure 2's headline: vector, list, set, and map dominate, with vector
+  // far ahead.
+  auto Totals = surveyCorpus(300);
+  EXPECT_GT(Totals["vector"], Totals["list"]);
+  EXPECT_GT(Totals["vector"], 2 * Totals["set"]);
+  EXPECT_GT(Totals["list"], Totals["deque"]);
+  EXPECT_GT(Totals["map"], Totals["multimap"]);
+  EXPECT_GT(Totals["set"], Totals["multiset"]);
+  EXPECT_GT(Totals["vector"], 100u);
+}
+
+TEST(SurveyTest, SurveyedNamesCoverPaperTargets) {
+  auto Names = surveyedContainerNames();
+  for (const char *Needed : {"vector", "list", "set", "map"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Needed), Names.end());
+}

@@ -1,0 +1,98 @@
+//===- tests/training_test.cpp - end-to-end training integration ----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Integration tests over the complete two-phase pipeline at a reduced
+// scale: generation -> racing -> profiling -> learning -> prediction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Brainy.h"
+
+#include <gtest/gtest.h>
+
+using namespace brainy;
+
+namespace {
+
+TrainOptions smallOptions() {
+  TrainOptions Opts;
+  Opts.TargetPerDs = 10;
+  Opts.MaxSeeds = 900;
+  Opts.GenConfig.TotalInterfCalls = 250;
+  Opts.GenConfig.MaxInitialSize = 800;
+  Opts.Net.Epochs = 50;
+  return Opts;
+}
+
+} // namespace
+
+TEST(TrainingIntegrationTest, TrainingIsDeterministic) {
+  TrainOptions Opts = smallOptions();
+  Opts.TargetPerDs = 5;
+  Opts.MaxSeeds = 300;
+  MachineConfig MC = MachineConfig::core2();
+  Brainy A = Brainy::train(Opts, MC);
+  Brainy B = Brainy::train(Opts, MC);
+  EXPECT_EQ(A.toString(), B.toString());
+}
+
+TEST(TrainingIntegrationTest, ModelsBeatChanceOnHeldOutApps) {
+  TrainOptions Opts = smallOptions();
+  MachineConfig MC = MachineConfig::core2();
+  Brainy B = Brainy::train(Opts, MC);
+  TrainingFramework FW(Opts, MC);
+
+  // Validate the order-oblivious vector model: 6 candidates, chance ~17%.
+  ModelKind MK = ModelKind::VectorOO;
+  unsigned Correct = 0, Total = 0;
+  uint64_t Seed = Opts.FirstSeed + Opts.MaxSeeds;
+  while (Total < 40 && Seed < Opts.FirstSeed + Opts.MaxSeeds + 2500) {
+    uint64_t S = Seed++;
+    if (!FW.specMatchesModel(S, MK))
+      continue;
+    AppSpec Spec = AppSpec::fromSeed(S, Opts.GenConfig);
+    RaceResult Race = oracleBest(Spec, modelOriginal(MK), MC);
+    if (Race.Margin < Opts.WinnerMargin)
+      continue;
+    ProfiledOutcome Out = runAppProfiled(Spec, modelOriginal(MK), MC);
+    Correct += B.model(MK).predict(Out.Features, true) == Race.Best;
+    ++Total;
+  }
+  ASSERT_GE(Total, 30u);
+  double Accuracy = static_cast<double>(Correct) / Total;
+  // Even a tiny training run should be far above the ~1/6 chance level.
+  EXPECT_GT(Accuracy, 0.40);
+}
+
+TEST(TrainingIntegrationTest, PredictionsAreLegalCandidates) {
+  TrainOptions Opts = smallOptions();
+  Opts.TargetPerDs = 6;
+  Opts.MaxSeeds = 400;
+  MachineConfig MC = MachineConfig::atom();
+  Brainy B = Brainy::train(Opts, MC);
+  for (uint64_t Seed = 5000; Seed != 5050; ++Seed) {
+    AppSpec Spec = AppSpec::fromSeed(Seed, Opts.GenConfig);
+    for (DsKind Original : {DsKind::Vector, DsKind::List, DsKind::Set,
+                            DsKind::Map}) {
+      ProfiledOutcome Out = runAppProfiled(Spec, Original, MC);
+      DsKind Pick = B.recommend(Original, Out.Sw, Out.Features);
+      std::vector<DsKind> Legal =
+          replacementCandidates(Original, Out.Sw.orderOblivious());
+      EXPECT_NE(std::find(Legal.begin(), Legal.end(), Pick), Legal.end())
+          << dsKindName(Original) << " -> " << dsKindName(Pick);
+    }
+  }
+}
+
+TEST(TrainingIntegrationTest, TwoMachinesTrainDistinctModels) {
+  TrainOptions Opts = smallOptions();
+  Opts.TargetPerDs = 6;
+  Opts.MaxSeeds = 400;
+  Brainy C2 = Brainy::train(Opts, MachineConfig::core2());
+  Brainy AT = Brainy::train(Opts, MachineConfig::atom());
+  EXPECT_NE(C2.machineName(), AT.machineName());
+  // The learned weights differ (the machines rank candidates differently).
+  EXPECT_NE(C2.model(ModelKind::VectorOO).toString(),
+            AT.model(ModelKind::VectorOO).toString());
+}

@@ -1,0 +1,157 @@
+//===- tests/workloads_test.cpp - case-study workload tests ---------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudy.h"
+
+#include <gtest/gtest.h>
+
+using namespace brainy;
+
+TEST(CaseStudyTest, FourStudiesWithPaperMetadata) {
+  auto Studies = allCaseStudies();
+  ASSERT_EQ(Studies.size(), 4u);
+  EXPECT_STREQ(Studies[0]->name(), "xalancbmk");
+  EXPECT_STREQ(Studies[1]->name(), "chord");
+  EXPECT_STREQ(Studies[2]->name(), "relipmoc");
+  EXPECT_STREQ(Studies[3]->name(), "raytrace");
+
+  EXPECT_EQ(Studies[0]->original(), DsKind::Vector);
+  EXPECT_EQ(Studies[1]->original(), DsKind::Vector);
+  EXPECT_EQ(Studies[2]->original(), DsKind::Set);
+  EXPECT_EQ(Studies[3]->original(), DsKind::List);
+
+  EXPECT_EQ(Studies[0]->inputNames().size(), 3u); // test/train/reference
+  EXPECT_EQ(Studies[1]->inputNames().size(), 3u); // small/medium/large
+  EXPECT_TRUE(Studies[1]->mapUsage());
+  EXPECT_FALSE(Studies[0]->mapUsage());
+}
+
+TEST(CaseStudyTest, RunsAreDeterministic) {
+  auto CS = makeRaytrace();
+  MachineConfig MC = MachineConfig::core2();
+  WorkloadRun A = CS->run(DsKind::List, 0, MC);
+  WorkloadRun B = CS->run(DsKind::List, 0, MC);
+  EXPECT_DOUBLE_EQ(A.Run.Cycles, B.Run.Cycles);
+  EXPECT_EQ(A.Run.Hw.Instructions, B.Run.Hw.Instructions);
+}
+
+TEST(CaseStudyTest, CandidatesStartWithOriginal) {
+  for (const auto &CS : allCaseStudies()) {
+    std::vector<DsKind> C = CS->candidates();
+    ASSERT_FALSE(C.empty());
+    EXPECT_EQ(C.front(), CS->original());
+  }
+}
+
+TEST(CaseStudyTest, ProfiledRunExposesFeatures) {
+  auto CS = makeXalanCache();
+  WorkloadRun Out = CS->runProfiled(1, MachineConfig::core2()); // train
+  // The train input is a find-flood (Section 6.2).
+  EXPECT_GT(Out.Sw.FindCount, 10000u);
+  EXPECT_GT(Out.Features[FeatureId::FindFrac], 0.8);
+  // Finds succeed at the very beginning: tiny relative scan depth.
+  EXPECT_LT(Out.Features[FeatureId::FindCostRel], 0.1);
+  EXPECT_TRUE(Out.Sw.orderOblivious());
+}
+
+TEST(CaseStudyTest, XalanInputsChangeSearchDepth) {
+  // Table 4: touched-elements-per-find varies enormously across inputs.
+  auto CS = makeXalanCache();
+  MachineConfig MC = MachineConfig::core2();
+  WorkloadRun Test = CS->runProfiled(0, MC);
+  WorkloadRun Train = CS->runProfiled(1, MC);
+  double DepthTest = Test.Features[FeatureId::FindCostAvg];
+  double DepthTrain = Train.Features[FeatureId::FindCostAvg];
+  EXPECT_GT(DepthTest, DepthTrain * 20);
+}
+
+TEST(CaseStudyTest, RaytraceIsIterationDominated) {
+  auto CS = makeRaytrace();
+  WorkloadRun Out = CS->runProfiled(0, MachineConfig::core2());
+  EXPECT_GT(Out.Sw.IterateSteps, 100000u);
+  EXPECT_FALSE(Out.Sw.orderOblivious());
+}
+
+TEST(CaseStudyTest, RelipmocIsFindHeavy) {
+  auto CS = makeRelipmoC();
+  WorkloadRun Out = CS->runProfiled(0, MachineConfig::core2());
+  EXPECT_GT(Out.Sw.FindCount, 30000u);
+  EXPECT_GT(Out.Sw.IterateCount, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pinned paper-shape outcomes. These guard the evaluation results: if a
+// container or machine-model change flips a winner, these fail before the
+// benches mislead anyone.
+//===----------------------------------------------------------------------===//
+
+TEST(CaseStudyOutcomeTest, XalanWinnersMatchPaper) {
+  auto CS = makeXalanCache();
+  for (const MachineConfig &MC :
+       {MachineConfig::core2(), MachineConfig::atom()}) {
+    EXPECT_EQ(CS->race(0, MC).Best, DsKind::HashSet) << MC.Name; // test
+    EXPECT_EQ(CS->race(1, MC).Best, DsKind::Vector) << MC.Name;  // train
+    EXPECT_EQ(CS->race(2, MC).Best, DsKind::HashSet) << MC.Name; // ref
+  }
+}
+
+TEST(CaseStudyOutcomeTest, ChordLargeDisagreesAcrossMachines) {
+  auto CS = makeChordSim();
+  RaceResult Core2 = CS->race(2, MachineConfig::core2());
+  RaceResult Atom = CS->race(2, MachineConfig::atom());
+  EXPECT_EQ(Core2.Best, DsKind::Vector);
+  EXPECT_NE(Atom.Best, DsKind::Vector);
+}
+
+TEST(CaseStudyOutcomeTest, ChordMediumPrefersHashMap) {
+  auto CS = makeChordSim();
+  EXPECT_EQ(CS->race(1, MachineConfig::core2()).Best, DsKind::HashMap);
+  EXPECT_EQ(CS->race(1, MachineConfig::atom()).Best, DsKind::HashMap);
+}
+
+TEST(CaseStudyOutcomeTest, RelipmocPrefersAvlSet) {
+  auto CS = makeRelipmoC();
+  EXPECT_EQ(CS->race(0, MachineConfig::core2()).Best, DsKind::AvlSet);
+  EXPECT_EQ(CS->race(0, MachineConfig::atom()).Best, DsKind::AvlSet);
+}
+
+TEST(CaseStudyOutcomeTest, RaytracePrefersVector) {
+  auto CS = makeRaytrace();
+  EXPECT_EQ(CS->race(0, MachineConfig::core2()).Best, DsKind::Vector);
+  EXPECT_EQ(CS->race(0, MachineConfig::atom()).Best, DsKind::Vector);
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+TEST(CaseStudyTest, AsMapVariant) {
+  EXPECT_EQ(asMapVariant(DsKind::Set, true), DsKind::Map);
+  EXPECT_EQ(asMapVariant(DsKind::AvlSet, true), DsKind::AvlMap);
+  EXPECT_EQ(asMapVariant(DsKind::HashSet, true), DsKind::HashMap);
+  EXPECT_EQ(asMapVariant(DsKind::Vector, true), DsKind::Vector);
+  EXPECT_EQ(asMapVariant(DsKind::Set, false), DsKind::Set);
+}
+
+TEST(CaseStudyTest, ObservedOpsNotifiesObserver) {
+  struct Counter final : OpObserver {
+    void onOp(AppOp Op, uint64_t, uint64_t Arg) override {
+      ++Count;
+      if (Op == AppOp::Iterate)
+        LastIter = Arg;
+    }
+    unsigned Count = 0;
+    uint64_t LastIter = 0;
+  } Obs;
+  auto C = makeContainer(DsKind::Vector);
+  ObservedOps Ops(*C, &Obs);
+  Ops.insert(1);
+  Ops.find(1);
+  Ops.iterate(5);
+  EXPECT_EQ(Obs.Count, 3u);
+  EXPECT_EQ(Obs.LastIter, 5u);
+  EXPECT_EQ(Ops.size(), 1u);
+}

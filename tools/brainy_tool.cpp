@@ -1,0 +1,292 @@
+//===- tools/brainy_tool.cpp - the brainy command-line tool ---------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The install-time workflow the paper envisions (Section 1: "the synthetic
+// program generation tool ... can be used to tune a cost model once for
+// each target system at install-time"), packaged as one CLI:
+//
+//   brainy machines
+//       print the available simulated microarchitectures
+//   brainy appgen --seed N [--ds KIND] [--config FILE] [-o FILE]
+//       emit one synthetic training application as compilable C++
+//   brainy train --machine NAME -o MODELS [--target N] [--seeds N]
+//                [--config FILE]
+//       run the two-phase training framework and save the model bundle
+//   brainy trainset --machine NAME --model FAMILY -o FILE
+//       run Phases I+II for one family and write the training-set file
+//   brainy eval --models MODELS --trainset FILE
+//       score a saved bundle against a training-set trace file
+//   brainy survey FILE...
+//       count STL container references in real source files (Figure 2
+//       methodology)
+//
+//===----------------------------------------------------------------------===//
+
+#include "appgen/CppEmitter.h"
+#include "core/Brainy.h"
+#include "survey/Survey.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace brainy;
+
+namespace {
+
+/// Minimal flag parser: --key value pairs plus positional arguments.
+struct Args {
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positional;
+
+  static Args parse(int Argc, char **Argv, int Start) {
+    Args A;
+    for (int I = Start; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) == 0) {
+        std::string Key = Arg.substr(2);
+        if (I + 1 < Argc) {
+          A.Flags[Key] = Argv[++I];
+        } else {
+          A.Flags[Key] = "";
+        }
+      } else if (Arg == "-o" && I + 1 < Argc) {
+        A.Flags["out"] = Argv[++I];
+      } else {
+        A.Positional.push_back(Arg);
+      }
+    }
+    return A;
+  }
+
+  std::string get(const std::string &Key, const std::string &Def = "") const {
+    auto It = Flags.find(Key);
+    return It == Flags.end() ? Def : It->second;
+  }
+  uint64_t getInt(const std::string &Key, uint64_t Def) const {
+    auto It = Flags.find(Key);
+    return It == Flags.end() ? Def : std::strtoull(It->second.c_str(),
+                                                   nullptr, 10);
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: brainy <command> [options]\n"
+      "  machines\n"
+      "  appgen --seed N [--ds KIND] [--config FILE] [-o FILE]\n"
+      "  train --machine core2|atom -o MODELS [--target N] [--seeds N]\n"
+      "        [--config FILE]\n"
+      "  trainset --machine core2|atom --model FAMILY -o FILE\n"
+      "           [--target N] [--seeds N] [--config FILE]\n"
+      "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
+      "  survey FILE...\n");
+  return 2;
+}
+
+bool pickMachine(const std::string &Name, MachineConfig &Out) {
+  if (Name == "core2") {
+    Out = MachineConfig::core2();
+    return true;
+  }
+  if (Name == "atom") {
+    Out = MachineConfig::atom();
+    return true;
+  }
+  return false;
+}
+
+AppConfig loadGenConfig(const Args &A) {
+  std::string Path = A.get("config");
+  if (Path.empty())
+    return AppConfig::fromString(AppConfig::sampleConfigText());
+  Config C = Config::fromFile(Path);
+  if (C.hasErrors()) {
+    for (const std::string &E : C.errors())
+      std::fprintf(stderr, "config: %s\n", E.c_str());
+  }
+  return AppConfig::fromConfig(C);
+}
+
+int cmdMachines() {
+  for (const MachineConfig &M :
+       {MachineConfig::core2(), MachineConfig::atom()}) {
+    std::printf("%-6s  L1 %lluKB/%u-way  L2 %lluKB/%u-way  %.1f GHz  "
+                "mispredict %.0f cyc  CPI %.2f\n",
+                M.Name.c_str(),
+                (unsigned long long)(M.L1.SizeBytes / 1024),
+                M.L1.Associativity,
+                (unsigned long long)(M.L2.SizeBytes / 1024),
+                M.L2.Associativity, M.ClockGhz, M.MispredictPenalty,
+                M.BaseCpi);
+  }
+  return 0;
+}
+
+int cmdAppgen(const Args &A) {
+  uint64_t Seed = A.getInt("seed", 1);
+  DsKind Kind = DsKind::Vector;
+  std::string DsName = A.get("ds", "vector");
+  if (!dsKindFromName(DsName.c_str(), Kind)) {
+    std::fprintf(stderr, "unknown data structure '%s'\n", DsName.c_str());
+    return 2;
+  }
+  AppSpec Spec = AppSpec::fromSeed(Seed, loadGenConfig(A));
+  std::string Out = A.get("out");
+  if (Out.empty()) {
+    std::string Source = emitCppSource(Spec, Kind);
+    std::fwrite(Source.data(), 1, Source.size(), stdout);
+    return 0;
+  }
+  if (!emitCppFile(Spec, Kind, Out)) {
+    std::fprintf(stderr, "cannot write '%s'\n", Out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (seed %llu, %s)\n", Out.c_str(),
+               (unsigned long long)Seed, dsKindName(Kind));
+  return 0;
+}
+
+int cmdTrain(const Args &A) {
+  MachineConfig Machine;
+  if (!pickMachine(A.get("machine", "core2"), Machine))
+    return usage();
+  std::string Out = A.get("out");
+  if (Out.empty())
+    return usage();
+
+  TrainOptions Opts;
+  Opts.GenConfig = loadGenConfig(A);
+  Opts.TargetPerDs = static_cast<unsigned>(A.getInt("target", 60));
+  Opts.MaxSeeds = A.getInt("seeds", 8000);
+  std::fprintf(stderr,
+               "training on %s: target %u winners/DS, up to %llu seeds...\n",
+               Machine.Name.c_str(), Opts.TargetPerDs,
+               (unsigned long long)Opts.MaxSeeds);
+  Brainy B = Brainy::train(Opts, Machine);
+  if (!B.saveFile(Out)) {
+    std::fprintf(stderr, "cannot write '%s'\n", Out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "saved models to %s\n", Out.c_str());
+  return 0;
+}
+
+int cmdTrainset(const Args &A) {
+  // Phase I + II for one model family, written to the paper's
+  // "designated training set file" format (readable by `brainy eval`).
+  MachineConfig Machine;
+  if (!pickMachine(A.get("machine", "core2"), Machine))
+    return usage();
+  std::string Out = A.get("out");
+  if (Out.empty())
+    return usage();
+  std::string FamilyName = A.get("model", "oo-vector");
+  for (unsigned I = 0; I != NumModelKinds; ++I) {
+    auto Kind = static_cast<ModelKind>(I);
+    if (FamilyName != modelKindName(Kind))
+      continue;
+    TrainOptions Opts;
+    Opts.GenConfig = loadGenConfig(A);
+    Opts.TargetPerDs = static_cast<unsigned>(A.getInt("target", 40));
+    Opts.MaxSeeds = A.getInt("seeds", 6000);
+    TrainingFramework Framework(Opts, Machine);
+    std::fprintf(stderr, "phase I (%s on %s)...\n", modelKindName(Kind),
+                 Machine.Name.c_str());
+    PhaseOneResult Phase1 = Framework.phaseOne(Kind);
+    std::fprintf(stderr, "phase II: profiling %zu recorded seeds...\n",
+                 Phase1.SeedDsPairs.size());
+    std::vector<TrainExample> Examples = Framework.phaseTwo(Kind, Phase1);
+    if (!writeTrainingSet(Out, Examples)) {
+      std::fprintf(stderr, "cannot write '%s'\n", Out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu examples to %s\n", Examples.size(),
+                 Out.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown model family '%s'\n", FamilyName.c_str());
+  return 2;
+}
+
+int cmdEval(const Args &A) {
+  Brainy B;
+  if (!Brainy::loadFile(A.get("models"), B)) {
+    std::fprintf(stderr, "cannot load models '%s'\n",
+                 A.get("models").c_str());
+    return 1;
+  }
+  std::vector<TrainExample> Examples;
+  if (!readTrainingSet(A.get("trainset"), Examples)) {
+    std::fprintf(stderr, "cannot read training set '%s'\n",
+                 A.get("trainset").c_str());
+    return 1;
+  }
+  std::string FamilyName = A.get("model", "oo-vector");
+  for (unsigned I = 0; I != NumModelKinds; ++I) {
+    auto Kind = static_cast<ModelKind>(I);
+    if (FamilyName != modelKindName(Kind))
+      continue;
+    double Acc = B.model(Kind).accuracy(Examples,
+                                        modelIsOrderOblivious(Kind));
+    std::printf("%s: %.2f%% over %zu examples (machine %s)\n",
+                modelKindName(Kind), Acc * 100, Examples.size(),
+                B.machineName().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown model family '%s'\n", FamilyName.c_str());
+  return 2;
+}
+
+int cmdSurvey(const Args &A) {
+  if (A.Positional.empty()) {
+    std::fprintf(stderr, "survey: no files given\n");
+    return 2;
+  }
+  std::map<std::string, uint64_t> Totals;
+  for (const std::string &Path : A.Positional) {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F) {
+      std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+      continue;
+    }
+    std::string Text;
+    char Buf[8192];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Text.append(Buf, N);
+    std::fclose(F);
+    mergeCounts(Totals, countContainerRefs(Text));
+  }
+  for (const auto &KV : Totals)
+    if (KV.second)
+      std::printf("%-10s %llu\n", KV.first.c_str(),
+                  (unsigned long long)KV.second);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  Args A = Args::parse(Argc, Argv, 2);
+  if (Cmd == "machines")
+    return cmdMachines();
+  if (Cmd == "appgen")
+    return cmdAppgen(A);
+  if (Cmd == "train")
+    return cmdTrain(A);
+  if (Cmd == "trainset")
+    return cmdTrainset(A);
+  if (Cmd == "eval")
+    return cmdEval(A);
+  if (Cmd == "survey")
+    return cmdSurvey(A);
+  return usage();
+}
