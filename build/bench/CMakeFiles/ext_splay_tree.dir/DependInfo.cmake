@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_splay_tree.cpp" "bench/CMakeFiles/ext_splay_tree.dir/ext_splay_tree.cpp.o" "gcc" "bench/CMakeFiles/ext_splay_tree.dir/ext_splay_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/containers/CMakeFiles/brainy_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brainy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/brainy_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_splay_tree.dir/ext_splay_tree.cpp.o"
+  "CMakeFiles/ext_splay_tree.dir/ext_splay_tree.cpp.o.d"
+  "ext_splay_tree"
+  "ext_splay_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_splay_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_arch_disagreement.dir/fig01_arch_disagreement.cpp.o"
+  "CMakeFiles/fig01_arch_disagreement.dir/fig01_arch_disagreement.cpp.o.d"
+  "fig01_arch_disagreement"
+  "fig01_arch_disagreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_arch_disagreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

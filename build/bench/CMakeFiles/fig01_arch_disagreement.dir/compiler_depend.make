@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_arch_disagreement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_usage_survey.dir/fig02_usage_survey.cpp.o"
+  "CMakeFiles/fig02_usage_survey.dir/fig02_usage_survey.cpp.o.d"
+  "fig02_usage_survey"
+  "fig02_usage_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_usage_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_brmiss_resize.cpp" "bench/CMakeFiles/fig06_brmiss_resize.dir/fig06_brmiss_resize.cpp.o" "gcc" "bench/CMakeFiles/fig06_brmiss_resize.dir/fig06_brmiss_resize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/brainy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/brainy_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/brainy_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/appgen/CMakeFiles/brainy_appgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/brainy_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/brainy_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/brainy_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/brainy_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brainy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

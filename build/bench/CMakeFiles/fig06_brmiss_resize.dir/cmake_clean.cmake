@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_brmiss_resize.dir/fig06_brmiss_resize.cpp.o"
+  "CMakeFiles/fig06_brmiss_resize.dir/fig06_brmiss_resize.cpp.o.d"
+  "fig06_brmiss_resize"
+  "fig06_brmiss_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_brmiss_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

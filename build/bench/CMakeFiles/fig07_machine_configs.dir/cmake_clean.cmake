@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_machine_configs.dir/fig07_machine_configs.cpp.o"
+  "CMakeFiles/fig07_machine_configs.dir/fig07_machine_configs.cpp.o.d"
+  "fig07_machine_configs"
+  "fig07_machine_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_machine_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_improvement.dir/fig08_improvement.cpp.o"
+  "CMakeFiles/fig08_improvement.dir/fig08_improvement.cpp.o.d"
+  "fig08_improvement"
+  "fig08_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

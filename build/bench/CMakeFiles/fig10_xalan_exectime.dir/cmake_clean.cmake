@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_xalan_exectime.dir/fig10_xalan_exectime.cpp.o"
+  "CMakeFiles/fig10_xalan_exectime.dir/fig10_xalan_exectime.cpp.o.d"
+  "fig10_xalan_exectime"
+  "fig10_xalan_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xalan_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

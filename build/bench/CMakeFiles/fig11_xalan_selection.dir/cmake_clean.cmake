@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_xalan_selection.dir/fig11_xalan_selection.cpp.o"
+  "CMakeFiles/fig11_xalan_selection.dir/fig11_xalan_selection.cpp.o.d"
+  "fig11_xalan_selection"
+  "fig11_xalan_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_xalan_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_chord_exectime.dir/fig12_chord_exectime.cpp.o"
+  "CMakeFiles/fig12_chord_exectime.dir/fig12_chord_exectime.cpp.o.d"
+  "fig12_chord_exectime"
+  "fig12_chord_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_chord_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_chord_selection.dir/fig13_chord_selection.cpp.o"
+  "CMakeFiles/fig13_chord_selection.dir/fig13_chord_selection.cpp.o.d"
+  "fig13_chord_selection"
+  "fig13_chord_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_chord_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

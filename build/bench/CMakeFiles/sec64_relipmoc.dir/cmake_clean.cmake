@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_relipmoc.dir/sec64_relipmoc.cpp.o"
+  "CMakeFiles/sec64_relipmoc.dir/sec64_relipmoc.cpp.o.d"
+  "sec64_relipmoc"
+  "sec64_relipmoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_relipmoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

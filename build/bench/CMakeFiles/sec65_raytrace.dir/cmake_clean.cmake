@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_raytrace.dir/sec65_raytrace.cpp.o"
+  "CMakeFiles/sec65_raytrace.dir/sec65_raytrace.cpp.o.d"
+  "sec65_raytrace"
+  "sec65_raytrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

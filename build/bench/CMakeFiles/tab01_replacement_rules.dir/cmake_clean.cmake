@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_replacement_rules.dir/tab01_replacement_rules.cpp.o"
+  "CMakeFiles/tab01_replacement_rules.dir/tab01_replacement_rules.cpp.o.d"
+  "tab01_replacement_rules"
+  "tab01_replacement_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_replacement_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

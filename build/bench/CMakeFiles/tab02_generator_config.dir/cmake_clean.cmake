@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_generator_config.dir/tab02_generator_config.cpp.o"
+  "CMakeFiles/tab02_generator_config.dir/tab02_generator_config.cpp.o.d"
+  "tab02_generator_config"
+  "tab02_generator_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_generator_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_feature_selection.dir/tab03_feature_selection.cpp.o"
+  "CMakeFiles/tab03_feature_selection.dir/tab03_feature_selection.cpp.o.d"
+  "tab03_feature_selection"
+  "tab03_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

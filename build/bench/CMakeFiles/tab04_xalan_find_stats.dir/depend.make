@@ -1,0 +1,2 @@
+# Empty dependencies file for tab04_xalan_find_stats.
+# This may be replaced when dependencies are built.

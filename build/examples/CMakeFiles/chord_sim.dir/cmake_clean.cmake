@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_sim.dir/chord_sim.cpp.o"
+  "CMakeFiles/chord_sim.dir/chord_sim.cpp.o.d"
+  "chord_sim"
+  "chord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

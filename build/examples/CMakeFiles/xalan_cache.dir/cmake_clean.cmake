@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xalan_cache.dir/xalan_cache.cpp.o"
+  "CMakeFiles/xalan_cache.dir/xalan_cache.cpp.o.d"
+  "xalan_cache"
+  "xalan_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xalan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("machine")
+subdirs("containers")
+subdirs("adt")
+subdirs("profile")
+subdirs("appgen")
+subdirs("ml")
+subdirs("baseline")
+subdirs("core")
+subdirs("survey")
+subdirs("workloads")

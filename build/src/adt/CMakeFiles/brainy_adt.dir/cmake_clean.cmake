@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_adt.dir/Container.cpp.o"
+  "CMakeFiles/brainy_adt.dir/Container.cpp.o.d"
+  "CMakeFiles/brainy_adt.dir/DsKind.cpp.o"
+  "CMakeFiles/brainy_adt.dir/DsKind.cpp.o.d"
+  "libbrainy_adt.a"
+  "libbrainy_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_appgen.dir/AppConfig.cpp.o"
+  "CMakeFiles/brainy_appgen.dir/AppConfig.cpp.o.d"
+  "CMakeFiles/brainy_appgen.dir/AppRunner.cpp.o"
+  "CMakeFiles/brainy_appgen.dir/AppRunner.cpp.o.d"
+  "CMakeFiles/brainy_appgen.dir/AppSpec.cpp.o"
+  "CMakeFiles/brainy_appgen.dir/AppSpec.cpp.o.d"
+  "CMakeFiles/brainy_appgen.dir/CppEmitter.cpp.o"
+  "CMakeFiles/brainy_appgen.dir/CppEmitter.cpp.o.d"
+  "libbrainy_appgen.a"
+  "libbrainy_appgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_appgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_baseline.dir/Perflint.cpp.o"
+  "CMakeFiles/brainy_baseline.dir/Perflint.cpp.o.d"
+  "libbrainy_baseline.a"
+  "libbrainy_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containers/AvlTree.cpp" "src/containers/CMakeFiles/brainy_containers.dir/AvlTree.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/AvlTree.cpp.o.d"
+  "/root/repo/src/containers/Deque.cpp" "src/containers/CMakeFiles/brainy_containers.dir/Deque.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/Deque.cpp.o.d"
+  "/root/repo/src/containers/HashTable.cpp" "src/containers/CMakeFiles/brainy_containers.dir/HashTable.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/HashTable.cpp.o.d"
+  "/root/repo/src/containers/List.cpp" "src/containers/CMakeFiles/brainy_containers.dir/List.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/List.cpp.o.d"
+  "/root/repo/src/containers/RbTree.cpp" "src/containers/CMakeFiles/brainy_containers.dir/RbTree.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/RbTree.cpp.o.d"
+  "/root/repo/src/containers/SplayTree.cpp" "src/containers/CMakeFiles/brainy_containers.dir/SplayTree.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/SplayTree.cpp.o.d"
+  "/root/repo/src/containers/Vector.cpp" "src/containers/CMakeFiles/brainy_containers.dir/Vector.cpp.o" "gcc" "src/containers/CMakeFiles/brainy_containers.dir/Vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/brainy_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brainy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_containers.dir/AvlTree.cpp.o"
+  "CMakeFiles/brainy_containers.dir/AvlTree.cpp.o.d"
+  "CMakeFiles/brainy_containers.dir/Deque.cpp.o"
+  "CMakeFiles/brainy_containers.dir/Deque.cpp.o.d"
+  "CMakeFiles/brainy_containers.dir/HashTable.cpp.o"
+  "CMakeFiles/brainy_containers.dir/HashTable.cpp.o.d"
+  "CMakeFiles/brainy_containers.dir/List.cpp.o"
+  "CMakeFiles/brainy_containers.dir/List.cpp.o.d"
+  "CMakeFiles/brainy_containers.dir/RbTree.cpp.o"
+  "CMakeFiles/brainy_containers.dir/RbTree.cpp.o.d"
+  "CMakeFiles/brainy_containers.dir/SplayTree.cpp.o"
+  "CMakeFiles/brainy_containers.dir/SplayTree.cpp.o.d"
+  "CMakeFiles/brainy_containers.dir/Vector.cpp.o"
+  "CMakeFiles/brainy_containers.dir/Vector.cpp.o.d"
+  "libbrainy_containers.a"
+  "libbrainy_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

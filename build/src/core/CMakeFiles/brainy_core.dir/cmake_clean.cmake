@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_core.dir/Brainy.cpp.o"
+  "CMakeFiles/brainy_core.dir/Brainy.cpp.o.d"
+  "CMakeFiles/brainy_core.dir/BrainyModel.cpp.o"
+  "CMakeFiles/brainy_core.dir/BrainyModel.cpp.o.d"
+  "CMakeFiles/brainy_core.dir/Oracle.cpp.o"
+  "CMakeFiles/brainy_core.dir/Oracle.cpp.o.d"
+  "CMakeFiles/brainy_core.dir/ProfileSession.cpp.o"
+  "CMakeFiles/brainy_core.dir/ProfileSession.cpp.o.d"
+  "CMakeFiles/brainy_core.dir/TrainingFramework.cpp.o"
+  "CMakeFiles/brainy_core.dir/TrainingFramework.cpp.o.d"
+  "libbrainy_core.a"
+  "libbrainy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_machine.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/brainy_machine.dir/BranchPredictor.cpp.o.d"
+  "CMakeFiles/brainy_machine.dir/CacheSim.cpp.o"
+  "CMakeFiles/brainy_machine.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/brainy_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/brainy_machine.dir/MachineModel.cpp.o.d"
+  "CMakeFiles/brainy_machine.dir/SimAllocator.cpp.o"
+  "CMakeFiles/brainy_machine.dir/SimAllocator.cpp.o.d"
+  "libbrainy_machine.a"
+  "libbrainy_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

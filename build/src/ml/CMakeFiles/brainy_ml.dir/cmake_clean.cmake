@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_ml.dir/Dataset.cpp.o"
+  "CMakeFiles/brainy_ml.dir/Dataset.cpp.o.d"
+  "CMakeFiles/brainy_ml.dir/GaSelect.cpp.o"
+  "CMakeFiles/brainy_ml.dir/GaSelect.cpp.o.d"
+  "CMakeFiles/brainy_ml.dir/NeuralNet.cpp.o"
+  "CMakeFiles/brainy_ml.dir/NeuralNet.cpp.o.d"
+  "libbrainy_ml.a"
+  "libbrainy_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

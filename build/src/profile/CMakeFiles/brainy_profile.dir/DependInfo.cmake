@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/Features.cpp" "src/profile/CMakeFiles/brainy_profile.dir/Features.cpp.o" "gcc" "src/profile/CMakeFiles/brainy_profile.dir/Features.cpp.o.d"
+  "/root/repo/src/profile/ProfiledContainer.cpp" "src/profile/CMakeFiles/brainy_profile.dir/ProfiledContainer.cpp.o" "gcc" "src/profile/CMakeFiles/brainy_profile.dir/ProfiledContainer.cpp.o.d"
+  "/root/repo/src/profile/TraceFile.cpp" "src/profile/CMakeFiles/brainy_profile.dir/TraceFile.cpp.o" "gcc" "src/profile/CMakeFiles/brainy_profile.dir/TraceFile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adt/CMakeFiles/brainy_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/brainy_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/brainy_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brainy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_profile.dir/Features.cpp.o"
+  "CMakeFiles/brainy_profile.dir/Features.cpp.o.d"
+  "CMakeFiles/brainy_profile.dir/ProfiledContainer.cpp.o"
+  "CMakeFiles/brainy_profile.dir/ProfiledContainer.cpp.o.d"
+  "CMakeFiles/brainy_profile.dir/TraceFile.cpp.o"
+  "CMakeFiles/brainy_profile.dir/TraceFile.cpp.o.d"
+  "libbrainy_profile.a"
+  "libbrainy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

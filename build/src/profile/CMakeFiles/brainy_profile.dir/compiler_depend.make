@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for brainy_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_support.dir/Config.cpp.o"
+  "CMakeFiles/brainy_support.dir/Config.cpp.o.d"
+  "CMakeFiles/brainy_support.dir/Env.cpp.o"
+  "CMakeFiles/brainy_support.dir/Env.cpp.o.d"
+  "CMakeFiles/brainy_support.dir/Rng.cpp.o"
+  "CMakeFiles/brainy_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/brainy_support.dir/Stats.cpp.o"
+  "CMakeFiles/brainy_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/brainy_support.dir/Table.cpp.o"
+  "CMakeFiles/brainy_support.dir/Table.cpp.o.d"
+  "libbrainy_support.a"
+  "libbrainy_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

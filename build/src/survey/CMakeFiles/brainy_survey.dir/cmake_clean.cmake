@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_survey.dir/Survey.cpp.o"
+  "CMakeFiles/brainy_survey.dir/Survey.cpp.o.d"
+  "libbrainy_survey.a"
+  "libbrainy_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

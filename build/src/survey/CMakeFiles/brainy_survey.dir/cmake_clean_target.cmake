@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbrainy_survey.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_workloads.dir/CaseStudy.cpp.o"
+  "CMakeFiles/brainy_workloads.dir/CaseStudy.cpp.o.d"
+  "CMakeFiles/brainy_workloads.dir/ChordSim.cpp.o"
+  "CMakeFiles/brainy_workloads.dir/ChordSim.cpp.o.d"
+  "CMakeFiles/brainy_workloads.dir/Raytrace.cpp.o"
+  "CMakeFiles/brainy_workloads.dir/Raytrace.cpp.o.d"
+  "CMakeFiles/brainy_workloads.dir/RelipmoC.cpp.o"
+  "CMakeFiles/brainy_workloads.dir/RelipmoC.cpp.o.d"
+  "CMakeFiles/brainy_workloads.dir/XalanCache.cpp.o"
+  "CMakeFiles/brainy_workloads.dir/XalanCache.cpp.o.d"
+  "libbrainy_workloads.a"
+  "libbrainy_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_seq_test.dir/containers_seq_test.cpp.o"
+  "CMakeFiles/containers_seq_test.dir/containers_seq_test.cpp.o.d"
+  "containers_seq_test"
+  "containers_seq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_splay_test.dir/containers_splay_test.cpp.o"
+  "CMakeFiles/containers_splay_test.dir/containers_splay_test.cpp.o.d"
+  "containers_splay_test"
+  "containers_splay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_splay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_tree_test.dir/containers_tree_test.cpp.o"
+  "CMakeFiles/containers_tree_test.dir/containers_tree_test.cpp.o.d"
+  "containers_tree_test"
+  "containers_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_test.dir/emitter_test.cpp.o"
+  "CMakeFiles/emitter_test.dir/emitter_test.cpp.o.d"
+  "emitter_test"
+  "emitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

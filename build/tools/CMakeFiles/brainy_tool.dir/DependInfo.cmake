@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/brainy_tool.cpp" "tools/CMakeFiles/brainy_tool.dir/brainy_tool.cpp.o" "gcc" "tools/CMakeFiles/brainy_tool.dir/brainy_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/brainy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/brainy_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/appgen/CMakeFiles/brainy_appgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/brainy_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/brainy_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/brainy_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/brainy_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/brainy_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brainy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

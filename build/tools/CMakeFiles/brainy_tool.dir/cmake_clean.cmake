@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brainy_tool.dir/brainy_tool.cpp.o"
+  "CMakeFiles/brainy_tool.dir/brainy_tool.cpp.o.d"
+  "brainy"
+  "brainy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brainy_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
