@@ -1,0 +1,70 @@
+//===- bench/micro_training_scaling.cpp - Phase I thread scaling ----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Wall-clock scaling of the parallel Phase I pipeline: runs phaseOneAll at
+// 1/2/4/8 jobs on a fresh TrainingFramework each time (cold measurement
+// cache, so every job count pays for the same racing work) and reports
+// time and speedup versus the serial run. The recorded-pair counts are
+// printed alongside as a visible determinism check. BRAINY_SCALE multiplies
+// the workload as usual.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "core/TrainingFramework.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace brainy;
+
+namespace {
+
+TrainOptions scalingOptions(unsigned Jobs) {
+  TrainOptions Opts;
+  Opts.TargetPerDs = static_cast<unsigned>(scaledCount(24, 4));
+  Opts.MaxSeeds = scaledCount(3000, 200);
+  Opts.GenConfig.TotalInterfCalls = 500;
+  Opts.GenConfig.MaxInitialSize = 3000;
+  Opts.Jobs = Jobs;
+  return Opts;
+}
+
+size_t totalPairs(const std::array<PhaseOneResult, NumModelKinds> &All) {
+  size_t N = 0;
+  for (const PhaseOneResult &R : All)
+    N += R.SeedDsPairs.size();
+  return N;
+}
+
+} // namespace
+
+int main() {
+  MachineConfig Machine = MachineConfig::core2();
+  std::printf("# Phase I wall-time scaling (phaseOneAll on %s, "
+              "BRAINY_SCALE=%.2f)\n",
+              Machine.Name.c_str(), experimentScale());
+  std::printf("%-6s %12s %10s %12s\n", "jobs", "wall_ms", "speedup",
+              "pairs");
+
+  double SerialMs = 0;
+  size_t SerialPairs = 0;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    TrainingFramework Framework(scalingOptions(Jobs), Machine);
+    auto Start = std::chrono::steady_clock::now();
+    auto All = Framework.phaseOneAll();
+    auto End = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    size_t Pairs = totalPairs(All);
+    if (Jobs == 1) {
+      SerialMs = Ms;
+      SerialPairs = Pairs;
+    }
+    std::printf("%-6u %12.1f %9.2fx %12zu%s\n", Jobs, Ms,
+                SerialMs > 0 ? SerialMs / Ms : 0.0, Pairs,
+                Pairs == SerialPairs ? "" : "  MISMATCH vs jobs=1!");
+  }
+  return 0;
+}

@@ -22,11 +22,22 @@ Brainy Brainy::train(const TrainOptions &Options,
   Out.MachineName = Machine.Name;
   TrainingFramework Framework(Options, Machine);
   std::array<PhaseOneResult, NumModelKinds> Phase1 = Framework.phaseOneAll();
-  for (unsigned I = 0; I != NumModelKinds; ++I) {
+  // The six families are independent from here on: each profiles its own
+  // Phase II examples and trains its own seeded network, so they fan out
+  // over the framework's pool (phaseTwo's nested fan-out runs inline on
+  // the worker). Each model's training is deterministic in isolation, so
+  // the bundle is identical for any job count.
+  auto TrainOne = [&](size_t I) {
     auto Kind = static_cast<ModelKind>(I);
     std::vector<TrainExample> Examples =
         Framework.phaseTwo(Kind, Phase1[I]);
     Out.Models[I] = BrainyModel::train(Kind, Examples, Options.Net);
+  };
+  if (Framework.jobs() <= 1) {
+    for (unsigned I = 0; I != NumModelKinds; ++I)
+      TrainOne(I);
+  } else {
+    Framework.pool().parallelFor(0, NumModelKinds, TrainOne);
   }
   return Out;
 }

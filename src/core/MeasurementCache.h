@@ -1,0 +1,119 @@
+//===- core/MeasurementCache.h - (seed, DS) cycle memo ---------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase I measures the same (seed, DsKind) application run for every model
+/// family that races that kind — and again when per-family phaseOne calls
+/// revisit seeds phaseOneAll already raced. Those runs are pure functions
+/// of (seed, config, machine), so their cycle counts can be memoised once
+/// per TrainingFramework and shared across families, calls, and threads.
+///
+/// Concurrency model (lock-free per chunk, merged at join): the cache
+/// itself takes no locks. Each worker chunk gets a private Shard that reads
+/// the shared map as a frozen snapshot and records fresh measurements
+/// locally; the coordinating thread folds shards back with merge() after
+/// the join. The contract is wave-shaped:
+///
+///   1. coordinator creates one Shard per chunk (shared map quiescent),
+///   2. workers use only their own Shard (concurrent const reads of the
+///      shared map are safe),
+///   3. coordinator merges every Shard before creating the next wave's.
+///
+/// Because measurements are pure, two shards measuring the same key record
+/// identical values and merge order cannot change any result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_MEASUREMENTCACHE_H
+#define BRAINY_CORE_MEASUREMENTCACHE_H
+
+#include "adt/DsKind.h"
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace brainy {
+
+/// Per-(seed, DsKind) cycle memo. Thread-compatible, not thread-safe: all
+/// mutation (merge, and measuring through a Shard) must follow the wave
+/// contract described in the file comment.
+class MeasurementCache {
+  struct Entry {
+    std::array<double, NumDsKinds> Cycles{};
+    unsigned MeasuredMask = 0;
+  };
+  static_assert(NumDsKinds <= 32, "MeasuredMask holds one bit per kind");
+
+public:
+  /// One chunk's private view: shared-map reads are lock-free, fresh
+  /// measurements land in a local overlay until merge().
+  class Shard {
+  public:
+    /// The memoised cycles for (Seed, Kind), calling \p Measure on a miss.
+    double cyclesOf(uint64_t Seed, DsKind Kind,
+                    const std::function<double()> &Measure) {
+      unsigned I = static_cast<unsigned>(Kind);
+      unsigned Bit = 1u << I;
+      auto It = Fresh.find(Seed);
+      if (It != Fresh.end() && (It->second.MeasuredMask & Bit))
+        return It->second.Cycles[I];
+      double Cycles;
+      if (Parent->lookup(Seed, Kind, Cycles))
+        return Cycles;
+      Cycles = Measure();
+      Entry &E = It != Fresh.end() ? It->second : Fresh[Seed];
+      E.Cycles[I] = Cycles;
+      E.MeasuredMask |= Bit;
+      return Cycles;
+    }
+
+  private:
+    friend class MeasurementCache;
+    explicit Shard(const MeasurementCache &Parent) : Parent(&Parent) {}
+
+    const MeasurementCache *Parent;
+    std::unordered_map<uint64_t, Entry> Fresh;
+  };
+
+  Shard shard() const { return Shard(*this); }
+
+  /// Folds a shard's fresh measurements into the shared map. Coordinator
+  /// only; no shard may be executing concurrently.
+  void merge(Shard &&S) {
+    for (auto &KV : S.Fresh) {
+      Entry &Dst = Map[KV.first];
+      unsigned New = KV.second.MeasuredMask & ~Dst.MeasuredMask;
+      for (unsigned I = 0; I != NumDsKinds; ++I)
+        if (New & (1u << I))
+          Dst.Cycles[I] = KV.second.Cycles[I];
+      Dst.MeasuredMask |= KV.second.MeasuredMask;
+    }
+    S.Fresh.clear();
+  }
+
+  /// Number of seeds with at least one cached measurement.
+  size_t seeds() const { return Map.size(); }
+
+private:
+  bool lookup(uint64_t Seed, DsKind Kind, double &Cycles) const {
+    auto It = Map.find(Seed);
+    if (It == Map.end())
+      return false;
+    unsigned I = static_cast<unsigned>(Kind);
+    if (!(It->second.MeasuredMask & (1u << I)))
+      return false;
+    Cycles = It->second.Cycles[I];
+    return true;
+  }
+
+  std::unordered_map<uint64_t, Entry> Map;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_MEASUREMENTCACHE_H

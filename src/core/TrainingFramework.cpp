@@ -3,8 +3,23 @@
 // Part of the Brainy reproduction of PLDI 2011's "Brainy".
 //
 //===----------------------------------------------------------------------===//
+//
+// Phase I's parallel structure: seeds are evaluated in fixed-size chunks,
+// one wave of jobs() chunks at a time. Chunk evaluation touches only pure
+// inputs — the spec, the machine, and a private MeasurementCache shard — so
+// a seed's outcome never depends on scheduling. The win-count bookkeeping
+// (early stopping, margin rejects, SeedsScanned) is applied afterwards by a
+// single ordered merge walking the wave's seeds in order, which makes the
+// parallel run bit-identical to the serial one: the merge stops at exactly
+// the seed where the serial loop would have stopped. The only cost of
+// parallelism is that seeds past the stopping point inside the final wave
+// may have been measured needlessly.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/TrainingFramework.h"
+
+#include "support/Env.h"
 
 #include <algorithm>
 #include <array>
@@ -12,9 +27,15 @@
 
 using namespace brainy;
 
-bool TrainingFramework::specMatchesModel(uint64_t Seed,
-                                         ModelKind Model) const {
-  AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
+namespace {
+
+/// Seeds per worker chunk. Purely a scheduling knob: results are identical
+/// for any value, it only balances claim overhead against tail waste.
+constexpr uint64_t PhaseOneChunk = 16;
+
+/// Matches an already-derived spec against a family (the seed-taking
+/// public specMatchesModel wraps this).
+bool specMatches(const AppSpec &Spec, ModelKind Model) {
   switch (Model) {
   case ModelKind::Vector:
   case ModelKind::List:
@@ -31,117 +52,211 @@ bool TrainingFramework::specMatchesModel(uint64_t Seed,
   return false;
 }
 
-PhaseOneResult TrainingFramework::phaseOne(ModelKind Model) const {
-  PhaseOneResult Result;
-  DsKind Original = modelOriginal(Model);
-  std::vector<DsKind> FullCandidates = modelCandidates(Model);
+struct RaceOutcome {
+  DsKind Best = DsKind::Vector;
+  double Margin = 0;
+};
 
-  std::array<unsigned, NumDsKinds> WinCount{};
-  auto AllFull = [&]() {
-    for (DsKind Kind : FullCandidates)
-      if (WinCount[static_cast<unsigned>(Kind)] < Options.TargetPerDs)
-        return false;
-    return true;
-  };
-
-  for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
-    if (AllFull())
-      break;
-    uint64_t Seed = Options.FirstSeed + Offset;
-    ++Result.SeedsScanned;
-    if (!specMatchesModel(Seed, Model))
-      continue;
-
-    AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
-    std::vector<DsKind> Candidates =
-        replacementCandidates(Original, Spec.OrderOblivious);
-    RaceResult Race = raceCandidates(Spec, Candidates, Machine);
-    // Footnote 2: only record clear winners, so marginal apps do not teach
-    // the model noise.
-    if (Candidates.size() > 1 && Race.Margin < Options.WinnerMargin) {
-      ++Result.MarginRejects;
-      continue;
+/// Winner and footnote-2 margin over \p Candidates measured through
+/// \p CyclesOf — the single source of truth for the margin/winner logic
+/// shared by phaseOne, phaseOneAll, and their parallel paths. Ties keep the
+/// earliest candidate, matching raceCandidates.
+template <typename CyclesFn>
+RaceOutcome raceWith(const std::vector<DsKind> &Candidates,
+                     CyclesFn &&CyclesOf) {
+  assert(!Candidates.empty() && "racing requires at least one candidate");
+  RaceOutcome Out;
+  Out.Best = Candidates.front();
+  double BestCycles = CyclesOf(Out.Best);
+  double Second = 0;
+  bool HaveSecond = false;
+  for (size_t I = 1, E = Candidates.size(); I != E; ++I) {
+    double C = CyclesOf(Candidates[I]);
+    if (C < BestCycles) {
+      Second = BestCycles;
+      HaveSecond = true;
+      BestCycles = C;
+      Out.Best = Candidates[I];
+    } else if (!HaveSecond || C < Second) {
+      Second = C;
+      HaveSecond = true;
     }
-    ++WinCount[static_cast<unsigned>(Race.Best)];
-    Result.SeedDsPairs.push_back({Seed, Race.Best});
   }
-  return Result;
+  if (HaveSecond && BestCycles > 0)
+    Out.Margin = (Second - BestCycles) / BestCycles;
+  return Out;
+}
+
+} // namespace
+
+TrainingFramework::TrainingFramework(TrainOptions Options,
+                                     MachineConfig Machine)
+    : Options(std::move(Options)), Machine(std::move(Machine)),
+      ResolvedJobs(resolveJobs(this->Options.Jobs)) {}
+
+ThreadPool &TrainingFramework::pool() const {
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(ResolvedJobs > 0 ? ResolvedJobs - 1
+                                                         : 0);
+  return *Pool;
+}
+
+bool TrainingFramework::specMatchesModel(uint64_t Seed,
+                                         ModelKind Model) const {
+  return specMatches(AppSpec::fromSeed(Seed, Options.GenConfig), Model);
+}
+
+std::array<TrainingFramework::SeedOutcome, NumModelKinds>
+TrainingFramework::evalSeed(uint64_t Seed,
+                            const std::array<bool, NumModelKinds> &Wanted,
+                            MeasurementCache::Shard &Shard) const {
+  std::array<SeedOutcome, NumModelKinds> Out{};
+  AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
+  auto CyclesOf = [&](DsKind Kind) {
+    return Shard.cyclesOf(
+        Seed, Kind, [&] { return runApp(Spec, Kind, Machine).Cycles; });
+  };
+  for (unsigned M = 0; M != NumModelKinds; ++M) {
+    if (!Wanted[M])
+      continue;
+    auto Model = static_cast<ModelKind>(M);
+    if (!specMatches(Spec, Model))
+      continue;
+    std::vector<DsKind> Candidates =
+        replacementCandidates(modelOriginal(Model), Spec.OrderOblivious);
+    RaceOutcome Race = raceWith(Candidates, CyclesOf);
+    Out[M].Matched = true;
+    Out[M].Best = Race.Best;
+    Out[M].Margin = Race.Margin;
+    Out[M].NumCandidates = static_cast<unsigned>(Candidates.size());
+  }
+  return Out;
 }
 
 std::array<PhaseOneResult, NumModelKinds>
-TrainingFramework::phaseOneAll() const {
+TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
+                                bool CountUnmatchedSeeds) const {
   std::array<PhaseOneResult, NumModelKinds> Results;
   std::array<std::array<unsigned, NumDsKinds>, NumModelKinds> WinCount{};
 
-  auto ModelFull = [&](unsigned M) {
-    for (DsKind Kind : modelCandidates(static_cast<ModelKind>(M)))
+  auto ModelFull = [&](ModelKind Model) {
+    auto M = static_cast<unsigned>(Model);
+    for (DsKind Kind : modelCandidates(Model))
       if (WinCount[M][static_cast<unsigned>(Kind)] < Options.TargetPerDs)
         return false;
     return true;
   };
   auto AllFull = [&]() {
-    for (unsigned M = 0; M != NumModelKinds; ++M)
-      if (!ModelFull(M))
+    for (ModelKind Model : Models)
+      if (!ModelFull(Model))
         return false;
     return true;
   };
+  auto WantedNow = [&]() {
+    std::array<bool, NumModelKinds> Wanted{};
+    for (ModelKind Model : Models)
+      Wanted[static_cast<unsigned>(Model)] = !ModelFull(Model);
+    return Wanted;
+  };
 
-  for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
+  // Applies one evaluated seed's bookkeeping, in seed order. Fullness is
+  // monotone, so re-checking ModelFull here makes dispatch-time Wanted
+  // snapshots (always supersets) converge to exactly the serial decisions.
+  // Returns false once every family is full: the seed was NOT consumed.
+  auto MergeSeed = [&](uint64_t Seed,
+                       const std::array<SeedOutcome, NumModelKinds> &Evals) {
     if (AllFull())
-      break;
-    uint64_t Seed = Options.FirstSeed + Offset;
-    AppSpec Spec = AppSpec::fromSeed(Seed, Options.GenConfig);
-
-    // One measurement per kind per seed, shared across families.
-    std::array<double, NumDsKinds> Cycles;
-    std::array<bool, NumDsKinds> Measured{};
-    auto CyclesOf = [&](DsKind Kind) {
-      auto I = static_cast<unsigned>(Kind);
-      if (!Measured[I]) {
-        Cycles[I] = runApp(Spec, Kind, Machine).Cycles;
-        Measured[I] = true;
-      }
-      return Cycles[I];
-    };
-
-    for (unsigned M = 0; M != NumModelKinds; ++M) {
-      auto Model = static_cast<ModelKind>(M);
-      if (ModelFull(M))
+      return false;
+    for (ModelKind Model : Models) {
+      auto M = static_cast<unsigned>(Model);
+      if (ModelFull(Model))
         continue;
-      if (!specMatchesModel(Seed, Model))
+      const SeedOutcome &O = Evals[M];
+      if (CountUnmatchedSeeds)
+        ++Results[M].SeedsScanned;
+      if (!O.Matched)
         continue;
-      ++Results[M].SeedsScanned;
-
-      std::vector<DsKind> Candidates = replacementCandidates(
-          modelOriginal(Model), Spec.OrderOblivious);
-      DsKind Best = Candidates.front();
-      double BestCycles = CyclesOf(Best);
-      double Second = 0;
-      bool HaveSecond = false;
-      for (size_t I = 1, E = Candidates.size(); I != E; ++I) {
-        double C = CyclesOf(Candidates[I]);
-        if (C < BestCycles) {
-          Second = BestCycles;
-          HaveSecond = true;
-          BestCycles = C;
-          Best = Candidates[I];
-        } else if (!HaveSecond || C < Second) {
-          Second = C;
-          HaveSecond = true;
-        }
-      }
-      double Margin =
-          HaveSecond && BestCycles > 0 ? (Second - BestCycles) / BestCycles
-                                       : 0.0;
-      if (Candidates.size() > 1 && Margin < Options.WinnerMargin) {
+      if (!CountUnmatchedSeeds)
+        ++Results[M].SeedsScanned;
+      // Footnote 2: only record clear winners, so marginal apps do not
+      // teach the model noise.
+      if (O.NumCandidates > 1 && O.Margin < Options.WinnerMargin) {
         ++Results[M].MarginRejects;
         continue;
       }
-      ++WinCount[M][static_cast<unsigned>(Best)];
-      Results[M].SeedDsPairs.push_back({Seed, Best});
+      ++WinCount[M][static_cast<unsigned>(O.Best)];
+      Results[M].SeedDsPairs.push_back({Seed, O.Best});
+    }
+    return true;
+  };
+
+  if (jobs() <= 1) {
+    // Serial path: one shard for the whole scan, fullness consulted live so
+    // no seed is ever measured past the stopping point.
+    MeasurementCache::Shard Shard = Cache.shard();
+    for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
+      if (AllFull())
+        break;
+      uint64_t Seed = Options.FirstSeed + Offset;
+      MergeSeed(Seed, evalSeed(Seed, WantedNow(), Shard));
+    }
+    Cache.merge(std::move(Shard));
+    return Results;
+  }
+
+  // Parallel path: waves of jobs() chunks. Each chunk races its seeds
+  // against a dispatch-time fullness snapshot into a private cache shard;
+  // the join merges shards and replays the bookkeeping in seed order.
+  uint64_t WaveSeeds = PhaseOneChunk * jobs();
+  for (uint64_t WaveBegin = 0; WaveBegin < Options.MaxSeeds && !AllFull();
+       WaveBegin += WaveSeeds) {
+    uint64_t WaveEnd = std::min(Options.MaxSeeds, WaveBegin + WaveSeeds);
+    size_t NumChunks = static_cast<size_t>(
+        (WaveEnd - WaveBegin + PhaseOneChunk - 1) / PhaseOneChunk);
+    std::array<bool, NumModelKinds> Wanted = WantedNow();
+
+    std::vector<MeasurementCache::Shard> Shards;
+    Shards.reserve(NumChunks);
+    for (size_t C = 0; C != NumChunks; ++C)
+      Shards.push_back(Cache.shard());
+    std::vector<std::vector<std::array<SeedOutcome, NumModelKinds>>> Evals(
+        NumChunks);
+
+    pool().parallelFor(0, NumChunks, [&](size_t C) {
+      uint64_t Begin = WaveBegin + C * PhaseOneChunk;
+      uint64_t End = std::min(WaveEnd, Begin + PhaseOneChunk);
+      Evals[C].reserve(End - Begin);
+      for (uint64_t Offset = Begin; Offset != End; ++Offset)
+        Evals[C].push_back(
+            evalSeed(Options.FirstSeed + Offset, Wanted, Shards[C]));
+    });
+
+    for (MeasurementCache::Shard &S : Shards)
+      Cache.merge(std::move(S));
+    bool Stopped = false;
+    for (uint64_t Offset = WaveBegin; Offset != WaveEnd && !Stopped;
+         ++Offset) {
+      size_t C = static_cast<size_t>((Offset - WaveBegin) / PhaseOneChunk);
+      size_t I = static_cast<size_t>((Offset - WaveBegin) % PhaseOneChunk);
+      Stopped = !MergeSeed(Options.FirstSeed + Offset, Evals[C][I]);
     }
   }
   return Results;
+}
+
+PhaseOneResult TrainingFramework::phaseOne(ModelKind Model) const {
+  return std::move(
+      phaseOneImpl({Model}, /*CountUnmatchedSeeds=*/true)[static_cast<
+          unsigned>(Model)]);
+}
+
+std::array<PhaseOneResult, NumModelKinds>
+TrainingFramework::phaseOneAll() const {
+  std::vector<ModelKind> Models;
+  Models.reserve(NumModelKinds);
+  for (unsigned M = 0; M != NumModelKinds; ++M)
+    Models.push_back(static_cast<ModelKind>(M));
+  return phaseOneImpl(Models, /*CountUnmatchedSeeds=*/false);
 }
 
 std::vector<TrainExample>
@@ -151,9 +266,12 @@ TrainingFramework::phaseTwo(ModelKind Model,
   unsigned Cap =
       Options.MaxPerDsPhase2 ? Options.MaxPerDsPhase2 : Options.TargetPerDs;
 
+  // The per-class cap depends only on the recorded order, so decide it
+  // up front; the expensive profiled replays then fan out freely while the
+  // output keeps the recorded (serial) order.
   std::array<unsigned, NumDsKinds> Taken{};
-  std::vector<TrainExample> Examples;
-  Examples.reserve(Pairs.SeedDsPairs.size());
+  std::vector<SeedBest> Accepted;
+  Accepted.reserve(Pairs.SeedDsPairs.size());
   for (const SeedBest &Pair : Pairs.SeedDsPairs) {
     unsigned &Count = Taken[static_cast<unsigned>(Pair.BestDs)];
     // "Phase II does not accept the rest": drop surplus examples of an
@@ -161,29 +279,47 @@ TrainingFramework::phaseTwo(ModelKind Model,
     if (Count >= Cap)
       continue;
     ++Count;
+    Accepted.push_back(Pair);
+  }
 
+  std::vector<TrainExample> Examples(Accepted.size());
+  auto ProfileOne = [&](size_t I) {
+    const SeedBest &Pair = Accepted[I];
     AppSpec Spec = AppSpec::fromSeed(Pair.Seed, Options.GenConfig);
     ProfiledOutcome Out = runAppProfiled(Spec, Original, Machine);
-    TrainExample Ex;
-    Ex.Features = Out.Features;
-    Ex.BestDs = Pair.BestDs;
-    Ex.Seed = Pair.Seed;
-    Examples.push_back(Ex);
+    Examples[I].Features = Out.Features;
+    Examples[I].BestDs = Pair.BestDs;
+    Examples[I].Seed = Pair.Seed;
+  };
+  if (jobs() <= 1) {
+    for (size_t I = 0, E = Accepted.size(); I != E; ++I)
+      ProfileOne(I);
+  } else {
+    pool().parallelFor(0, Accepted.size(), ProfileOne);
   }
   return Examples;
 }
 
 Dataset brainy::examplesToDataset(const std::vector<TrainExample> &Examples,
                                   const std::vector<DsKind> &Candidates) {
+  // Candidate -> label lookup table, replacing a linear find per example.
+  std::array<int, NumDsKinds> LabelOf;
+  LabelOf.fill(-1);
+  for (size_t I = 0, E = Candidates.size(); I != E; ++I) {
+    auto K = static_cast<unsigned>(Candidates[I]);
+    if (LabelOf[K] < 0)
+      LabelOf[K] = static_cast<int>(I);
+  }
   Dataset Data;
+  Data.Rows.reserve(Examples.size());
+  Data.Labels.reserve(Examples.size());
   for (const TrainExample &Ex : Examples) {
-    auto It = std::find(Candidates.begin(), Candidates.end(), Ex.BestDs);
-    if (It == Candidates.end())
+    int Label = LabelOf[static_cast<unsigned>(Ex.BestDs)];
+    if (Label < 0)
       continue;
     std::vector<double> Row(Ex.Features.Values.begin(),
                             Ex.Features.Values.end());
-    Data.add(std::move(Row),
-             static_cast<unsigned>(It - Candidates.begin()));
+    Data.add(std::move(Row), static_cast<unsigned>(Label));
   }
   return Data;
 }

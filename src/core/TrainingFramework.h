@@ -21,12 +21,15 @@
 #ifndef BRAINY_CORE_TRAININGFRAMEWORK_H
 #define BRAINY_CORE_TRAININGFRAMEWORK_H
 
+#include "core/MeasurementCache.h"
 #include "core/Oracle.h"
 #include "ml/NeuralNet.h"
 #include "profile/TraceFile.h"
+#include "support/ThreadPool.h"
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace brainy {
@@ -48,6 +51,11 @@ struct TrainOptions {
   /// Phase II cap per best-DS class ("the two-phase training framework can
   /// prevent extra applications ... from being fed into Phase II").
   unsigned MaxPerDsPhase2 = 0; ///< 0 = same as TargetPerDs
+  /// Worker threads for Phase I racing, Phase II profiling, and per-model
+  /// training. 0 = take the BRAINY_JOBS environment variable, or 1 when it
+  /// is unset. 1 runs the serial path with no thread pool. Results are
+  /// bit-identical for every value.
+  unsigned Jobs = 0;
   /// Network hyperparameters for the final model.
   NetConfig Net;
 };
@@ -68,10 +76,16 @@ struct PhaseOneResult {
 };
 
 /// Runs both training phases for the six model families of one machine.
+///
+/// Concurrency: with Jobs > 1 both phases fan seed chunks out over a shared
+/// ThreadPool and merge chunk results in seed order, so every result —
+/// (seed, bestDS) pairs, win-count early stopping, margin-reject counts —
+/// is bit-identical to the serial Jobs=1 run. Per-(seed, kind) cycle
+/// measurements are memoised in a MeasurementCache shared across model
+/// families, phases, threads, and repeated phaseOne calls.
 class TrainingFramework {
 public:
-  TrainingFramework(TrainOptions Options, MachineConfig Machine)
-      : Options(std::move(Options)), Machine(std::move(Machine)) {}
+  TrainingFramework(TrainOptions Options, MachineConfig Machine);
 
   /// Algorithm 1 for \p Model: scans seeds, races candidates, records
   /// margin-passing winners until every candidate reaches TargetPerDs or
@@ -97,9 +111,41 @@ public:
   const TrainOptions &options() const { return Options; }
   const MachineConfig &machine() const { return Machine; }
 
+  /// Resolved worker count (Options.Jobs with the BRAINY_JOBS fallback).
+  unsigned jobs() const { return ResolvedJobs; }
+
+  /// The pool shared by both phases and by Brainy::train's per-model
+  /// fan-out. Lazily created with jobs()-1 workers (the caller participates
+  /// in every parallelFor, giving jobs() concurrent executors). Must first
+  /// be called from the coordinating thread.
+  ThreadPool &pool() const;
+
+  /// The shared (seed, kind) -> cycles memo (exposed for tests/benches).
+  const MeasurementCache &measurements() const { return Cache; }
+
 private:
+  /// One seed's Phase I evaluation for one family, computed from pure
+  /// measurements only (no dependence on win-count state).
+  struct SeedOutcome {
+    bool Matched = false;
+    DsKind Best = DsKind::Vector;
+    double Margin = 0;
+    unsigned NumCandidates = 0;
+  };
+
+  std::array<SeedOutcome, NumModelKinds>
+  evalSeed(uint64_t Seed, const std::array<bool, NumModelKinds> &Wanted,
+           MeasurementCache::Shard &Shard) const;
+
+  std::array<PhaseOneResult, NumModelKinds>
+  phaseOneImpl(const std::vector<ModelKind> &Models,
+               bool CountUnmatchedSeeds) const;
+
   TrainOptions Options;
   MachineConfig Machine;
+  unsigned ResolvedJobs = 1;
+  mutable MeasurementCache Cache;
+  mutable std::unique_ptr<ThreadPool> Pool;
 };
 
 /// Converts training examples into an ML dataset over \p Candidates

@@ -6,11 +6,14 @@
 
 #include "ml/GaSelect.h"
 
+#include "support/Env.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 using namespace brainy;
 
@@ -89,6 +92,23 @@ GaResult brainy::selectFeatures(const Dataset &Data, const GaConfig &Config,
                            NumClasses ? NumClasses : Data.numClasses());
   Rng R(Config.Seed);
 
+  // Fitness evaluations are pure (each trains its own seeded net), so they
+  // fan out over a pool; only chromosome generation consumes R, and it
+  // stays serial, so results are identical for any job count.
+  unsigned Jobs = resolveJobs(Config.Jobs);
+  std::unique_ptr<ThreadPool> Pool =
+      Jobs > 1 ? std::make_unique<ThreadPool>(Jobs - 1) : nullptr;
+  auto ScoreRange = [&](const std::vector<std::vector<double>> &Chromosomes,
+                        std::vector<double> &Out, size_t Begin) {
+    auto ScoreOne = [&](size_t I) { Out[I] = Fitness(Chromosomes[I]); };
+    if (!Pool) {
+      for (size_t I = Begin, E = Chromosomes.size(); I != E; ++I)
+        ScoreOne(I);
+    } else {
+      Pool->parallelFor(Begin, Chromosomes.size(), ScoreOne);
+    }
+  };
+
   // Initial population: one all-ones chromosome (baseline: keep
   // everything) plus random weight vectors.
   std::vector<std::vector<double>> Population;
@@ -101,8 +121,7 @@ GaResult brainy::selectFeatures(const Dataset &Data, const GaConfig &Config,
   }
 
   std::vector<double> Scores(Population.size());
-  for (size_t I = 0, E = Population.size(); I != E; ++I)
-    Scores[I] = Fitness(Population[I]);
+  ScoreRange(Population, Scores, 0);
 
   auto Tournament = [&]() -> size_t {
     size_t Best = R.nextBelow(Population.size());
@@ -126,6 +145,8 @@ GaResult brainy::selectFeatures(const Dataset &Data, const GaConfig &Config,
     Next.push_back(Population[EliteIdx]);
     NextScores.push_back(Scores[EliteIdx]);
 
+    // Breed the full brood serially (every R draw happens in the same
+    // order as before), then score the new children in parallel.
     while (Next.size() < Population.size()) {
       const std::vector<double> &A = Population[Tournament()];
       const std::vector<double> &B = Population[Tournament()];
@@ -146,9 +167,10 @@ GaResult brainy::selectFeatures(const Dataset &Data, const GaConfig &Config,
         }
         Child[I] = std::clamp(Child[I], 0.0, 1.0);
       }
-      NextScores.push_back(Fitness(Child));
       Next.push_back(std::move(Child));
     }
+    NextScores.resize(Next.size());
+    ScoreRange(Next, NextScores, /*Begin=*/1); // slot 0 is the elite
     Population = std::move(Next);
     Scores = std::move(NextScores);
   }

@@ -41,6 +41,10 @@ struct GaConfig {
   /// Quick-training config used inside the fitness function.
   NetConfig Net = {12, 30, 0.05, 0.99, 0.9, 1e-4, 0x77};
   uint64_t Seed = 0x5eed;
+  /// Worker threads for fitness evaluation (chromosome generation stays
+  /// serial so the RNG stream — and thus the result — is identical for any
+  /// value). 0 = BRAINY_JOBS fallback, 1 = serial.
+  unsigned Jobs = 0;
 };
 
 /// Result of a feature-selection run.

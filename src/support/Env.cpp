@@ -26,3 +26,21 @@ uint64_t brainy::scaledCount(uint64_t Base, uint64_t Min) {
   auto Result = static_cast<uint64_t>(Scaled);
   return Result < Min ? Min : Result;
 }
+
+unsigned brainy::envJobs() {
+  const char *Raw = std::getenv("BRAINY_JOBS");
+  if (!Raw)
+    return 0;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Raw, &End, 10);
+  if (End == Raw || V == 0 || V > 1024)
+    return 0;
+  return static_cast<unsigned>(V);
+}
+
+unsigned brainy::resolveJobs(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned FromEnv = envJobs();
+  return FromEnv ? FromEnv : 1;
+}

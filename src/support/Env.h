@@ -8,7 +8,9 @@
 /// The benchmark harnesses reproduce the paper's experiments at a default
 /// scale that completes quickly on one core. Set BRAINY_SCALE to a positive
 /// float to multiply training-set sizes and validation counts (1.0 default;
-/// larger gets closer to the paper's raw counts).
+/// larger gets closer to the paper's raw counts). Set BRAINY_JOBS to a
+/// positive integer to give the training pipeline a default worker count
+/// wherever the caller leaves Jobs unset (0).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +26,13 @@ double experimentScale();
 
 /// Scales \p Base by experimentScale(), never below \p Min.
 uint64_t scaledCount(uint64_t Base, uint64_t Min = 1);
+
+/// Returns the BRAINY_JOBS worker count, or 0 when unset/invalid.
+unsigned envJobs();
+
+/// Resolves a requested worker count: \p Requested when non-zero, else the
+/// BRAINY_JOBS environment fallback, else 1 (serial).
+unsigned resolveJobs(unsigned Requested);
 
 } // namespace brainy
 

@@ -1,0 +1,215 @@
+//===- tests/training_parallel_test.cpp - Jobs=N determinism --------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The parallel training pipeline's hard contract: any Jobs value produces
+// byte-identical results to the serial run — Phase I pairs and counters,
+// Phase II examples, trained models, GA feature selection. Plus unit tests
+// for the ThreadPool itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Brainy.h"
+#include "ml/GaSelect.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+using namespace brainy;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Hits(257);
+  Pool.parallelFor(0, Hits.size(),
+                   [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelChunksPartitionsRange) {
+  ThreadPool Pool(2);
+  std::vector<std::atomic<int>> Hits(100);
+  Pool.parallelChunks(10, 90, 7, [&](size_t B, size_t E) {
+    ASSERT_LT(B, E);
+    ASSERT_LE(E - B, 7u);
+    for (size_t I = B; I != E; ++I)
+      Hits[I].fetch_add(1);
+  });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), I >= 10 && I < 90 ? 1 : 0) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool Pool(3);
+  EXPECT_THROW(Pool.parallelFor(0, 64,
+                                [](size_t I) {
+                                  if (I == 13)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing job and keeps working.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 32, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 32);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 64; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+  }
+  EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  Pool.parallelFor(0, 8, [&](size_t) {
+    // Re-entrant use from a worker (or the participating caller) must not
+    // deadlock; it runs the nested range to completion.
+    Pool.parallelFor(0, 4, [&](size_t) { Inner.fetch_add(1); });
+  });
+  EXPECT_EQ(Inner.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsSerially) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.workers(), 0u);
+  int Sum = 0; // no atomics needed: everything runs on this thread
+  Pool.parallelFor(0, 10, [&](size_t I) { Sum += static_cast<int>(I); });
+  EXPECT_EQ(Sum, 45);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel training determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TrainOptions parOptions(unsigned Jobs) {
+  TrainOptions Opts;
+  Opts.TargetPerDs = 6;
+  Opts.MaxSeeds = 400;
+  Opts.GenConfig.TotalInterfCalls = 200;
+  Opts.GenConfig.MaxInitialSize = 500;
+  Opts.Net.Epochs = 25;
+  Opts.Jobs = Jobs;
+  return Opts;
+}
+
+void expectSameResult(const PhaseOneResult &Serial,
+                      const PhaseOneResult &Parallel) {
+  EXPECT_EQ(Serial.SeedsScanned, Parallel.SeedsScanned);
+  EXPECT_EQ(Serial.MarginRejects, Parallel.MarginRejects);
+  ASSERT_EQ(Serial.SeedDsPairs.size(), Parallel.SeedDsPairs.size());
+  for (size_t I = 0; I != Serial.SeedDsPairs.size(); ++I) {
+    EXPECT_EQ(Serial.SeedDsPairs[I].Seed, Parallel.SeedDsPairs[I].Seed);
+    EXPECT_EQ(Serial.SeedDsPairs[I].BestDs, Parallel.SeedDsPairs[I].BestDs);
+  }
+}
+
+} // namespace
+
+TEST(TrainingParallelTest, PhaseOneIdenticalAcrossJobs) {
+  MachineConfig MC = MachineConfig::core2();
+  TrainingFramework Serial(parOptions(1), MC);
+  TrainingFramework Parallel(parOptions(4), MC);
+  EXPECT_EQ(Serial.jobs(), 1u);
+  EXPECT_EQ(Parallel.jobs(), 4u);
+  for (ModelKind MK : {ModelKind::VectorOO, ModelKind::Set})
+    expectSameResult(Serial.phaseOne(MK), Parallel.phaseOne(MK));
+}
+
+TEST(TrainingParallelTest, PhaseOneAllIdenticalAcrossJobs) {
+  MachineConfig MC = MachineConfig::core2();
+  TrainingFramework Serial(parOptions(1), MC);
+  TrainingFramework Parallel(parOptions(4), MC);
+  auto SerialAll = Serial.phaseOneAll();
+  auto ParallelAll = Parallel.phaseOneAll();
+  for (unsigned M = 0; M != NumModelKinds; ++M)
+    expectSameResult(SerialAll[M], ParallelAll[M]);
+}
+
+TEST(TrainingParallelTest, PhaseTwoIdenticalAcrossJobs) {
+  MachineConfig MC = MachineConfig::atom();
+  TrainingFramework Serial(parOptions(1), MC);
+  TrainingFramework Parallel(parOptions(3), MC);
+  ModelKind MK = ModelKind::Vector;
+  PhaseOneResult P1 = Serial.phaseOne(MK);
+  std::vector<TrainExample> A = Serial.phaseTwo(MK, P1);
+  std::vector<TrainExample> B = Parallel.phaseTwo(MK, P1);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Seed, B[I].Seed);
+    EXPECT_EQ(A[I].BestDs, B[I].BestDs);
+    EXPECT_EQ(A[I].Features.Values, B[I].Features.Values);
+  }
+}
+
+TEST(TrainingParallelTest, MeasurementCachePersistsAcrossCalls) {
+  MachineConfig MC = MachineConfig::core2();
+  TrainingFramework FW(parOptions(4), MC);
+  auto All = FW.phaseOneAll();
+  size_t CachedSeeds = FW.measurements().seeds();
+  EXPECT_GT(CachedSeeds, 0u);
+  // A later per-family phaseOne revisits the same seed range: identical
+  // pairs, answered from the warm cache.
+  PhaseOneResult Single = FW.phaseOne(ModelKind::Map);
+  ASSERT_EQ(Single.SeedDsPairs.size(),
+            All[static_cast<unsigned>(ModelKind::Map)].SeedDsPairs.size());
+  for (size_t I = 0; I != Single.SeedDsPairs.size(); ++I)
+    EXPECT_EQ(Single.SeedDsPairs[I].Seed,
+              All[static_cast<unsigned>(ModelKind::Map)].SeedDsPairs[I].Seed);
+}
+
+TEST(TrainingParallelTest, TrainedBundleIdenticalAcrossJobs) {
+  TrainOptions SerialOpts = parOptions(1);
+  TrainOptions ParallelOpts = parOptions(4);
+  SerialOpts.TargetPerDs = ParallelOpts.TargetPerDs = 5;
+  SerialOpts.MaxSeeds = ParallelOpts.MaxSeeds = 300;
+  MachineConfig MC = MachineConfig::core2();
+  Brainy A = Brainy::train(SerialOpts, MC);
+  Brainy B = Brainy::train(ParallelOpts, MC);
+  // Whole-bundle text equality covers Phase II examples, normalisation
+  // stats, and every trained weight — and therefore every prediction.
+  EXPECT_EQ(A.toString(), B.toString());
+}
+
+TEST(TrainingParallelTest, GaSelectionIdenticalAcrossJobs) {
+  // Small deterministic two-class dataset: class = whether feature 2
+  // dominates feature 5; other features are seeded noise.
+  Dataset D;
+  uint64_t State = 0x9e3779b97f4a7c15ULL;
+  auto Next = [&State] {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return static_cast<double>(State % 1000) / 1000.0;
+  };
+  for (unsigned I = 0; I != 60; ++I) {
+    std::vector<double> Row(8);
+    for (double &V : Row)
+      V = Next();
+    D.add(Row, Row[2] > Row[5] ? 1u : 0u);
+  }
+  GaConfig Serial;
+  Serial.Generations = 3;
+  Serial.Jobs = 1;
+  GaConfig Parallel = Serial;
+  Parallel.Jobs = 4;
+  GaResult A = selectFeatures(D, Serial);
+  GaResult B = selectFeatures(D, Parallel);
+  EXPECT_EQ(A.Weights, B.Weights);
+  EXPECT_EQ(A.Ranked, B.Ranked);
+  EXPECT_DOUBLE_EQ(A.Fitness, B.Fitness);
+}

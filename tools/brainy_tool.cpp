@@ -25,6 +25,7 @@
 
 #include "appgen/CppEmitter.h"
 #include "core/Brainy.h"
+#include "support/Env.h"
 #include "survey/Survey.h"
 
 #include <cstdio>
@@ -80,9 +81,9 @@ int usage() {
       "  machines\n"
       "  appgen --seed N [--ds KIND] [--config FILE] [-o FILE]\n"
       "  train --machine core2|atom -o MODELS [--target N] [--seeds N]\n"
-      "        [--config FILE]\n"
+      "        [--config FILE] [--jobs N]\n"
       "  trainset --machine core2|atom --model FAMILY -o FILE\n"
-      "           [--target N] [--seeds N] [--config FILE]\n"
+      "           [--target N] [--seeds N] [--config FILE] [--jobs N]\n"
       "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
       "  survey FILE...\n");
   return 2;
@@ -163,10 +164,13 @@ int cmdTrain(const Args &A) {
   Opts.GenConfig = loadGenConfig(A);
   Opts.TargetPerDs = static_cast<unsigned>(A.getInt("target", 60));
   Opts.MaxSeeds = A.getInt("seeds", 8000);
+  // 0 falls back to BRAINY_JOBS, then serial.
+  Opts.Jobs = static_cast<unsigned>(A.getInt("jobs", 0));
   std::fprintf(stderr,
-               "training on %s: target %u winners/DS, up to %llu seeds...\n",
+               "training on %s: target %u winners/DS, up to %llu seeds, "
+               "%u job(s)...\n",
                Machine.Name.c_str(), Opts.TargetPerDs,
-               (unsigned long long)Opts.MaxSeeds);
+               (unsigned long long)Opts.MaxSeeds, resolveJobs(Opts.Jobs));
   Brainy B = Brainy::train(Opts, Machine);
   if (!B.saveFile(Out)) {
     std::fprintf(stderr, "cannot write '%s'\n", Out.c_str());
@@ -194,6 +198,7 @@ int cmdTrainset(const Args &A) {
     Opts.GenConfig = loadGenConfig(A);
     Opts.TargetPerDs = static_cast<unsigned>(A.getInt("target", 40));
     Opts.MaxSeeds = A.getInt("seeds", 6000);
+    Opts.Jobs = static_cast<unsigned>(A.getInt("jobs", 0));
     TrainingFramework Framework(Opts, Machine);
     std::fprintf(stderr, "phase I (%s on %s)...\n", modelKindName(Kind),
                  Machine.Name.c_str());
