@@ -6,14 +6,72 @@
 
 #include "core/Brainy.h"
 
+#include "support/Crc32.h"
+#include "support/FaultInjector.h"
+
+#include <cerrno>
+#include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 using namespace brainy;
+
+namespace {
+
+constexpr const char *BundleMagic = "brainy-bundle";
+constexpr const char *BundleVersion = "v2";
+
+/// I/O-step salts for the FileIo fault site, so `io` faults can hit reads,
+/// writes, and the commit rename independently but deterministically.
+constexpr uint64_t IoSaltRead = 0;
+constexpr uint64_t IoSaltWrite = 1;
+constexpr uint64_t IoSaltRename = 2;
+
+} // namespace
 
 Brainy::Brainy() {
   for (unsigned I = 0; I != NumModelKinds; ++I)
     Models[I] =
         BrainyModel::train(static_cast<ModelKind>(I), {}, NetConfig());
+}
+
+Brainy::Brainy(const Brainy &Other)
+    : Models(Other.Models), MachineName(Other.MachineName), Tag(Other.Tag),
+      Strict(Other.Strict) {
+  Fallbacks.store(Other.Fallbacks.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+Brainy::Brainy(Brainy &&Other) noexcept
+    : Models(std::move(Other.Models)),
+      MachineName(std::move(Other.MachineName)), Tag(std::move(Other.Tag)),
+      Strict(Other.Strict) {
+  Fallbacks.store(Other.Fallbacks.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+Brainy &Brainy::operator=(const Brainy &Other) {
+  if (this != &Other) {
+    Models = Other.Models;
+    MachineName = Other.MachineName;
+    Tag = Other.Tag;
+    Strict = Other.Strict;
+    Fallbacks.store(Other.Fallbacks.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Brainy &Brainy::operator=(Brainy &&Other) noexcept {
+  if (this != &Other) {
+    Models = std::move(Other.Models);
+    MachineName = std::move(Other.MachineName);
+    Tag = std::move(Other.Tag);
+    Strict = Other.Strict;
+    Fallbacks.store(Other.Fallbacks.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  return *this;
 }
 
 Brainy Brainy::train(const TrainOptions &Options,
@@ -45,13 +103,20 @@ Brainy Brainy::train(const TrainOptions &Options,
 Brainy Brainy::trainOrLoad(const TrainOptions &Options,
                            const MachineConfig &Machine,
                            const std::string &Path, const std::string &Tag) {
-  Brainy Cached;
-  if (loadFile(Path, Cached) && Cached.MachineName == Machine.Name &&
-      Cached.Tag == Tag)
-    return Cached;
+  Expected<Brainy> Cached = load(Path, Machine.Name, Tag);
+  if (Cached)
+    return std::move(*Cached);
+  // A missing file is the expected cold-cache case; anything else is a
+  // stale or corrupt bundle and deserves a diagnostic before the safe
+  // fallback of retraining.
+  if (Cached.error().code() != ErrCode::IoError)
+    std::fprintf(stderr, "brainy: retraining: %s\n",
+                 Cached.error().message().c_str());
   Brainy Fresh = train(Options, Machine);
   Fresh.Tag = Tag;
-  Fresh.saveFile(Path);
+  if (Error E = Fresh.save(Path))
+    std::fprintf(stderr, "brainy: could not cache bundle: %s\n",
+                 E.message().c_str());
   return Fresh;
 }
 
@@ -64,19 +129,46 @@ DsKind Brainy::recommend(DsKind Original, const SoftwareFeatures &Sw,
 
 DsKind Brainy::recommendWith(ModelKind Model, const FeatureVector &Features,
                              bool AppOrderOblivious) const {
-  return model(Model).predict(Features, AppOrderOblivious);
+  const BrainyModel &M = model(Model);
+  if (!M.trained()) {
+    // Degraded mode: an unloaded or invalid family model must never steer
+    // a replacement. Keep the original and count the event so operators
+    // can see an advisor running on a bad bundle.
+    Fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (Strict)
+      throw ErrorException(
+          Error(ErrCode::ModelUnavailable,
+                std::string("model '") + modelKindName(Model) +
+                    "' is not trained"));
+    return modelOriginal(Model);
+  }
+  return M.predict(Features, AppOrderOblivious);
 }
 
 std::string Brainy::toString() const {
-  std::string Out = "brainy-bundle v1\n";
+  std::string Payload;
+  for (const BrainyModel &Model : Models)
+    Payload += Model.toString();
+
+  char Buf[96];
+  std::string Out = std::string(BundleMagic) + " " + BundleVersion + "\n";
   Out += "machine " + MachineName + "\n";
   Out += "tag " + Tag + "\n";
-  for (const BrainyModel &Model : Models)
-    Out += Model.toString();
+  std::snprintf(Buf, sizeof(Buf), "features %u\n", NumFeatures);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "models %u\n", NumModelKinds);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "payload %zu crc32 %08" PRIx32 "\n",
+                Payload.size(), crc32(Payload));
+  Out += Buf;
+  Out += Payload;
   return Out;
 }
 
-bool Brainy::fromString(const std::string &Text, Brainy &Out) {
+Error Brainy::parse(const std::string &Text, Brainy &Out) {
+  if (Text.empty())
+    return Error(ErrCode::Truncated, "empty bundle");
+
   size_t Pos = 0;
   auto TakeLine = [&Text, &Pos](std::string &Line) {
     if (Pos >= Text.size())
@@ -88,50 +180,193 @@ bool Brainy::fromString(const std::string &Text, Brainy &Out) {
     Pos = Eol + 1;
     return true;
   };
+
   std::string Line;
-  if (!TakeLine(Line) || Line != "brainy-bundle v1")
-    return false;
-  if (!TakeLine(Line) || Line.rfind("machine ", 0) != 0)
-    return false;
+  TakeLine(Line);
+  size_t Space = Line.find(' ');
+  if (Line.substr(0, Space) != BundleMagic)
+    return Error(ErrCode::BadMagic, "not a brainy model bundle");
+  std::string Version =
+      Space == std::string::npos ? "" : Line.substr(Space + 1);
+  if (Version != BundleVersion)
+    return Error(ErrCode::BadVersion, "bundle version '" + Version +
+                                          "', this build reads '" +
+                                          BundleVersion + "'");
+
+  if (!TakeLine(Line))
+    return Error(ErrCode::Truncated, "header ends before 'machine'");
+  if (Line.rfind("machine ", 0) != 0)
+    return Error(ErrCode::BadFormat, "expected 'machine <name>'");
   Out.MachineName = Line.substr(8);
-  if (!TakeLine(Line) || Line.rfind("tag ", 0) != 0)
-    return false;
+
+  if (!TakeLine(Line))
+    return Error(ErrCode::Truncated, "header ends before 'tag'");
+  if (Line.rfind("tag ", 0) != 0)
+    return Error(ErrCode::BadFormat, "expected 'tag <tag>'");
   Out.Tag = Line.substr(4);
 
+  if (!TakeLine(Line))
+    return Error(ErrCode::Truncated, "header ends before 'features'");
+  unsigned Features = 0;
+  if (std::sscanf(Line.c_str(), "features %u", &Features) != 1)
+    return Error(ErrCode::BadFormat, "expected 'features <count>'");
+  if (Features != NumFeatures)
+    return Error(ErrCode::FeatureMismatch,
+                 "bundle has " + std::to_string(Features) +
+                     " features, this build expects " +
+                     std::to_string(NumFeatures));
+
+  if (!TakeLine(Line))
+    return Error(ErrCode::Truncated, "header ends before 'models'");
+  unsigned ModelCount = 0;
+  if (std::sscanf(Line.c_str(), "models %u", &ModelCount) != 1)
+    return Error(ErrCode::BadFormat, "expected 'models <count>'");
+  if (ModelCount != NumModelKinds)
+    return Error(ErrCode::BadFormat,
+                 "bundle has " + std::to_string(ModelCount) +
+                     " models, this build expects " +
+                     std::to_string(NumModelKinds));
+
+  if (!TakeLine(Line))
+    return Error(ErrCode::Truncated, "header ends before 'payload'");
+  unsigned long long PayloadSize = 0;
+  uint32_t WantCrc = 0;
+  if (std::sscanf(Line.c_str(), "payload %llu crc32 %8" SCNx32,
+                  &PayloadSize, &WantCrc) != 2)
+    return Error(ErrCode::BadFormat,
+                 "expected 'payload <size> crc32 <hex>'");
+
+  size_t Remaining = Text.size() - Pos;
+  if (Remaining < PayloadSize)
+    return Error(ErrCode::Truncated,
+                 "payload is " + std::to_string(Remaining) +
+                     " bytes, header declares " +
+                     std::to_string(PayloadSize));
+  if (Remaining > PayloadSize)
+    return Error(ErrCode::BadFormat,
+                 std::to_string(Remaining - PayloadSize) +
+                     " trailing bytes after payload");
+
+  std::string Payload = Text.substr(Pos);
+  uint32_t GotCrc = crc32(Payload);
+  if (GotCrc != WantCrc) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "payload crc32 %08" PRIx32 ", header says %08" PRIx32,
+                  GotCrc, WantCrc);
+    return Error(ErrCode::BadChecksum, Buf);
+  }
+
+  size_t MPos = 0;
+  std::array<bool, NumModelKinds> Seen{};
   for (unsigned I = 0; I != NumModelKinds; ++I) {
-    size_t End = Text.find("end-model\n", Pos);
+    size_t End = Payload.find("end-model\n", MPos);
     if (End == std::string::npos)
-      return false;
+      return Error(ErrCode::BadFormat,
+                   "model section " + std::to_string(I) +
+                       " has no end-model marker");
     End += 10; // past "end-model\n"
     BrainyModel Parsed;
-    if (!BrainyModel::fromString(Text.substr(Pos, End - Pos), Parsed))
-      return false;
-    Out.Models[static_cast<unsigned>(Parsed.kind())] = std::move(Parsed);
-    Pos = End;
+    if (!BrainyModel::fromString(Payload.substr(MPos, End - MPos), Parsed))
+      return Error(ErrCode::BadFormat,
+                   "model section " + std::to_string(I) + " is malformed");
+    auto K = static_cast<unsigned>(Parsed.kind());
+    if (Seen[K])
+      return Error(ErrCode::BadFormat,
+                   std::string("duplicate model '") +
+                       modelKindName(Parsed.kind()) + "'");
+    Seen[K] = true;
+    Out.Models[K] = std::move(Parsed);
+    MPos = End;
   }
-  return true;
+  return Error::success();
 }
 
-bool Brainy::saveFile(const std::string &Path) const {
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
+Error Brainy::save(const std::string &Path) const {
+  FaultInjector &FI = FaultInjector::instance();
+  uint64_t PathKey = FaultInjector::keyFor(Path);
+  if (FI.shouldFail(FaultSite::FileIo, PathKey, IoSaltWrite))
+    return Error(ErrCode::FaultInjected, "writing '" + Path + "'");
+
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
-    return false;
+    return Error(ErrCode::IoError,
+                 "cannot open '" + Tmp + "': " + std::strerror(errno));
   std::string Text = toString();
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
-  bool Ok = Written == Text.size();
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fflush(F) == 0;
   Ok &= std::fclose(F) == 0;
-  return Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Error(ErrCode::IoError, "short write to '" + Tmp + "'");
+  }
+  // Simulated crash between write and commit: the temp file is discarded
+  // and the previous bundle (if any) stays intact.
+  if (FI.shouldFail(FaultSite::FileIo, PathKey, IoSaltRename)) {
+    std::remove(Tmp.c_str());
+    return Error(ErrCode::FaultInjected,
+                 "renaming '" + Tmp + "' over '" + Path + "'");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Error(ErrCode::IoError, "cannot rename '" + Tmp + "' to '" +
+                                       Path + "': " + std::strerror(errno));
+  }
+  return Error::success();
 }
 
-bool Brainy::loadFile(const std::string &Path, Brainy &Out) {
+Expected<Brainy> Brainy::load(const std::string &Path) {
+  if (FaultInjector::instance().shouldFail(
+          FaultSite::FileIo, FaultInjector::keyFor(Path), IoSaltRead))
+    return Error(ErrCode::FaultInjected, "reading '" + Path + "'");
+
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return false;
+    return Error(ErrCode::IoError,
+                 "cannot open '" + Path + "': " + std::strerror(errno));
   std::string Text;
   char Buf[8192];
   size_t N;
   while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
     Text.append(Buf, N);
   std::fclose(F);
-  return fromString(Text, Out);
+
+  Brainy Out;
+  if (Error E = parse(Text, Out))
+    return E.withPrefix("bundle '" + Path + "'");
+  return Out;
+}
+
+Expected<Brainy> Brainy::load(const std::string &Path,
+                              const std::string &ExpectMachine,
+                              const std::string &ExpectTag) {
+  Expected<Brainy> B = load(Path);
+  if (!B)
+    return B;
+  if (!ExpectMachine.empty() && B->MachineName != ExpectMachine)
+    return Error(ErrCode::MachineMismatch,
+                 "bundle '" + Path + "' trained for '" + B->MachineName +
+                     "', want '" + ExpectMachine + "'");
+  if (B->Tag != ExpectTag)
+    return Error(ErrCode::TagMismatch, "bundle '" + Path + "' has tag '" +
+                                           B->Tag + "', want '" + ExpectTag +
+                                           "'");
+  return B;
+}
+
+bool Brainy::fromString(const std::string &Text, Brainy &Out) {
+  return !parse(Text, Out);
+}
+
+bool Brainy::saveFile(const std::string &Path) const {
+  return !save(Path);
+}
+
+bool Brainy::loadFile(const std::string &Path, Brainy &Out) {
+  Expected<Brainy> B = load(Path);
+  if (!B)
+    return false;
+  Out = std::move(*B);
+  return true;
 }

@@ -21,14 +21,23 @@
 ///   DsKind Better = Advisor.recommend(DsKind::Vector, C.features(), F);
 /// \endcode
 ///
+/// Persistence is hardened for the unattended install-time workflow
+/// (DESIGN.md §8): bundles carry magic bytes, a format version, the
+/// feature-vector width, and a CRC32 over the payload; save() is atomic
+/// (temp file + rename) and load() reports a diagnosable Error instead of
+/// a bare false. An advisor whose routed model is unavailable degrades to
+/// "keep the original" and counts the event (strict mode throws instead).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BRAINY_CORE_BRAINY_H
 #define BRAINY_CORE_BRAINY_H
 
 #include "core/BrainyModel.h"
+#include "support/Error.h"
 
 #include <array>
+#include <atomic>
 #include <string>
 
 namespace brainy {
@@ -40,21 +49,29 @@ public:
   /// original" until trained or loaded.
   Brainy();
 
+  Brainy(const Brainy &Other);
+  Brainy(Brainy &&Other) noexcept;
+  Brainy &operator=(const Brainy &Other);
+  Brainy &operator=(Brainy &&Other) noexcept;
+
   /// Runs the full two-phase training framework for every model family on
   /// \p Machine. Deterministic for fixed options.
   static Brainy train(const TrainOptions &Options,
                       const MachineConfig &Machine);
 
-  /// Loads \p Path if it holds a bundle trained with a matching tag;
-  /// otherwise trains and saves to \p Path. \p Tag should encode whatever
-  /// the caller varies (machine name, scale...).
+  /// Loads \p Path if it holds a valid bundle trained for \p Machine with
+  /// a matching tag; otherwise (missing, corrupt, version/machine/tag
+  /// mismatch — logged unless simply missing) trains and saves to \p Path.
+  /// \p Tag should encode whatever the caller varies (scale...).
   static Brainy trainOrLoad(const TrainOptions &Options,
                             const MachineConfig &Machine,
                             const std::string &Path, const std::string &Tag);
 
   /// Recommends a replacement for an \p Original structure whose run
   /// produced \p Sw / \p Features. Routes to the model family implied by
-  /// the original kind and the observed order-obliviousness.
+  /// the original kind and the observed order-obliviousness. If the routed
+  /// model is untrained, returns \p Original (or throws ErrorException
+  /// with ModelUnavailable in strict mode) and bumps fallbackCount().
   DsKind recommend(DsKind Original, const SoftwareFeatures &Sw,
                    const FeatureVector &Features) const;
 
@@ -70,9 +87,42 @@ public:
   }
 
   const std::string &machineName() const { return MachineName; }
+  const std::string &tag() const { return Tag; }
 
-  /// Whole-bundle persistence.
+  /// How many recommend calls fell back to "keep the original" because the
+  /// routed model was unavailable.
+  uint64_t fallbackCount() const {
+    return Fallbacks.load(std::memory_order_relaxed);
+  }
+
+  /// In strict mode an unavailable model throws instead of silently
+  /// keeping the original (for tests and debugging; default off).
+  void setStrict(bool Value) { Strict = Value; }
+  bool strict() const { return Strict; }
+
+  /// Whole-bundle persistence. toString emits the v2 format: a header
+  /// (magic+version, machine, tag, feature count, model count, payload
+  /// size + CRC32) followed by the six model sections.
   std::string toString() const;
+
+  /// Parses and validates a v2 bundle; on any defect \p Out is left
+  /// partially written but the Error tells the caller not to use it.
+  static Error parse(const std::string &Text, Brainy &Out);
+
+  /// Atomic save: writes `<Path>.tmp`, then renames over \p Path, so a
+  /// crashed save never leaves a half-written bundle behind.
+  Error save(const std::string &Path) const;
+
+  /// Reads and validates \p Path.
+  static Expected<Brainy> load(const std::string &Path);
+
+  /// load() plus machine/tag validation (empty \p ExpectMachine skips the
+  /// machine check).
+  static Expected<Brainy> load(const std::string &Path,
+                               const std::string &ExpectMachine,
+                               const std::string &ExpectTag);
+
+  /// Boolean conveniences over parse/save/load.
   static bool fromString(const std::string &Text, Brainy &Out);
   bool saveFile(const std::string &Path) const;
   static bool loadFile(const std::string &Path, Brainy &Out);
@@ -81,6 +131,10 @@ private:
   std::array<BrainyModel, NumModelKinds> Models;
   std::string MachineName;
   std::string Tag;
+  bool Strict = false;
+  /// recommend() is const and may run concurrently; the fallback counter
+  /// is diagnostics-only state.
+  mutable std::atomic<uint64_t> Fallbacks{0};
 };
 
 } // namespace brainy

@@ -164,6 +164,18 @@ bool BrainyModel::fromString(const std::string &Text, BrainyModel &Out) {
 
   if (!takeLine(Text, Pos, Line) || Line.rfind("candidates", 0) != 0)
     return false;
+  {
+    // The candidate vocabulary is derived from the kind, but a mismatched
+    // list means the bundle was produced by an incompatible build — reject
+    // it rather than predict with misaligned labels.
+    std::string Expect = "candidates";
+    for (DsKind Kind2 : Out.Candidates) {
+      Expect += ' ';
+      Expect += dsKindName(Kind2);
+    }
+    if (Line != Expect)
+      return false;
+  }
   if (!takeLine(Text, Pos, Line) || Line.rfind("weights", 0) != 0)
     return false;
   {
@@ -177,10 +189,17 @@ bool BrainyModel::fromString(const std::string &Text, BrainyModel &Out) {
       Out.FeatureWeights.push_back(V);
       P = End;
     }
+    while (*P == ' ')
+      ++P;
+    if (*P != '\0') // junk or surplus weights after the expected count
+      return false;
   }
   if (!takeLine(Text, Pos, Line) || Line.rfind("trained ", 0) != 0)
     return false;
-  bool IsTrained = Line.substr(8) == "1";
+  std::string TrainedFlag = Line.substr(8);
+  if (TrainedFlag != "0" && TrainedFlag != "1")
+    return false;
+  bool IsTrained = TrainedFlag == "1";
   if (IsTrained) {
     if (!takeLine(Text, Pos, Line) || Line != "normalizer")
       return false;

@@ -31,6 +31,7 @@
 #define BRAINY_CORE_MEASUREMENTCACHE_H
 
 #include "adt/DsKind.h"
+#include "support/FaultInjector.h"
 
 #include <array>
 #include <cstdint>
@@ -63,7 +64,13 @@ public:
       if (It != Fresh.end() && (It->second.MeasuredMask & Bit))
         return It->second.Cycles[I];
       double Cycles;
-      if (Parent->lookup(Seed, Kind, Cycles))
+      // A `cache` fault on a shared-map hit models a corrupt entry being
+      // detected: the hit is discarded and the key remeasured into the
+      // local overlay. Measurements are pure, so recovery reproduces the
+      // identical value and no downstream result can change.
+      if (Parent->lookup(Seed, Kind, Cycles) &&
+          !FaultInjector::instance().shouldFail(FaultSite::CacheLookup, Seed,
+                                                /*Salt=*/I))
         return Cycles;
       Cycles = Measure();
       Entry &E = It != Fresh.end() ? It->second : Fresh[Seed];

@@ -20,10 +20,13 @@
 #include "core/TrainingFramework.h"
 
 #include "support/Env.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
+#include <exception>
 
 using namespace brainy;
 
@@ -32,6 +35,11 @@ namespace {
 /// Seeds per worker chunk. Purely a scheduling knob: results are identical
 /// for any value, it only balances claim overhead against tail waste.
 constexpr uint64_t PhaseOneChunk = 16;
+
+/// Salt offset separating Phase II eval-fault decisions from Phase I's
+/// (which use Salt = attempt index). Keeps `BRAINY_FAULT=eval:...` able to
+/// hit both phases without one phase's survival implying the other's.
+constexpr uint64_t PhaseTwoSalt = uint64_t(1) << 16;
 
 /// Matches an already-derived spec against a family (the seed-taking
 /// public specMatchesModel wraps this).
@@ -133,6 +141,44 @@ TrainingFramework::evalSeed(uint64_t Seed,
   return Out;
 }
 
+bool TrainingFramework::tryEvalSeed(
+    uint64_t Seed, const std::array<bool, NumModelKinds> &Wanted,
+    MeasurementCache::Shard &Shard,
+    std::array<SeedOutcome, NumModelKinds> &Out) const {
+  // Excluded seeds behave exactly like seeds that failed every retry,
+  // minus the log noise — the distributed worker-loss hook.
+  if (Options.ExcludeSeeds.count(Seed))
+    return false;
+  unsigned Attempts = Options.EvalRetries + 1;
+  for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+    try {
+      // Keyed by (seed, attempt) only: which seeds survive is a pure
+      // function of the fault spec, independent of Jobs or scheduling.
+      FaultInjector::instance().maybeThrow(FaultSite::Eval, Seed, Attempt,
+                                           "seed evaluation");
+      Out = evalSeed(Seed, Wanted, Shard);
+      return true;
+    } catch (const std::exception &E) {
+      if (Attempt + 1 == Attempts)
+        std::fprintf(
+            stderr, "brainy: phase I: seed %llu skipped after %u attempts: %s\n",
+            static_cast<unsigned long long>(Seed), Attempts, E.what());
+      else
+        std::fprintf(
+            stderr,
+            "brainy: phase I: seed %llu attempt %u/%u failed, retrying: %s\n",
+            static_cast<unsigned long long>(Seed), Attempt + 1, Attempts,
+            E.what());
+    } catch (...) {
+      if (Attempt + 1 == Attempts)
+        std::fprintf(
+            stderr, "brainy: phase I: seed %llu skipped after %u attempts\n",
+            static_cast<unsigned long long>(Seed), Attempts);
+    }
+  }
+  return false;
+}
+
 std::array<PhaseOneResult, NumModelKinds>
 TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
                                 bool CountUnmatchedSeeds) const {
@@ -190,15 +236,30 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
     return true;
   };
 
+  // A skipped seed is invisible to the merge: not scanned, not raced, but
+  // recorded per still-hungry family so callers can reconcile fault runs
+  // with fault-free runs over the surviving seed set.
+  auto RecordSkip = [&](uint64_t Seed) {
+    for (ModelKind Model : Models) {
+      auto M = static_cast<unsigned>(Model);
+      if (!ModelFull(Model))
+        Results[M].SkippedSeeds.push_back(Seed);
+    }
+  };
+
   if (jobs() <= 1) {
     // Serial path: one shard for the whole scan, fullness consulted live so
     // no seed is ever measured past the stopping point.
     MeasurementCache::Shard Shard = Cache.shard();
+    std::array<SeedOutcome, NumModelKinds> Out{};
     for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
       if (AllFull())
         break;
       uint64_t Seed = Options.FirstSeed + Offset;
-      MergeSeed(Seed, evalSeed(Seed, WantedNow(), Shard));
+      if (tryEvalSeed(Seed, WantedNow(), Shard, Out))
+        MergeSeed(Seed, Out);
+      else
+        RecordSkip(Seed);
     }
     Cache.merge(std::move(Shard));
     return Results;
@@ -219,17 +280,54 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
     Shards.reserve(NumChunks);
     for (size_t C = 0; C != NumChunks; ++C)
       Shards.push_back(Cache.shard());
-    std::vector<std::vector<std::array<SeedOutcome, NumModelKinds>>> Evals(
-        NumChunks);
 
-    pool().parallelFor(0, NumChunks, [&](size_t C) {
+    // Per-seed evaluation slot. Ok=false means the seed is skipped — the
+    // default, so a chunk that dies mid-flight leaves its unevaluated
+    // seeds skipped rather than poisoning the wave.
+    struct SeedEval {
+      bool Ok = false;
+      std::array<SeedOutcome, NumModelKinds> Outcomes{};
+    };
+    std::vector<std::vector<SeedEval>> Evals(NumChunks);
+
+    std::vector<std::exception_ptr> ChunkErrors;
+    pool().parallelChunks(
+        0, NumChunks, 1,
+        [&](size_t CBegin, size_t CEnd) {
+          for (size_t C = CBegin; C != CEnd; ++C) {
+            uint64_t Begin = WaveBegin + C * PhaseOneChunk;
+            uint64_t End = std::min(WaveEnd, Begin + PhaseOneChunk);
+            Evals[C].resize(End - Begin);
+            for (uint64_t Offset = Begin; Offset != End; ++Offset) {
+              SeedEval &Slot = Evals[C][Offset - Begin];
+              Slot.Ok = tryEvalSeed(Options.FirstSeed + Offset, Wanted,
+                                    Shards[C], Slot.Outcomes);
+            }
+          }
+        },
+        ChunkErrors);
+    // tryEvalSeed never throws, so captured chunk errors are unexpected
+    // (e.g. bad_alloc sizing a slot vector). Log and keep going: the
+    // chunk's seeds merge as skipped instead of aborting the wave.
+    for (size_t C = 0; C != NumChunks; ++C) {
+      if (!ChunkErrors[C])
+        continue;
       uint64_t Begin = WaveBegin + C * PhaseOneChunk;
-      uint64_t End = std::min(WaveEnd, Begin + PhaseOneChunk);
-      Evals[C].reserve(End - Begin);
-      for (uint64_t Offset = Begin; Offset != End; ++Offset)
-        Evals[C].push_back(
-            evalSeed(Options.FirstSeed + Offset, Wanted, Shards[C]));
-    });
+      Evals[C].resize(std::min(WaveEnd, Begin + PhaseOneChunk) - Begin);
+      try {
+        std::rethrow_exception(ChunkErrors[C]);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr,
+                     "brainy: phase I: chunk at seed %llu failed: %s\n",
+                     static_cast<unsigned long long>(Options.FirstSeed +
+                                                     Begin),
+                     E.what());
+      } catch (...) {
+        std::fprintf(stderr, "brainy: phase I: chunk at seed %llu failed\n",
+                     static_cast<unsigned long long>(Options.FirstSeed +
+                                                     Begin));
+      }
+    }
 
     for (MeasurementCache::Shard &S : Shards)
       Cache.merge(std::move(S));
@@ -238,7 +336,18 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
          ++Offset) {
       size_t C = static_cast<size_t>((Offset - WaveBegin) / PhaseOneChunk);
       size_t I = static_cast<size_t>((Offset - WaveBegin) % PhaseOneChunk);
-      Stopped = !MergeSeed(Options.FirstSeed + Offset, Evals[C][I]);
+      uint64_t Seed = Options.FirstSeed + Offset;
+      const SeedEval &Slot = Evals[C][I];
+      if (!Slot.Ok) {
+        // Same decision order as the serial loop: stop if every family is
+        // already full, otherwise record the skip and move on.
+        if (AllFull())
+          Stopped = true;
+        else
+          RecordSkip(Seed);
+        continue;
+      }
+      Stopped = !MergeSeed(Seed, Slot.Outcomes);
     }
   }
   return Results;
@@ -282,21 +391,74 @@ TrainingFramework::phaseTwo(ModelKind Model,
     Accepted.push_back(Pair);
   }
 
-  std::vector<TrainExample> Examples(Accepted.size());
+  // Each accepted pair profiles into its own slot; a replay that fails
+  // every retry leaves its slot unset and is dropped at the end, so one
+  // bad seed costs one example, not the phase. Fault decisions are keyed
+  // by (seed, PhaseTwoSalt + attempt): schedule-independent.
+  std::vector<TrainExample> Slots(Accepted.size());
+  std::vector<char> Ok(Accepted.size(), 0);
+  unsigned Attempts = Options.EvalRetries + 1;
   auto ProfileOne = [&](size_t I) {
     const SeedBest &Pair = Accepted[I];
-    AppSpec Spec = AppSpec::fromSeed(Pair.Seed, Options.GenConfig);
-    ProfiledOutcome Out = runAppProfiled(Spec, Original, Machine);
-    Examples[I].Features = Out.Features;
-    Examples[I].BestDs = Pair.BestDs;
-    Examples[I].Seed = Pair.Seed;
+    for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+      try {
+        FaultInjector::instance().maybeThrow(FaultSite::Eval, Pair.Seed,
+                                             PhaseTwoSalt + Attempt,
+                                             "phase II profiling");
+        AppSpec Spec = AppSpec::fromSeed(Pair.Seed, Options.GenConfig);
+        ProfiledOutcome Out = runAppProfiled(Spec, Original, Machine);
+        Slots[I].Features = Out.Features;
+        Slots[I].BestDs = Pair.BestDs;
+        Slots[I].Seed = Pair.Seed;
+        Ok[I] = 1;
+        return;
+      } catch (const std::exception &E) {
+        if (Attempt + 1 == Attempts)
+          std::fprintf(
+              stderr,
+              "brainy: phase II: seed %llu example dropped after %u attempts: %s\n",
+              static_cast<unsigned long long>(Pair.Seed), Attempts, E.what());
+      } catch (...) {
+        if (Attempt + 1 == Attempts)
+          std::fprintf(
+              stderr,
+              "brainy: phase II: seed %llu example dropped after %u attempts\n",
+              static_cast<unsigned long long>(Pair.Seed), Attempts);
+      }
+    }
   };
   if (jobs() <= 1) {
     for (size_t I = 0, E = Accepted.size(); I != E; ++I)
       ProfileOne(I);
   } else {
-    pool().parallelFor(0, Accepted.size(), ProfileOne);
+    // Per-item error capture: an escaped failure costs that item only.
+    std::vector<std::exception_ptr> ItemErrors;
+    pool().parallelChunks(
+        0, Accepted.size(), 1,
+        [&](size_t Begin, size_t End) {
+          for (size_t I = Begin; I != End; ++I)
+            ProfileOne(I);
+        },
+        ItemErrors);
+    for (size_t I = 0; I != ItemErrors.size(); ++I) {
+      if (!ItemErrors[I])
+        continue;
+      try {
+        std::rethrow_exception(ItemErrors[I]);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "brainy: phase II: item %zu failed: %s\n", I,
+                     E.what());
+      } catch (...) {
+        std::fprintf(stderr, "brainy: phase II: item %zu failed\n", I);
+      }
+    }
   }
+  // Compact away dropped slots; survivors keep the recorded order.
+  std::vector<TrainExample> Examples;
+  Examples.reserve(Accepted.size());
+  for (size_t I = 0, E = Accepted.size(); I != E; ++I)
+    if (Ok[I])
+      Examples.push_back(std::move(Slots[I]));
   return Examples;
 }
 

@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace brainy {
@@ -56,6 +57,17 @@ struct TrainOptions {
   /// is unset. 1 runs the serial path with no thread pool. Results are
   /// bit-identical for every value.
   unsigned Jobs = 0;
+  /// A seed evaluation that throws (or is fault-injected) is retried this
+  /// many times before the seed is skipped. Retries are keyed by
+  /// (seed, attempt), so which seeds survive is deterministic and
+  /// independent of Jobs.
+  unsigned EvalRetries = 2;
+  /// Seeds excluded up front. An excluded seed is treated exactly like a
+  /// seed whose evaluation failed every retry: recorded as skipped without
+  /// perturbing the ordered merge for the surviving seeds. This is the
+  /// worker-loss hook for distributed Phase I, and how fault-run
+  /// determinism is asserted in tests.
+  std::set<uint64_t> ExcludeSeeds;
   /// Network hyperparameters for the final model.
   NetConfig Net;
 };
@@ -73,6 +85,11 @@ struct PhaseOneResult {
   uint64_t SeedsScanned = 0;
   /// Apps whose winner failed the 5% margin (discarded).
   uint64_t MarginRejects = 0;
+  /// Seeds dropped while this family still wanted data — evaluation failed
+  /// every retry, or the seed was in ExcludeSeeds. In seed order. Skipped
+  /// seeds do not count into SeedsScanned: the surviving merge is
+  /// bit-identical to a run over a seed stream that never contained them.
+  std::vector<uint64_t> SkippedSeeds;
 };
 
 /// Runs both training phases for the six model families of one machine.
@@ -136,6 +153,15 @@ private:
   std::array<SeedOutcome, NumModelKinds>
   evalSeed(uint64_t Seed, const std::array<bool, NumModelKinds> &Wanted,
            MeasurementCache::Shard &Shard) const;
+
+  /// evalSeed with the fault-isolation wrapper: excluded seeds are refused
+  /// immediately; a throwing evaluation (injected or real) is retried up
+  /// to Options.EvalRetries times, then logged and reported as failed.
+  /// Never throws. Returns false when the seed must be skipped.
+  bool tryEvalSeed(uint64_t Seed,
+                   const std::array<bool, NumModelKinds> &Wanted,
+                   MeasurementCache::Shard &Shard,
+                   std::array<SeedOutcome, NumModelKinds> &Out) const;
 
   std::array<PhaseOneResult, NumModelKinds>
   phaseOneImpl(const std::vector<ModelKind> &Models,

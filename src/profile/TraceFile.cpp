@@ -6,6 +6,10 @@
 
 #include "profile/TraceFile.h"
 
+#include "support/FaultInjector.h"
+
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,7 +60,16 @@ bool brainy::trainingSetFromString(const std::string &Text,
       Ok = false;
       continue;
     }
-    Ex.Seed = std::strtoull(Line.c_str() + Tab1 + 1, nullptr, 10);
+    const char *SeedBegin = Line.c_str() + Tab1 + 1;
+    char *SeedEnd = nullptr;
+    errno = 0;
+    Ex.Seed = std::strtoull(SeedBegin, &SeedEnd, 10);
+    // The seed field must be exactly the digits between the two tabs.
+    if (SeedEnd == SeedBegin || errno == ERANGE ||
+        SeedEnd != Line.c_str() + Tab2) {
+      Ok = false;
+      continue;
+    }
     if (!FeatureVector::fromTsv(Line.substr(Tab2 + 1), Ex.Features)) {
       Ok = false;
       continue;
@@ -68,18 +81,31 @@ bool brainy::trainingSetFromString(const std::string &Text,
 
 bool brainy::writeTrainingSet(const std::string &Path,
                               const std::vector<TrainExample> &Examples) {
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (FaultInjector::instance().shouldFail(
+          FaultSite::FileIo, FaultInjector::keyFor(Path), /*Salt=*/1))
+    return false;
+  // Atomic like the model bundle: a crashed write never leaves a
+  // half-written training set at the destination path.
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return false;
   std::string Text = trainingSetToString(Examples);
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
   bool Ok = Written == Text.size();
+  Ok &= std::fflush(F) == 0;
   Ok &= std::fclose(F) == 0;
+  Ok = Ok && std::rename(Tmp.c_str(), Path.c_str()) == 0;
+  if (!Ok)
+    std::remove(Tmp.c_str());
   return Ok;
 }
 
 bool brainy::readTrainingSet(const std::string &Path,
                              std::vector<TrainExample> &Examples) {
+  if (FaultInjector::instance().shouldFail(
+          FaultSite::FileIo, FaultInjector::keyFor(Path), /*Salt=*/0))
+    return false;
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return false;

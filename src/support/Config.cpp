@@ -6,6 +6,8 @@
 
 #include "support/Config.h"
 
+#include "support/FaultInjector.h"
+
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -55,12 +57,19 @@ Config Config::fromString(const std::string &Text) {
                               ": empty key");
       continue;
     }
-    Result.Values[Key] = Value;
+    Result.Values[Key] = Setting{Value, LineNo};
   }
   return Result;
 }
 
 Config Config::fromFile(const std::string &Path) {
+  if (FaultInjector::instance().shouldFail(FaultSite::FileIo,
+                                           FaultInjector::keyFor(Path))) {
+    Config Result;
+    Result.Errors.push_back(
+        Error(ErrCode::FaultInjected, "reading '" + Path + "'").message());
+    return Result;
+  }
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     Config Result;
@@ -77,42 +86,83 @@ Config Config::fromFile(const std::string &Path) {
   return fromString(Text);
 }
 
+const Config::Setting *Config::find(const std::string &Key) const {
+  auto It = Values.find(Key);
+  return It == Values.end() ? nullptr : &It->second;
+}
+
+void Config::recordValueError(ErrCode Code, const std::string &Key,
+                              const Setting &S,
+                              const std::string &Detail) const {
+  std::string Where =
+      S.Line ? "line " + std::to_string(S.Line) + ": " : std::string();
+  Errors.push_back(
+      Error(Code, Where + "key '" + Key + "': " + Detail).message());
+}
+
 std::string Config::getString(const std::string &Key,
                               const std::string &Default) const {
-  auto It = Values.find(Key);
-  return It == Values.end() ? Default : It->second;
+  const Setting *S = find(Key);
+  return S ? S->Value : Default;
 }
 
 int64_t Config::getInt(const std::string &Key, int64_t Default) const {
-  auto It = Values.find(Key);
-  if (It == Values.end())
+  const Setting *S = find(Key);
+  if (!S)
     return Default;
   errno = 0;
   char *End = nullptr;
-  long long V = std::strtoll(It->second.c_str(), &End, 0);
-  if (errno != 0 || End == It->second.c_str() || *trim(End).c_str() != '\0')
+  long long V = std::strtoll(S->Value.c_str(), &End, 0);
+  if (errno == ERANGE) {
+    recordValueError(ErrCode::OutOfRange, Key, *S,
+                     "integer '" + S->Value + "' does not fit 64 bits");
     return Default;
+  }
+  if (End == S->Value.c_str()) {
+    recordValueError(ErrCode::InvalidValue, Key, *S,
+                     "not an integer: '" + S->Value + "'");
+    return Default;
+  }
+  if (!trim(End).empty()) {
+    recordValueError(ErrCode::InvalidValue, Key, *S,
+                     "trailing characters after integer: '" + S->Value +
+                         "'");
+    return Default;
+  }
   return V;
 }
 
 double Config::getDouble(const std::string &Key, double Default) const {
-  auto It = Values.find(Key);
-  if (It == Values.end())
+  const Setting *S = find(Key);
+  if (!S)
     return Default;
   errno = 0;
   char *End = nullptr;
-  double V = std::strtod(It->second.c_str(), &End);
-  if (errno != 0 || End == It->second.c_str() || *trim(End).c_str() != '\0')
+  double V = std::strtod(S->Value.c_str(), &End);
+  if (errno == ERANGE) {
+    recordValueError(ErrCode::OutOfRange, Key, *S,
+                     "number '" + S->Value + "' out of double range");
     return Default;
+  }
+  if (End == S->Value.c_str()) {
+    recordValueError(ErrCode::InvalidValue, Key, *S,
+                     "not a number: '" + S->Value + "'");
+    return Default;
+  }
+  if (!trim(End).empty()) {
+    recordValueError(ErrCode::InvalidValue, Key, *S,
+                     "trailing characters after number: '" + S->Value + "'");
+    return Default;
+  }
   return V;
 }
 
 bool Config::getBool(const std::string &Key, bool Default) const {
-  auto It = Values.find(Key);
-  if (It == Values.end())
+  const Setting *S = find(Key);
+  if (!S)
     return Default;
   std::string V;
-  for (char C : It->second)
+  for (char C : S->Value)
     V.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
   if (V == "true" || V == "1" || V == "yes")
     return true;
@@ -123,15 +173,20 @@ bool Config::getBool(const std::string &Key, bool Default) const {
 
 std::vector<int64_t> Config::getIntList(const std::string &Key,
                                         std::vector<int64_t> Default) const {
-  auto It = Values.find(Key);
-  if (It == Values.end())
+  const Setting *S = find(Key);
+  if (!S)
     return Default;
-  std::string V = trim(It->second);
-  if (V.empty())
+  std::string V = trim(S->Value);
+  if (V.empty()) {
+    recordValueError(ErrCode::InvalidValue, Key, *S, "empty list value");
     return Default;
+  }
   if (V.front() == '{') {
-    if (V.back() != '}')
+    if (V.back() != '}') {
+      recordValueError(ErrCode::InvalidValue, Key, *S,
+                       "unterminated '{' list: '" + S->Value + "'");
       return Default;
+    }
     V = V.substr(1, V.size() - 2);
   }
   std::vector<int64_t> Result;
@@ -147,12 +202,23 @@ std::vector<int64_t> Config::getIntList(const std::string &Key,
     errno = 0;
     char *End = nullptr;
     long long N = std::strtoll(Item.c_str(), &End, 0);
-    if (errno != 0 || End == Item.c_str() || *End != '\0')
+    if (errno == ERANGE) {
+      recordValueError(ErrCode::OutOfRange, Key, *S,
+                       "list item '" + Item + "' does not fit 64 bits");
       return Default;
+    }
+    if (End == Item.c_str() || *End != '\0') {
+      recordValueError(ErrCode::InvalidValue, Key, *S,
+                       "bad list item '" + Item + "' in '" + S->Value + "'");
+      return Default;
+    }
     Result.push_back(N);
   }
-  if (Result.empty())
+  if (Result.empty()) {
+    recordValueError(ErrCode::InvalidValue, Key, *S,
+                     "list '" + S->Value + "' holds no items");
     return Default;
+  }
   return Result;
 }
 

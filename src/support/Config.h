@@ -15,6 +15,8 @@
 #ifndef BRAINY_SUPPORT_CONFIG_H
 #define BRAINY_SUPPORT_CONFIG_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 #include <map>
 #include <string>
@@ -32,6 +34,9 @@ public:
   /// Reads and parses \p Path. Sets an error if the file cannot be read.
   static Config fromFile(const std::string &Path);
 
+  /// True when parsing or any typed accessor hit a malformed value.
+  /// Accessors record errors as they run, so check this after reading the
+  /// keys you care about, not only after parsing.
   bool hasErrors() const { return !Errors.empty(); }
   const std::vector<std::string> &errors() const { return Errors; }
 
@@ -41,31 +46,47 @@ public:
   std::string getString(const std::string &Key,
                         const std::string &Default = "") const;
 
-  /// Integer value; \p Default if missing or malformed.
+  /// Integer value; \p Default if missing. A present-but-malformed or
+  /// out-of-range value also yields \p Default, but records an error
+  /// naming the key and its line.
   int64_t getInt(const std::string &Key, int64_t Default = 0) const;
 
-  /// Floating-point value; \p Default if missing or malformed.
+  /// Floating-point value; \p Default if missing. Malformed/overflowing
+  /// values record an error naming the key and its line.
   double getDouble(const std::string &Key, double Default = 0.0) const;
 
   /// Boolean: accepts true/false/1/0/yes/no (case-insensitive).
   bool getBool(const std::string &Key, bool Default = false) const;
 
   /// Integer list from a `{a, b, c}` value (a bare integer is a 1-list).
-  /// Returns \p Default when the key is missing or malformed.
+  /// Returns \p Default when the key is missing; malformed lists also
+  /// return \p Default and record an error naming the key and line.
   std::vector<int64_t> getIntList(const std::string &Key,
                                   std::vector<int64_t> Default = {}) const;
 
   /// Sets (or overrides) a key programmatically.
   void set(const std::string &Key, const std::string &Value) {
-    Values[Key] = Value;
+    Values[Key] = Setting{Value, 0};
   }
 
   /// All keys in sorted order, for diagnostics.
   std::vector<std::string> keys() const;
 
 private:
-  std::map<std::string, std::string> Values;
-  std::vector<std::string> Errors;
+  /// A parsed value plus the 1-based line it came from (0 = set()).
+  struct Setting {
+    std::string Value;
+    unsigned Line = 0;
+  };
+
+  const Setting *find(const std::string &Key) const;
+  void recordValueError(ErrCode Code, const std::string &Key,
+                        const Setting &S, const std::string &Detail) const;
+
+  std::map<std::string, Setting> Values;
+  /// Mutable so the const typed accessors can surface malformed values
+  /// they encounter; this class is not thread-safe.
+  mutable std::vector<std::string> Errors;
 };
 
 } // namespace brainy

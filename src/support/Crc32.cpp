@@ -1,0 +1,35 @@
+//===- support/Crc32.cpp --------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+
+#include <array>
+
+using namespace brainy;
+
+namespace {
+
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t brainy::crc32(const void *Data, size_t Size, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeTable();
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (size_t I = 0; I != Size; ++I)
+    C = Table[(C ^ P[I]) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

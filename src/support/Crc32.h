@@ -1,0 +1,33 @@
+//===- support/Crc32.h - CRC-32 (IEEE 802.3) checksums ---------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The payload checksum for the hardened model-bundle format: standard
+/// reflected CRC-32 (polynomial 0xEDB88320, as in zlib/PNG), so bundles
+/// can be verified with external tools too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_CRC32_H
+#define BRAINY_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace brainy {
+
+/// CRC-32 of \p Size bytes at \p Data, continuing from \p Seed (0 for a
+/// fresh checksum).
+uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0);
+
+inline uint32_t crc32(const std::string &Text, uint32_t Seed = 0) {
+  return crc32(Text.data(), Text.size(), Seed);
+}
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_CRC32_H

@@ -1,0 +1,192 @@
+//===- support/Error.h - Lightweight Error / Expected<T> ------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The failure vocabulary of the unattended install-time pipeline. Every
+/// fallible boundary (bundle I/O, config parsing, seed evaluation) reports
+/// an Error carrying a machine-checkable code plus a human context string,
+/// so callers can distinguish "file missing" (quietly retrain) from
+/// "bundle corrupt" (diagnose loudly, then retrain) without parsing
+/// message text. Expected<T> is the value-or-Error return shape for
+/// constructors like Brainy::load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_ERROR_H
+#define BRAINY_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace brainy {
+
+/// The error taxonomy (DESIGN.md §8). Codes are stable: tests and callers
+/// branch on them.
+enum class ErrCode : unsigned char {
+  Ok = 0,
+  /// The OS refused an open/read/write/rename (context carries errno text).
+  IoError,
+  /// A file or section ended before its declared/required length.
+  Truncated,
+  /// The leading magic bytes are not a Brainy bundle's.
+  BadMagic,
+  /// Recognised magic, unsupported format version.
+  BadVersion,
+  /// The payload CRC32 does not match the header's.
+  BadChecksum,
+  /// Structurally malformed content (bad header line, bad model section,
+  /// trailing garbage, duplicate model).
+  BadFormat,
+  /// The bundle was built for a different feature-vector width.
+  FeatureMismatch,
+  /// The bundle was trained for a different machine.
+  MachineMismatch,
+  /// The bundle's tag does not match the caller's expectation.
+  TagMismatch,
+  /// A numeric value parsed but does not fit the target range.
+  OutOfRange,
+  /// A value failed to parse (junk characters, empty, wrong shape).
+  InvalidValue,
+  /// An unrecognised key/flag was supplied.
+  UnknownKey,
+  /// A seed evaluation failed every retry and was skipped.
+  EvalFailed,
+  /// The routed per-family model is unavailable (strict mode only).
+  ModelUnavailable,
+  /// A deliberately injected fault (BRAINY_FAULT) fired.
+  FaultInjected,
+};
+
+/// Short stable name for \p Code ("io-error", "bad-checksum", ...).
+inline const char *errCodeName(ErrCode Code) {
+  switch (Code) {
+  case ErrCode::Ok:
+    return "ok";
+  case ErrCode::IoError:
+    return "io-error";
+  case ErrCode::Truncated:
+    return "truncated";
+  case ErrCode::BadMagic:
+    return "bad-magic";
+  case ErrCode::BadVersion:
+    return "bad-version";
+  case ErrCode::BadChecksum:
+    return "bad-checksum";
+  case ErrCode::BadFormat:
+    return "bad-format";
+  case ErrCode::FeatureMismatch:
+    return "feature-mismatch";
+  case ErrCode::MachineMismatch:
+    return "machine-mismatch";
+  case ErrCode::TagMismatch:
+    return "tag-mismatch";
+  case ErrCode::OutOfRange:
+    return "out-of-range";
+  case ErrCode::InvalidValue:
+    return "invalid-value";
+  case ErrCode::UnknownKey:
+    return "unknown-key";
+  case ErrCode::EvalFailed:
+    return "eval-failed";
+  case ErrCode::ModelUnavailable:
+    return "model-unavailable";
+  case ErrCode::FaultInjected:
+    return "fault-injected";
+  }
+  return "unknown";
+}
+
+/// A code plus a context string. Default-constructed == success, so a
+/// function returning Error reads like `if (Error E = step()) return E;`.
+class Error {
+public:
+  Error() = default;
+  Error(ErrCode Code, std::string Context)
+      : Code(Code), Context(std::move(Context)) {}
+
+  static Error success() { return Error(); }
+
+  /// True when this holds a real error.
+  explicit operator bool() const { return Code != ErrCode::Ok; }
+
+  ErrCode code() const { return Code; }
+  const std::string &context() const { return Context; }
+
+  /// "bad-checksum: payload crc 1a2b… want 3c4d…"
+  std::string message() const {
+    if (Context.empty())
+      return errCodeName(Code);
+    return std::string(errCodeName(Code)) + ": " + Context;
+  }
+
+  /// Returns this error with \p Prefix prepended to the context, for
+  /// layering ("bundle 'x.txt': ..." around a parse error).
+  Error withPrefix(const std::string &Prefix) const {
+    return Error(Code, Context.empty() ? Prefix : Prefix + ": " + Context);
+  }
+
+private:
+  ErrCode Code = ErrCode::Ok;
+  std::string Context;
+};
+
+/// The exception shape for layers that propagate by throwing (seed
+/// evaluation under the thread pool); carries the Error through.
+class ErrorException : public std::runtime_error {
+public:
+  explicit ErrorException(Error E)
+      : std::runtime_error(E.message()), Err(std::move(E)) {}
+
+  const Error &error() const { return Err; }
+
+private:
+  Error Err;
+};
+
+/// Value-or-Error. Deliberately minimal: no implicit unchecked access —
+/// test with operator bool, then take value() or error().
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "Expected constructed from a success Error");
+  }
+
+  /// True when a value is present.
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &value() {
+    assert(Value && "value() on an errored Expected");
+    return *Value;
+  }
+  const T &value() const {
+    assert(Value && "value() on an errored Expected");
+    return *Value;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  const Error &error() const {
+    assert(!Value && "error() on a valued Expected");
+    return Err;
+  }
+
+  /// The value on success, \p Fallback on error.
+  T valueOr(T Fallback) const { return Value ? *Value : std::move(Fallback); }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_ERROR_H

@@ -1,0 +1,148 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace brainy;
+
+const char *brainy::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::FileIo:
+    return "io";
+  case FaultSite::Eval:
+    return "eval";
+  case FaultSite::CacheLookup:
+    return "cache";
+  }
+  return "?";
+}
+
+namespace {
+
+bool siteFromName(const std::string &Name, FaultSite &Out) {
+  for (unsigned I = 0; I != NumFaultSites; ++I) {
+    auto Site = static_cast<FaultSite>(I);
+    if (Name == faultSiteName(Site)) {
+      Out = Site;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// splitmix64: full-avalanche mixer, so consecutive seeds/keys decorrelate.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector *Injector = [] {
+    auto *I = new FaultInjector();
+    if (const char *Spec = std::getenv("BRAINY_FAULT"))
+      if (Error E = I->configure(Spec))
+        std::fprintf(stderr, "brainy: ignoring BRAINY_FAULT: %s\n",
+                     E.message().c_str());
+    return I;
+  }();
+  return *Injector;
+}
+
+Error FaultInjector::configure(const std::string &Spec) {
+  clear();
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Entry = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Entry.empty())
+      continue;
+
+    size_t C1 = Entry.find(':');
+    size_t C2 = C1 == std::string::npos ? std::string::npos
+                                        : Entry.find(':', C1 + 1);
+    if (C1 == std::string::npos || C2 == std::string::npos)
+      return Error(ErrCode::InvalidValue,
+                   "'" + Entry + "': expected <site>:<rate>:<seed>");
+
+    FaultSite Site;
+    std::string SiteName = Entry.substr(0, C1);
+    if (!siteFromName(SiteName, Site))
+      return Error(ErrCode::UnknownKey,
+                   "unknown fault site '" + SiteName + "'");
+
+    std::string RateText = Entry.substr(C1 + 1, C2 - C1 - 1);
+    errno = 0;
+    char *End = nullptr;
+    double Rate = std::strtod(RateText.c_str(), &End);
+    if (End == RateText.c_str() || *End != '\0' || errno != 0 || Rate < 0 ||
+        Rate > 1)
+      return Error(ErrCode::OutOfRange,
+                   "rate '" + RateText + "' not in [0, 1]");
+
+    std::string SeedText = Entry.substr(C2 + 1);
+    errno = 0;
+    unsigned long long Seed = std::strtoull(SeedText.c_str(), &End, 10);
+    if (End == SeedText.c_str() || *End != '\0' || errno != 0)
+      return Error(ErrCode::InvalidValue, "seed '" + SeedText + "'");
+
+    SiteConfig &S = Sites[static_cast<unsigned>(Site)];
+    S.Armed = Rate > 0;
+    S.Rate = Rate;
+    S.Seed = Seed;
+  }
+  return Error::success();
+}
+
+void FaultInjector::clear() {
+  for (SiteConfig &S : Sites)
+    S = SiteConfig();
+  for (auto &C : Counts)
+    C.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::shouldFail(FaultSite Site, uint64_t Key, uint64_t Salt) {
+  const SiteConfig &S = Sites[static_cast<unsigned>(Site)];
+  if (!S.Armed)
+    return false;
+  uint64_t H = mix64(mix64(S.Seed ^ Key) ^ Salt);
+  // Top 53 bits -> uniform double in [0, 1).
+  double U = static_cast<double>(H >> 11) * 0x1.0p-53;
+  if (U >= S.Rate)
+    return false;
+  Counts[static_cast<unsigned>(Site)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::maybeThrow(FaultSite Site, uint64_t Key, uint64_t Salt,
+                               const char *What) {
+  if (shouldFail(Site, Key, Salt))
+    throw ErrorException(Error(
+        ErrCode::FaultInjected,
+        std::string(What) + " (site " + faultSiteName(Site) + ", key " +
+            std::to_string(Key) + ", salt " + std::to_string(Salt) + ")"));
+}
+
+uint64_t FaultInjector::keyFor(const std::string &Name) {
+  // FNV-1a, then mixed: stable across platforms and runs.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Name) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return mix64(H);
+}

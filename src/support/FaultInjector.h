@@ -1,0 +1,98 @@
+//===- support/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, hash-seeded fault injection for exercising the failure
+/// paths of the unattended training pipeline. Sites are armed with
+///
+///   BRAINY_FAULT=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
+///
+/// where <site> is `io` (file open/read/write/rename), `eval` (seed
+/// evaluation and Phase II profiling), or `cache` (measurement-cache
+/// lookups, simulating a corrupt cached entry), <rate> is a failure
+/// probability in [0, 1], and <seed> picks the deterministic stream.
+/// Whether a given probe fails is a pure function of (site seed, key,
+/// salt) — never of timing or thread schedule — so a fault run is exactly
+/// reproducible, at any job count (DESIGN.md §8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_FAULTINJECTOR_H
+#define BRAINY_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Error.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace brainy {
+
+/// Where a fault can be injected.
+enum class FaultSite : unsigned {
+  FileIo = 0,
+  Eval,
+  CacheLookup,
+};
+constexpr unsigned NumFaultSites = 3;
+
+/// "io" / "eval" / "cache".
+const char *faultSiteName(FaultSite Site);
+
+/// Process-wide injector. Reads BRAINY_FAULT lazily on first use; tests
+/// reconfigure it directly with configure()/clear().
+class FaultInjector {
+public:
+  /// The process singleton (configured from BRAINY_FAULT on first call; an
+  /// invalid spec is reported to stderr once and ignored).
+  static FaultInjector &instance();
+
+  /// Arms sites from a spec string (see file comment). An empty spec
+  /// disarms everything. Replaces the previous configuration wholesale.
+  /// Not thread-safe: call only while no probes are running.
+  Error configure(const std::string &Spec);
+
+  /// Disarms every site and zeroes the counters.
+  void clear();
+
+  bool enabled(FaultSite Site) const {
+    return Sites[static_cast<unsigned>(Site)].Armed;
+  }
+
+  /// Deterministically decides whether the probe identified by
+  /// (\p Key, \p Salt) fails at \p Site, and counts it if so. \p Key names
+  /// the stable unit of work (seed number, path hash); \p Salt
+  /// distinguishes probes within it (retry attempt, I/O step).
+  bool shouldFail(FaultSite Site, uint64_t Key, uint64_t Salt = 0);
+
+  /// shouldFail, but throws ErrorException(FaultInjected) naming \p What.
+  void maybeThrow(FaultSite Site, uint64_t Key, uint64_t Salt,
+                  const char *What);
+
+  /// How many probes have failed at \p Site since the last clear().
+  uint64_t injectedCount(FaultSite Site) const {
+    return Counts[static_cast<unsigned>(Site)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Stable 64-bit key for string-identified probes (file paths).
+  static uint64_t keyFor(const std::string &Name);
+
+private:
+  struct SiteConfig {
+    bool Armed = false;
+    double Rate = 0;
+    uint64_t Seed = 0;
+  };
+
+  std::array<SiteConfig, NumFaultSites> Sites{};
+  std::array<std::atomic<uint64_t>, NumFaultSites> Counts{};
+};
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_FAULTINJECTOR_H

@@ -61,6 +61,23 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::parallelChunks(size_t Begin, size_t End, size_t ChunkSize,
                                 const std::function<void(size_t, size_t)> &Fn) {
+  parallelChunksImpl(Begin, End, ChunkSize, Fn, nullptr);
+}
+
+void ThreadPool::parallelChunks(size_t Begin, size_t End, size_t ChunkSize,
+                                const std::function<void(size_t, size_t)> &Fn,
+                                std::vector<std::exception_ptr> &Errors) {
+  Errors.clear();
+  if (Begin < End)
+    Errors.resize((End - Begin + (ChunkSize ? ChunkSize : 1) - 1) /
+                  (ChunkSize ? ChunkSize : 1));
+  parallelChunksImpl(Begin, End, ChunkSize, Fn, &Errors);
+}
+
+void ThreadPool::parallelChunksImpl(
+    size_t Begin, size_t End, size_t ChunkSize,
+    const std::function<void(size_t, size_t)> &Fn,
+    std::vector<std::exception_ptr> *Errors) {
   if (Begin >= End)
     return;
   if (ChunkSize == 0)
@@ -71,7 +88,15 @@ void ThreadPool::parallelChunks(size_t Begin, size_t End, size_t ChunkSize,
     for (size_t C = 0; C != NumChunks; ++C) {
       size_t B = Begin + C * ChunkSize;
       size_t E = B + ChunkSize < End ? B + ChunkSize : End;
-      Fn(B, E);
+      if (!Errors) {
+        Fn(B, E);
+        continue;
+      }
+      try {
+        Fn(B, E);
+      } catch (...) {
+        (*Errors)[C] = std::current_exception();
+      }
     }
     return;
   }
@@ -87,6 +112,9 @@ void ThreadPool::parallelChunks(size_t Begin, size_t End, size_t ChunkSize,
     size_t End = 0;
     size_t ChunkSize = 1;
     const std::function<void(size_t, size_t)> *Fn = nullptr;
+    /// Per-chunk capture slots; null in first-exception-rethrow mode. Each
+    /// chunk index is claimed exactly once, so slot writes are race-free.
+    std::vector<std::exception_ptr> *PerChunk = nullptr;
     std::mutex DoneMutex;
     std::condition_variable Done;
     std::exception_ptr Error;
@@ -97,6 +125,7 @@ void ThreadPool::parallelChunks(size_t Begin, size_t End, size_t ChunkSize,
   J->End = End;
   J->ChunkSize = ChunkSize;
   J->Fn = &Fn;
+  J->PerChunk = Errors;
 
   auto RunChunks = [J] {
     for (;;) {
@@ -108,9 +137,13 @@ void ThreadPool::parallelChunks(size_t Begin, size_t End, size_t ChunkSize,
       try {
         (*J->Fn)(B, E);
       } catch (...) {
-        std::lock_guard<std::mutex> Lock(J->DoneMutex);
-        if (!J->Error)
-          J->Error = std::current_exception();
+        if (J->PerChunk) {
+          (*J->PerChunk)[C] = std::current_exception();
+        } else {
+          std::lock_guard<std::mutex> Lock(J->DoneMutex);
+          if (!J->Error)
+            J->Error = std::current_exception();
+        }
       }
       if (J->DoneChunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           J->NumChunks) {

@@ -26,9 +26,12 @@
 #include "appgen/CppEmitter.h"
 #include "core/Brainy.h"
 #include "support/Env.h"
+#include "support/FaultInjector.h"
 #include "survey/Survey.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -39,26 +42,47 @@ using namespace brainy;
 namespace {
 
 /// Minimal flag parser: --key value pairs plus positional arguments.
+/// Every flag takes a value; each command validates against its own list
+/// of known flags so a typo is a usage error, not a silently ignored (or
+/// silently swallowed) argument.
 struct Args {
   std::map<std::string, std::string> Flags;
   std::vector<std::string> Positional;
+  std::string Error; ///< Non-empty = parse failed; use the message.
 
-  static Args parse(int Argc, char **Argv, int Start) {
+  static Args parse(int Argc, char **Argv, int Start,
+                    const std::vector<std::string> &Known) {
     Args A;
+    auto IsKnown = [&](const std::string &Key) {
+      for (const std::string &K : Known)
+        if (Key == K)
+          return true;
+      return false;
+    };
     for (int I = Start; I < Argc; ++I) {
       std::string Arg = Argv[I];
-      if (Arg.rfind("--", 0) == 0) {
-        std::string Key = Arg.substr(2);
-        if (I + 1 < Argc) {
-          A.Flags[Key] = Argv[++I];
-        } else {
-          A.Flags[Key] = "";
-        }
-      } else if (Arg == "-o" && I + 1 < Argc) {
-        A.Flags["out"] = Argv[++I];
+      std::string Key;
+      if (Arg == "-o") {
+        Key = "out";
+      } else if (Arg.rfind("--", 0) == 0) {
+        Key = Arg.substr(2);
       } else {
         A.Positional.push_back(Arg);
+        continue;
       }
+      if (!IsKnown(Key)) {
+        A.Error = "unknown flag '" + Arg + "'";
+        return A;
+      }
+      // The next argv entry is the flag's value — unless it is another
+      // flag or the end of the command line, both of which mean the value
+      // is missing. Without the "--" check, `--target --seeds 100` would
+      // silently parse "--seeds" as the target.
+      if (I + 1 >= Argc || std::strncmp(Argv[I + 1], "--", 2) == 0) {
+        A.Error = "flag '" + Arg + "' requires a value";
+        return A;
+      }
+      A.Flags[Key] = Argv[++I];
     }
     return A;
   }
@@ -67,10 +91,22 @@ struct Args {
     auto It = Flags.find(Key);
     return It == Flags.end() ? Def : It->second;
   }
+  /// Strict numeric flag: range errors and trailing junk are usage errors
+  /// (exit 2), not silently truncated values.
   uint64_t getInt(const std::string &Key, uint64_t Def) const {
     auto It = Flags.find(Key);
-    return It == Flags.end() ? Def : std::strtoull(It->second.c_str(),
-                                                   nullptr, 10);
+    if (It == Flags.end())
+      return Def;
+    const char *Begin = It->second.c_str();
+    char *End = nullptr;
+    errno = 0;
+    uint64_t V = std::strtoull(Begin, &End, 10);
+    if (End == Begin || errno == ERANGE || *End != '\0') {
+      std::fprintf(stderr, "brainy: flag '--%s': invalid number '%s'\n",
+                   Key.c_str(), Begin);
+      std::exit(2);
+    }
+    return V;
   }
 };
 
@@ -172,6 +208,14 @@ int cmdTrain(const Args &A) {
                Machine.Name.c_str(), Opts.TargetPerDs,
                (unsigned long long)Opts.MaxSeeds, resolveJobs(Opts.Jobs));
   Brainy B = Brainy::train(Opts, Machine);
+  FaultInjector &FI = FaultInjector::instance();
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    auto Site = static_cast<FaultSite>(S);
+    if (FI.enabled(Site) && FI.injectedCount(Site))
+      std::fprintf(stderr, "fault injection: %llu %s fault(s) injected\n",
+                   (unsigned long long)FI.injectedCount(Site),
+                   faultSiteName(Site));
+  }
   if (!B.saveFile(Out)) {
     std::fprintf(stderr, "cannot write '%s'\n", Out.c_str());
     return 1;
@@ -280,7 +324,24 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   std::string Cmd = Argv[1];
-  Args A = Args::parse(Argc, Argv, 2);
+
+  std::vector<std::string> Known;
+  if (Cmd == "appgen")
+    Known = {"seed", "ds", "config", "out"};
+  else if (Cmd == "train")
+    Known = {"machine", "out", "target", "seeds", "config", "jobs"};
+  else if (Cmd == "trainset")
+    Known = {"machine", "model", "out", "target", "seeds", "config", "jobs"};
+  else if (Cmd == "eval")
+    Known = {"models", "trainset", "model"};
+  else if (Cmd != "machines" && Cmd != "survey")
+    return usage();
+
+  Args A = Args::parse(Argc, Argv, 2, Known);
+  if (!A.Error.empty()) {
+    std::fprintf(stderr, "brainy: %s\n", A.Error.c_str());
+    return usage();
+  }
   if (Cmd == "machines")
     return cmdMachines();
   if (Cmd == "appgen")
@@ -291,7 +352,5 @@ int main(int Argc, char **Argv) {
     return cmdTrainset(A);
   if (Cmd == "eval")
     return cmdEval(A);
-  if (Cmd == "survey")
-    return cmdSurvey(A);
-  return usage();
+  return cmdSurvey(A);
 }
