@@ -13,8 +13,8 @@
 
 #include "bench/BenchCommon.h"
 #include "core/TrainingFramework.h"
+#include "support/Timer.h"
 
-#include <chrono>
 #include <cstdio>
 
 using namespace brainy;
@@ -52,11 +52,9 @@ int main() {
   size_t SerialPairs = 0;
   for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
     TrainingFramework Framework(scalingOptions(Jobs), Machine);
-    auto Start = std::chrono::steady_clock::now();
+    WallTimer Timer;
     auto All = Framework.phaseOneAll();
-    auto End = std::chrono::steady_clock::now();
-    double Ms =
-        std::chrono::duration<double, std::milli>(End - Start).count();
+    double Ms = Timer.millis();
     size_t Pairs = totalPairs(All);
     if (Jobs == 1) {
       SerialMs = Ms;

@@ -43,6 +43,15 @@
 namespace brainy {
 
 /// The trained Brainy advisor for one machine.
+///
+/// Concurrency (DESIGN.md §9): a trained advisor is immutable-after-
+/// publish — recommend()/recommendWith() are const and safe to call from
+/// any number of threads concurrently. The only mutable shared state is
+/// the Fallbacks diagnostics counter, a single relaxed atomic that needs
+/// no capability. The mutating APIs (train/parse/load assignment,
+/// setStrict) are setup-time: they must happen-before the advisor is
+/// shared, which is the same publication contract every immutable object
+/// carries and is not expressible as a lock capability.
 class Brainy {
 public:
   /// Constructs an untrained advisor: every model predicts "keep the

@@ -32,6 +32,7 @@
 
 #include "adt/DsKind.h"
 #include "support/FaultInjector.h"
+#include "support/ThreadSafety.h"
 
 #include <array>
 #include <cstdint>
@@ -40,9 +41,10 @@
 
 namespace brainy {
 
-/// Per-(seed, DsKind) cycle memo. Thread-compatible, not thread-safe: all
-/// mutation (merge, and measuring through a Shard) must follow the wave
-/// contract described in the file comment.
+/// Per-(seed, DsKind) cycle memo. Coordinator-side mutation (merge) is
+/// serialised by WaveMutex; shard-side reads are lock-free and rely on the
+/// wave contract described in the file comment (the shared map is frozen
+/// while any shard is live).
 class MeasurementCache {
   struct Entry {
     std::array<double, NumDsKinds> Cycles{};
@@ -90,8 +92,13 @@ public:
   Shard shard() const { return Shard(*this); }
 
   /// Folds a shard's fresh measurements into the shared map. Coordinator
-  /// only; no shard may be executing concurrently.
-  void merge(Shard &&S) {
+  /// only; no shard may be executing concurrently. Hash-order iteration is
+  /// safe here: entries are combined with per-kind masks, so the merged
+  /// map is identical for every visit order.
+  void merge(Shard &&S) BRAINY_EXCLUDES(WaveMutex) {
+    MutexLock Lock(WaveMutex);
+    // brainy-lint: allow(unordered-iter): mask-union merge is commutative;
+    // no result depends on the visit order of S.Fresh.
     for (auto &KV : S.Fresh) {
       Entry &Dst = Map[KV.first];
       unsigned New = KV.second.MeasuredMask & ~Dst.MeasuredMask;
@@ -104,10 +111,18 @@ public:
   }
 
   /// Number of seeds with at least one cached measurement.
-  size_t seeds() const { return Map.size(); }
+  size_t seeds() const BRAINY_EXCLUDES(WaveMutex) {
+    MutexLock Lock(WaveMutex);
+    return Map.size();
+  }
 
 private:
-  bool lookup(uint64_t Seed, DsKind Kind, double &Cycles) const {
+  /// Shard-side read path. Deliberately unlocked: per the wave contract
+  /// the coordinator never mutates Map while a shard is live, so
+  /// concurrent const reads are race-free; taking WaveMutex here would put
+  /// a lock on the hot measurement path for no exclusion.
+  bool lookup(uint64_t Seed, DsKind Kind,
+              double &Cycles) const BRAINY_NO_THREAD_SAFETY_ANALYSIS {
     auto It = Map.find(Seed);
     if (It == Map.end())
       return false;
@@ -118,7 +133,10 @@ private:
     return true;
   }
 
-  std::unordered_map<uint64_t, Entry> Map;
+  /// Serialises coordinator-side mutation. Shard reads stay outside it by
+  /// design (see lookup()).
+  mutable Mutex WaveMutex;
+  std::unordered_map<uint64_t, Entry> Map BRAINY_GUARDED_BY(WaveMutex);
 };
 
 } // namespace brainy

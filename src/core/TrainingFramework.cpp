@@ -103,6 +103,7 @@ TrainingFramework::TrainingFramework(TrainOptions Options,
       ResolvedJobs(resolveJobs(this->Options.Jobs)) {}
 
 ThreadPool &TrainingFramework::pool() const {
+  MutexLock Lock(PoolMutex);
   if (!Pool)
     Pool = std::make_unique<ThreadPool>(ResolvedJobs > 0 ? ResolvedJobs - 1
                                                          : 0);
@@ -169,6 +170,9 @@ bool TrainingFramework::tryEvalSeed(
             "brainy: phase I: seed %llu attempt %u/%u failed, retrying: %s\n",
             static_cast<unsigned long long>(Seed), Attempt + 1, Attempts,
             E.what());
+      // brainy-lint: allow(catch-all): the documented skip-and-log fault
+      // isolation path (DESIGN.md 8) - the seed is reported failed to the
+      // caller via the return value, so nothing is silently swallowed.
     } catch (...) {
       if (Attempt + 1 == Attempts)
         std::fprintf(
@@ -322,6 +326,8 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
                      static_cast<unsigned long long>(Options.FirstSeed +
                                                      Begin),
                      E.what());
+        // brainy-lint: allow(catch-all): classification tail of a
+        // rethrow_exception switch; the chunk is already recorded failed.
       } catch (...) {
         std::fprintf(stderr, "brainy: phase I: chunk at seed %llu failed\n",
                      static_cast<unsigned long long>(Options.FirstSeed +
@@ -418,6 +424,9 @@ TrainingFramework::phaseTwo(ModelKind Model,
               stderr,
               "brainy: phase II: seed %llu example dropped after %u attempts: %s\n",
               static_cast<unsigned long long>(Pair.Seed), Attempts, E.what());
+        // brainy-lint: allow(catch-all): skip-and-log fault isolation; the
+        // dropped example stays Ok[I]=0 and is compacted away, so the
+        // failure is visible in the surviving-example merge.
       } catch (...) {
         if (Attempt + 1 == Attempts)
           std::fprintf(
@@ -448,6 +457,8 @@ TrainingFramework::phaseTwo(ModelKind Model,
       } catch (const std::exception &E) {
         std::fprintf(stderr, "brainy: phase II: item %zu failed: %s\n", I,
                      E.what());
+        // brainy-lint: allow(catch-all): classification tail of a
+        // rethrow_exception switch; the item was already dropped above.
       } catch (...) {
         std::fprintf(stderr, "brainy: phase II: item %zu failed\n", I);
       }

@@ -133,8 +133,8 @@ public:
 
   /// The pool shared by both phases and by Brainy::train's per-model
   /// fan-out. Lazily created with jobs()-1 workers (the caller participates
-  /// in every parallelFor, giving jobs() concurrent executors). Must first
-  /// be called from the coordinating thread.
+  /// in every parallelFor, giving jobs() concurrent executors). Creation is
+  /// guarded by PoolMutex, so first use may come from any thread.
   ThreadPool &pool() const;
 
   /// The shared (seed, kind) -> cycles memo (exposed for tests/benches).
@@ -170,8 +170,12 @@ private:
   TrainOptions Options;
   MachineConfig Machine;
   unsigned ResolvedJobs = 1;
+  /// Internally synchronised (WaveMutex + the wave contract).
   mutable MeasurementCache Cache;
-  mutable std::unique_ptr<ThreadPool> Pool;
+  /// Guards only the lazy creation of Pool; the pool itself is internally
+  /// synchronised once constructed.
+  mutable Mutex PoolMutex;
+  mutable std::unique_ptr<ThreadPool> Pool BRAINY_GUARDED_BY(PoolMutex);
 };
 
 /// Converts training examples into an ML dataset over \p Candidates

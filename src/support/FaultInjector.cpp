@@ -49,6 +49,8 @@ uint64_t mix64(uint64_t X) {
 
 FaultInjector &FaultInjector::instance() {
   static FaultInjector *Injector = [] {
+    // brainy-lint: allow(naked-new): deliberately leaked singleton, so
+    // probes from detached/atexit contexts never race static destruction.
     auto *I = new FaultInjector();
     if (const char *Spec = std::getenv("BRAINY_FAULT"))
       if (Error E = I->configure(Spec))

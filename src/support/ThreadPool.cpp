@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(unsigned Workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
+    MutexLock Lock(QueueMutex);
     Stopping = true;
   }
-  QueueCv.notify_all();
+  QueueCv.notifyAll();
   for (std::thread &T : Threads)
     T.join();
 }
@@ -37,10 +37,10 @@ bool ThreadPool::inWorker() const { return CurrentPool == this; }
 
 void ThreadPool::submit(std::function<void()> Task) {
   {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
+    MutexLock Lock(QueueMutex);
     Queue.push_back(std::move(Task));
   }
-  QueueCv.notify_one();
+  QueueCv.notifyOne();
 }
 
 void ThreadPool::workerLoop() {
@@ -48,8 +48,9 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      MutexLock Lock(QueueMutex);
+      while (!Stopping && Queue.empty())
+        QueueCv.wait(QueueMutex);
       if (Queue.empty())
         return; // Stopping and drained.
       Task = std::move(Queue.front());
@@ -115,9 +116,9 @@ void ThreadPool::parallelChunksImpl(
     /// Per-chunk capture slots; null in first-exception-rethrow mode. Each
     /// chunk index is claimed exactly once, so slot writes are race-free.
     std::vector<std::exception_ptr> *PerChunk = nullptr;
-    std::mutex DoneMutex;
-    std::condition_variable Done;
-    std::exception_ptr Error;
+    Mutex DoneMutex;
+    ConditionVariable Done;
+    std::exception_ptr Error BRAINY_GUARDED_BY(DoneMutex);
   };
   auto J = std::make_shared<Job>();
   J->NumChunks = NumChunks;
@@ -140,7 +141,7 @@ void ThreadPool::parallelChunksImpl(
         if (J->PerChunk) {
           (*J->PerChunk)[C] = std::current_exception();
         } else {
-          std::lock_guard<std::mutex> Lock(J->DoneMutex);
+          MutexLock Lock(J->DoneMutex);
           if (!J->Error)
             J->Error = std::current_exception();
         }
@@ -149,8 +150,8 @@ void ThreadPool::parallelChunksImpl(
           J->NumChunks) {
         // Take and drop the lock so the notify cannot race a waiter that
         // already checked the predicate but has not yet blocked.
-        { std::lock_guard<std::mutex> Lock(J->DoneMutex); }
-        J->Done.notify_all();
+        { MutexLock Lock(J->DoneMutex); }
+        J->Done.notifyAll();
       }
     }
   };
@@ -160,14 +161,15 @@ void ThreadPool::parallelChunksImpl(
   for (size_t I = 0; I != Helpers; ++I)
     submit(RunChunks);
   RunChunks(); // The caller participates.
+  std::exception_ptr Error;
   {
-    std::unique_lock<std::mutex> Lock(J->DoneMutex);
-    J->Done.wait(Lock, [&J] {
-      return J->DoneChunks.load(std::memory_order_acquire) == J->NumChunks;
-    });
+    MutexLock Lock(J->DoneMutex);
+    while (J->DoneChunks.load(std::memory_order_acquire) != J->NumChunks)
+      J->Done.wait(J->DoneMutex);
+    Error = J->Error;
   }
-  if (J->Error)
-    std::rethrow_exception(J->Error);
+  if (Error)
+    std::rethrow_exception(Error);
 }
 
 void ThreadPool::parallelFor(size_t Begin, size_t End,

@@ -23,12 +23,12 @@
 #ifndef BRAINY_SUPPORT_THREADPOOL_H
 #define BRAINY_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/ThreadSafety.h"
+
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -84,11 +84,13 @@ private:
                           const std::function<void(size_t, size_t)> &Fn,
                           std::vector<std::exception_ptr> *Errors);
 
+  /// Written only by the constructor and joined by the destructor; never
+  /// mutated while workers run, so it needs no capability.
   std::vector<std::thread> Threads;
-  std::deque<std::function<void()>> Queue;
-  std::mutex QueueMutex;
-  std::condition_variable QueueCv;
-  bool Stopping = false;
+  Mutex QueueMutex;
+  std::deque<std::function<void()>> Queue BRAINY_GUARDED_BY(QueueMutex);
+  ConditionVariable QueueCv;
+  bool Stopping BRAINY_GUARDED_BY(QueueMutex) = false;
 };
 
 } // namespace brainy

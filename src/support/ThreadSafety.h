@@ -1,0 +1,133 @@
+//===- support/ThreadSafety.h - Clang capability annotations ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clang thread-safety (capability) annotation shim plus annotated locking
+/// primitives for the concurrency core (DESIGN.md §9). The macros expand to
+/// Clang's `__attribute__((...))` thread-safety attributes when available
+/// and to nothing elsewhere, so the tree stays buildable with GCC while the
+/// BRAINY_THREAD_SAFETY=ON Clang build turns the annotations into
+/// `-Wthread-safety -Werror=thread-safety` compile errors.
+///
+/// The standard-library mutex types carry no capability attributes under
+/// libstdc++, so annotated code uses the thin wrappers below: Mutex (an
+/// annotated std::mutex), MutexLock (an annotated lock_guard), and
+/// ConditionVariable (a std::condition_variable that waits on a held
+/// Mutex). The wrappers add no state beyond the standard primitives.
+///
+/// Convention: condition-variable waits are written as explicit
+/// `while (!pred) Cv.wait(M);` loops rather than the predicate-lambda
+/// overloads — Clang analyses a lambda as a separate function that does
+/// not hold the caller's capability, so the lambda form cannot be
+/// annotated cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_THREADSAFETY_H
+#define BRAINY_SUPPORT_THREADSAFETY_H
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define BRAINY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BRAINY_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis can track.
+#define BRAINY_CAPABILITY(x) BRAINY_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define BRAINY_SCOPED_CAPABILITY BRAINY_THREAD_ANNOTATION(scoped_lockable)
+
+/// Marks a data member as protected by the given capability.
+#define BRAINY_GUARDED_BY(x) BRAINY_THREAD_ANNOTATION(guarded_by(x))
+
+/// Marks a pointer member whose pointee is protected by the capability.
+#define BRAINY_PT_GUARDED_BY(x) BRAINY_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the capabilities held.
+#define BRAINY_REQUIRES(...)                                                 \
+  BRAINY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capabilities and holds them on return.
+#define BRAINY_ACQUIRE(...)                                                  \
+  BRAINY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases capabilities held on entry.
+#define BRAINY_RELEASE(...)                                                  \
+  BRAINY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when returning \p result.
+#define BRAINY_TRY_ACQUIRE(...)                                              \
+  BRAINY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called *without* the capabilities held.
+#define BRAINY_EXCLUDES(...)                                                 \
+  BRAINY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Opts a function out of the analysis. Policy (DESIGN.md §9): every use
+/// must carry a comment naming the protocol that makes it safe.
+#define BRAINY_NO_THREAD_SAFETY_ANALYSIS                                     \
+  BRAINY_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace brainy {
+
+/// std::mutex with capability annotations the analysis understands.
+class BRAINY_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() BRAINY_ACQUIRE() { M.lock(); }
+  void unlock() BRAINY_RELEASE() { M.unlock(); }
+  bool tryLock() BRAINY_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  friend class ConditionVariable;
+  std::mutex M;
+};
+
+/// Annotated scoped lock over Mutex (the lock_guard shape).
+class BRAINY_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) BRAINY_ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() BRAINY_RELEASE() { M.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &M;
+};
+
+/// std::condition_variable adapted to wait on a held Mutex. wait() is
+/// annotated REQUIRES: the capability is held on entry and on return (it
+/// is released only for the duration of the block, which is the standard
+/// condition-variable contract the analysis models).
+class ConditionVariable {
+public:
+  void wait(Mutex &M) BRAINY_REQUIRES(M) {
+    // Adopt the already-held native mutex for the wait, then hand
+    // ownership back so the MutexLock in the caller stays the sole owner.
+    std::unique_lock<std::mutex> Lock(M.M, std::adopt_lock);
+    Cv.wait(Lock);
+    Lock.release();
+  }
+
+  void notifyOne() { Cv.notify_one(); }
+  void notifyAll() { Cv.notify_all(); }
+
+private:
+  std::condition_variable Cv;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_THREADSAFETY_H

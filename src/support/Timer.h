@@ -1,0 +1,53 @@
+//===- support/Timer.h - The wall-clock timing shim ------------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place the tree may read a wall clock (brainy-lint rule
+/// `wall-clock`, DESIGN.md §9). Everything the pipeline *merges or
+/// measures* — cycle counts, training examples, model weights — must be a
+/// pure function of (seed, config, machine); wall-clock readings exist
+/// only for human-facing reporting (bench scaling tables, progress logs)
+/// and must never feed a result. Funnelling every clock read through this
+/// shim makes that rule mechanically checkable: any `chrono`/`time()` use
+/// outside this header is a lint error, so a nondeterministic timestamp
+/// cannot quietly leak into a merged path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_TIMER_H
+#define BRAINY_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace brainy {
+
+/// Monotonic stopwatch for reporting elapsed wall time. Not a measurement
+/// source: results derived from WallTimer readings may be printed, never
+/// merged into training or model state.
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  /// Milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_TIMER_H

@@ -1,0 +1,694 @@
+//===- tools/brainy_lint/Lint.cpp - Invariant rule engine -----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes. The scanner is a real (if small) C++ lexer, not a
+// grep: comments, string/char literals (including raw strings), and
+// preprocessor directives are lexed out of the token stream first, so a
+// banned name inside a string literal — e.g. the chrono calls CppEmitter
+// writes into *generated* applications, or the violation fixtures in the
+// self-test — can never trip a rule. Rules then run over the clean token
+// stream plus the directive and comment side tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lint.h"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace brainy;
+using namespace brainy::lint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Token model
+//===----------------------------------------------------------------------===//
+
+enum class TokKind { Ident, Number, Punct, String, CharLit };
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  unsigned Line;
+};
+
+struct Directive {
+  unsigned Line;
+  std::string Text; ///< Whole directive, continuations joined, trimmed.
+};
+
+struct LexedFile {
+  std::vector<Token> Tokens;
+  std::vector<Directive> Directives;
+  /// Line -> rule names suppressed there by `brainy-lint: allow(...)`.
+  std::map<unsigned, std::set<std::string>> Allows;
+};
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isIdentChar(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+
+/// Records the rule names of every `brainy-lint: allow(a, b)` marker in
+/// \p Comment as suppressed on lines [First, Last].
+void harvestAllows(const std::string &Comment, unsigned First, unsigned Last,
+                   LexedFile &Out) {
+  const std::string Marker = "brainy-lint:";
+  size_t Pos = Comment.find(Marker);
+  while (Pos != std::string::npos) {
+    size_t Open = Comment.find("allow(", Pos);
+    if (Open == std::string::npos)
+      return;
+    size_t Close = Comment.find(')', Open);
+    if (Close == std::string::npos)
+      return;
+    std::string List = Comment.substr(Open + 6, Close - Open - 6);
+    std::string Name;
+    std::istringstream Stream(List);
+    while (std::getline(Stream, Name, ',')) {
+      size_t B = Name.find_first_not_of(" \t");
+      size_t E = Name.find_last_not_of(" \t");
+      if (B == std::string::npos)
+        continue;
+      for (unsigned L = First; L <= Last; ++L)
+        Out.Allows[L].insert(Name.substr(B, E - B + 1));
+    }
+    Pos = Comment.find(Marker, Close);
+  }
+}
+
+/// Lexes \p Src into tokens, directives, and suppression markers.
+LexedFile lex(const std::string &Src) {
+  LexedFile Out;
+  std::vector<std::pair<unsigned, std::string>> LineComments;
+  size_t I = 0, N = Src.size();
+  unsigned Line = 1;
+  bool AtLineStart = true;
+
+  auto peek = [&](size_t Ahead) -> char {
+    return I + Ahead < N ? Src[I + Ahead] : '\0';
+  };
+
+  while (I < N) {
+    char C = Src[I];
+
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      AtLineStart = true;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      ++I;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line, with continuations.
+    if (C == '#' && AtLineStart) {
+      unsigned Start = Line;
+      std::string Text;
+      while (I < N) {
+        char D = Src[I];
+        if (D == '\n') {
+          if (!Text.empty() && Text.back() == '\\') {
+            Text.pop_back();
+            Text += ' ';
+            ++Line;
+            ++I;
+            continue;
+          }
+          break;
+        }
+        Text += D;
+        ++I;
+      }
+      size_t E = Text.find_last_not_of(" \t\r");
+      Out.Directives.push_back(
+          {Start, E == std::string::npos ? Text : Text.substr(0, E + 1)});
+      continue;
+    }
+    AtLineStart = false;
+
+    // Line comment. Collected for post-pass grouping: a contiguous block
+    // of // lines acts as one suppression comment covering the block and
+    // the line after it.
+    if (C == '/' && peek(1) == '/') {
+      size_t End = Src.find('\n', I);
+      if (End == std::string::npos)
+        End = N;
+      LineComments.push_back({Line, Src.substr(I, End - I)});
+      I = End;
+      continue;
+    }
+
+    // Block comment.
+    if (C == '/' && peek(1) == '*') {
+      unsigned Start = Line;
+      size_t End = Src.find("*/", I + 2);
+      if (End == std::string::npos)
+        End = N;
+      else
+        End += 2;
+      std::string Text = Src.substr(I, End - I);
+      Line += static_cast<unsigned>(std::count(Text.begin(), Text.end(),
+                                               '\n'));
+      harvestAllows(Text, Start, Line + 1, Out);
+      I = End;
+      continue;
+    }
+
+    // Identifier — possibly a string-literal prefix.
+    if (isIdentStart(C)) {
+      size_t B = I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      std::string Name = Src.substr(B, I - B);
+      char Next = I < N ? Src[I] : '\0';
+      bool RawPrefix = Name == "R" || Name == "u8R" || Name == "uR" ||
+                       Name == "UR" || Name == "LR";
+      bool StrPrefix = Name == "u8" || Name == "u" || Name == "U" ||
+                       Name == "L";
+      if (RawPrefix && Next == '"') {
+        // Raw string: R"delim( ... )delim"
+        ++I; // consume the quote
+        std::string Delim;
+        while (I < N && Src[I] != '(')
+          Delim += Src[I++];
+        ++I; // consume '('
+        std::string Close = ")" + Delim + "\"";
+        size_t End = Src.find(Close, I);
+        if (End == std::string::npos)
+          End = N;
+        else
+          End += Close.size();
+        unsigned Start = Line;
+        Line += static_cast<unsigned>(
+            std::count(Src.begin() + static_cast<long>(B),
+                       Src.begin() + static_cast<long>(End), '\n'));
+        Out.Tokens.push_back({TokKind::String, "<raw>", Start});
+        I = End;
+        continue;
+      }
+      if (StrPrefix && (Next == '"' || Next == '\'')) {
+        // Fall through to the literal lexer below; drop the prefix.
+        continue;
+      }
+      Out.Tokens.push_back({TokKind::Ident, std::move(Name), Line});
+      continue;
+    }
+
+    // String / char literal.
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      unsigned Start = Line;
+      ++I;
+      while (I < N) {
+        char D = Src[I];
+        if (D == '\\') {
+          I += 2;
+          continue;
+        }
+        if (D == '\n')
+          ++Line;
+        ++I;
+        if (D == Quote)
+          break;
+      }
+      Out.Tokens.push_back(
+          {Quote == '"' ? TokKind::String : TokKind::CharLit, "<lit>",
+           Start});
+      continue;
+    }
+
+    // Number (coarse: digits, dots, exponents, suffixes).
+    if (C >= '0' && C <= '9') {
+      size_t B = I;
+      while (I < N && (isIdentChar(Src[I]) || Src[I] == '.' ||
+                       ((Src[I] == '+' || Src[I] == '-') && I > B &&
+                        (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
+                         Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
+        ++I;
+      Out.Tokens.push_back({TokKind::Number, Src.substr(B, I - B), Line});
+      continue;
+    }
+
+    // Punctuation: '...' and '::' matter to the rules; the rest is
+    // single-character.
+    if (C == '.' && peek(1) == '.' && peek(2) == '.') {
+      Out.Tokens.push_back({TokKind::Punct, "...", Line});
+      I += 3;
+      continue;
+    }
+    if (C == ':' && peek(1) == ':') {
+      Out.Tokens.push_back({TokKind::Punct, "::", Line});
+      I += 2;
+      continue;
+    }
+    Out.Tokens.push_back({TokKind::Punct, std::string(1, C), Line});
+    ++I;
+  }
+
+  // Group consecutive // lines into blocks; an allow() anywhere in the
+  // block suppresses the whole block plus the line that follows it.
+  for (size_t B = 0; B != LineComments.size();) {
+    size_t E = B + 1;
+    std::string Text = LineComments[B].second;
+    while (E != LineComments.size() &&
+           LineComments[E].first == LineComments[E - 1].first + 1) {
+      Text += '\n';
+      Text += LineComments[E].second;
+      ++E;
+    }
+    harvestAllows(Text, LineComments[B].first,
+                  LineComments[E - 1].first + 1, Out);
+    B = E;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Rule helpers
+//===----------------------------------------------------------------------===//
+
+bool pathContains(const std::string &Path, const char *Piece) {
+  return Path.find(Piece) != std::string::npos;
+}
+
+bool pathStartsWith(const std::string &Path, const char *Prefix) {
+  return Path.rfind(Prefix, 0) == 0;
+}
+
+bool isHeader(const std::string &Path) {
+  return Path.size() > 2 && Path.compare(Path.size() - 2, 2, ".h") == 0;
+}
+
+struct Checker {
+  const std::string &Path;
+  const LexedFile &File;
+  std::vector<Diag> Diags;
+
+  // The Allows table already extends one line past each comment, so a
+  // marker covers its own line(s) plus the line that follows — checking
+  // the diagnostic line alone gives exactly that reach, no further.
+  bool suppressed(unsigned Line, const char *RuleName) const {
+    auto It = File.Allows.find(Line);
+    return It != File.Allows.end() && It->second.count(RuleName);
+  }
+
+  void diag(unsigned Line, const char *Id, const char *Name,
+            std::string Message) {
+    if (suppressed(Line, Name))
+      return;
+    Diags.push_back({Path, Line, Id, Name, std::move(Message)});
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// BL001 nondet-rand
+//===----------------------------------------------------------------------===//
+
+void checkNondetRand(Checker &C) {
+  if (pathContains(C.Path, "src/support/Rng."))
+    return;
+  static const std::set<std::string> Banned = {
+      "rand",          "srand",         "rand_r",
+      "drand48",       "lrand48",       "mrand48",
+      "random",        "random_device", "mt19937",
+      "mt19937_64",    "minstd_rand",   "minstd_rand0",
+      "ranlux24",      "ranlux48",      "knuth_b",
+      "default_random_engine", "random_shuffle"};
+  for (const Token &T : C.File.Tokens)
+    if (T.Kind == TokKind::Ident && Banned.count(T.Text))
+      C.diag(T.Line, "BL001", "nondet-rand",
+             "'" + T.Text +
+                 "' is a nondeterminism source; all randomness must come "
+                 "from support/Rng (seeded, regenerable)");
+  for (const Directive &D : C.File.Directives)
+    if (D.Text.find("<random>") != std::string::npos)
+      C.diag(D.Line, "BL001", "nondet-rand",
+             "#include <random> outside support/Rng; use the seeded Rng "
+             "stream instead");
+}
+
+//===----------------------------------------------------------------------===//
+// BL002 wall-clock
+//===----------------------------------------------------------------------===//
+
+void checkWallClock(Checker &C) {
+  if (pathContains(C.Path, "src/support/Timer.h"))
+    return;
+  static const std::set<std::string> Banned = {
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "timespec_get",
+      "localtime",     "gmtime",        "mktime"};
+  const auto &Toks = C.File.Tokens;
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Token &T = Toks[I];
+    if (T.Kind != TokKind::Ident)
+      continue;
+    if (Banned.count(T.Text)) {
+      C.diag(T.Line, "BL002", "wall-clock",
+             "'" + T.Text +
+                 "' reads the wall clock; route timing through the "
+                 "support/Timer shim (reporting only, never results)");
+      continue;
+    }
+    // time(...) / clock(...) only when called.
+    if ((T.Text == "time" || T.Text == "clock") && I + 1 != Toks.size() &&
+        Toks[I + 1].Kind == TokKind::Punct && Toks[I + 1].Text == "(")
+      C.diag(T.Line, "BL002", "wall-clock",
+             "'" + T.Text +
+                 "()' reads the wall clock; route timing through the "
+                 "support/Timer shim");
+  }
+  for (const Directive &D : C.File.Directives)
+    for (const char *Header : {"<chrono>", "<ctime>", "<sys/time.h>"})
+      if (D.Text.find(Header) != std::string::npos)
+        C.diag(D.Line, "BL002", "wall-clock",
+               std::string("#include ") + Header +
+                   " outside support/Timer; wall-clock access is confined "
+                   "to the timing shim");
+}
+
+//===----------------------------------------------------------------------===//
+// BL003 unordered-iter
+//===----------------------------------------------------------------------===//
+
+/// Collects names declared with an unordered container type in this file,
+/// e.g. `std::unordered_map<uint64_t, Entry> Fresh;` records "Fresh".
+std::set<std::string> unorderedDecls(const std::vector<Token> &Toks) {
+  std::set<std::string> Names;
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Token &T = Toks[I];
+    if (T.Kind != TokKind::Ident ||
+        (T.Text != "unordered_map" && T.Text != "unordered_set" &&
+         T.Text != "unordered_multimap" && T.Text != "unordered_multiset"))
+      continue;
+    size_t J = I + 1;
+    if (J == Toks.size() || Toks[J].Text != "<")
+      continue;
+    int Depth = 0;
+    for (; J != Toks.size(); ++J) {
+      if (Toks[J].Kind != TokKind::Punct)
+        continue;
+      if (Toks[J].Text == "<")
+        ++Depth;
+      else if (Toks[J].Text == ">" && --Depth == 0)
+        break;
+    }
+    if (J == Toks.size())
+      continue;
+    ++J;
+    // Skip references/pointers between the type and the declared name.
+    while (J != Toks.size() && Toks[J].Kind == TokKind::Punct &&
+           (Toks[J].Text == "&" || Toks[J].Text == "*"))
+      ++J;
+    if (J != Toks.size() && Toks[J].Kind == TokKind::Ident)
+      Names.insert(Toks[J].Text);
+  }
+  return Names;
+}
+
+void checkUnorderedIter(Checker &C) {
+  // Merged/measured paths live under src/ and tools/; tests, benches and
+  // examples may iterate freely (their output feeds humans, not models).
+  if (!pathStartsWith(C.Path, "src/") && !pathStartsWith(C.Path, "tools/"))
+    return;
+  const auto &Toks = C.File.Tokens;
+  std::set<std::string> Unordered = unorderedDecls(Toks);
+
+  auto flagIfUnordered = [&](size_t Begin, size_t End, unsigned Line) {
+    for (size_t K = Begin; K < End && K < Toks.size(); ++K) {
+      const Token &T = Toks[K];
+      if (T.Kind != TokKind::Ident)
+        continue;
+      if (Unordered.count(T.Text) || T.Text == "unordered_map" ||
+          T.Text == "unordered_set" || T.Text == "unordered_multimap" ||
+          T.Text == "unordered_multiset") {
+        C.diag(Line, "BL003", "unordered-iter",
+               "iteration over unordered container '" + T.Text +
+                   "' visits hash order, which may not feed output or "
+                   "merged state (sort first, or justify a suppression)");
+        return;
+      }
+    }
+  };
+
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    if (Toks[I].Kind != TokKind::Ident || Toks[I].Text != "for")
+      continue;
+    size_t J = I + 1;
+    if (J == Toks.size() || Toks[J].Text != "(")
+      continue;
+    // Find a top-level ':' (range-for) inside the parens.
+    int Depth = 0;
+    size_t Colon = 0, Close = 0;
+    for (size_t K = J; K != Toks.size(); ++K) {
+      if (Toks[K].Kind != TokKind::Punct)
+        continue;
+      if (Toks[K].Text == "(" || Toks[K].Text == "[" || Toks[K].Text == "{")
+        ++Depth;
+      else if (Toks[K].Text == ")" || Toks[K].Text == "]" ||
+               Toks[K].Text == "}") {
+        if (--Depth == 0) {
+          Close = K;
+          break;
+        }
+      } else if (Toks[K].Text == ":" && Depth == 1 && !Colon)
+        Colon = K;
+    }
+    if (Colon && Close)
+      flagIfUnordered(Colon + 1, Close, Toks[I].Line);
+  }
+
+  // Explicit iterator loops: Name.begin() / Name.cbegin() on a recorded
+  // unordered declaration. `.end()` alone is not flagged — it is the
+  // harmless sentinel of find()-style membership probes; an actual walk
+  // always needs the begin side.
+  for (size_t I = 0; I + 2 < Toks.size(); ++I)
+    if (Toks[I].Kind == TokKind::Ident && Unordered.count(Toks[I].Text) &&
+        Toks[I + 1].Text == "." && Toks[I + 2].Kind == TokKind::Ident &&
+        (Toks[I + 2].Text == "begin" || Toks[I + 2].Text == "cbegin"))
+      C.diag(Toks[I].Line, "BL003", "unordered-iter",
+             "iterator over unordered container '" + Toks[I].Text +
+                 "' visits hash order, which may not feed output or "
+                 "merged state");
+}
+
+//===----------------------------------------------------------------------===//
+// BL004 naked-new
+//===----------------------------------------------------------------------===//
+
+void checkNakedNew(Checker &C) {
+  if (pathStartsWith(C.Path, "src/containers/"))
+    return;
+  const auto &Toks = C.File.Tokens;
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Token &T = Toks[I];
+    if (T.Kind != TokKind::Ident || (T.Text != "new" && T.Text != "delete"))
+      continue;
+    // `= delete` (deleted functions) and `operator new/delete` are not
+    // allocations. `= new` IS one, so the '=' exclusion is delete-only.
+    if (I > 0 && Toks[I - 1].Text == "operator")
+      continue;
+    if (I > 0 && Toks[I - 1].Text == "=" && T.Text == "delete")
+      continue;
+    C.diag(T.Line, "BL004", "naked-new",
+           "naked '" + T.Text +
+               "' outside src/containers; own memory with "
+               "containers/RAII (make_unique, vector)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BL005 catch-all
+//===----------------------------------------------------------------------===//
+
+void checkCatchAll(Checker &C) {
+  const auto &Toks = C.File.Tokens;
+  for (size_t I = 0; I + 3 < Toks.size(); ++I) {
+    if (Toks[I].Kind != TokKind::Ident || Toks[I].Text != "catch" ||
+        Toks[I + 1].Text != "(" || Toks[I + 2].Text != "..." ||
+        Toks[I + 3].Text != ")")
+      continue;
+    // Scan the balanced handler body for a rethrow or Error conversion.
+    size_t J = I + 4;
+    while (J != Toks.size() && Toks[J].Text != "{")
+      ++J;
+    int Depth = 0;
+    bool Handled = false;
+    for (; J != Toks.size(); ++J) {
+      if (Toks[J].Kind == TokKind::Punct) {
+        if (Toks[J].Text == "{")
+          ++Depth;
+        else if (Toks[J].Text == "}" && --Depth == 0)
+          break;
+        continue;
+      }
+      if (Toks[J].Kind == TokKind::Ident &&
+          (Toks[J].Text == "throw" || Toks[J].Text == "rethrow_exception" ||
+           Toks[J].Text == "current_exception" ||
+           Toks[J].Text == "exception_ptr" || Toks[J].Text == "Error" ||
+           Toks[J].Text == "ErrorException"))
+        Handled = true;
+    }
+    if (!Handled)
+      C.diag(Toks[I].Line, "BL005", "catch-all",
+             "catch (...) swallows without rethrow or Error conversion; "
+             "rethrow, capture via current_exception, or convert to Error");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BL006 header-guard
+//===----------------------------------------------------------------------===//
+
+void checkHeaderGuard(Checker &C) {
+  if (!isHeader(C.Path))
+    return;
+  const auto &Dirs = C.File.Directives;
+  if (Dirs.empty()) {
+    C.diag(1, "BL006", "header-guard",
+           "header has no include guard (#ifndef/#define or #pragma once)");
+    return;
+  }
+  const std::string &First = Dirs.front().Text;
+  if (First.rfind("#pragma once", 0) == 0)
+    return;
+  auto secondWord = [](const std::string &Text) -> std::string {
+    std::istringstream Stream(Text);
+    std::string Hash, Word;
+    Stream >> Hash >> Word;
+    return Word;
+  };
+  bool Guarded = false;
+  if (First.rfind("#ifndef", 0) == 0 && Dirs.size() > 1 &&
+      Dirs[1].Text.rfind("#define", 0) == 0 &&
+      secondWord(First) == secondWord(Dirs[1].Text) &&
+      Dirs.back().Text.rfind("#endif", 0) == 0)
+    Guarded = true;
+  if (!Guarded)
+    C.diag(Dirs.front().Line, "BL006", "header-guard",
+           "header guard malformed: expected '#ifndef X' + '#define X' "
+           "(matching macro) closed by '#endif', or '#pragma once'");
+}
+
+//===----------------------------------------------------------------------===//
+// BL007 using-namespace-header
+//===----------------------------------------------------------------------===//
+
+void checkUsingNamespaceHeader(Checker &C) {
+  if (!isHeader(C.Path))
+    return;
+  const auto &Toks = C.File.Tokens;
+  for (size_t I = 0; I + 1 < Toks.size(); ++I)
+    if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == "using" &&
+        Toks[I + 1].Kind == TokKind::Ident &&
+        Toks[I + 1].Text == "namespace")
+      C.diag(Toks[I].Line, "BL007", "using-namespace-header",
+             "'using namespace' in a header leaks into every includer; "
+             "qualify names instead");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+const std::vector<Rule> &brainy::lint::rules() {
+  static const std::vector<Rule> Rules = {
+      {"BL001", "nondet-rand",
+       "nondeterminism sources (rand, random_device, <random> engines)",
+       "src/support/Rng.*"},
+      {"BL002", "wall-clock",
+       "wall-clock reads (time, clock, chrono clocks, <chrono>/<ctime>)",
+       "src/support/Timer.h"},
+      {"BL003", "unordered-iter",
+       "iteration over unordered_map/unordered_set (hash order can leak "
+       "into output or merged state)",
+       "tests/, bench/, examples/"},
+      {"BL004", "naked-new",
+       "naked new/delete (own memory with containers or RAII)",
+       "src/containers/"},
+      {"BL005", "catch-all",
+       "catch (...) that swallows without rethrow or Error conversion",
+       "-"},
+      {"BL006", "header-guard",
+       "headers must carry a matching include guard or #pragma once", "-"},
+      {"BL007", "using-namespace-header",
+       "'using namespace' inside a header", "-"},
+  };
+  return Rules;
+}
+
+std::string brainy::lint::format(const Diag &D) {
+  return D.Path + ":" + std::to_string(D.Line) + ": error: [" + D.RuleId +
+         " " + D.RuleName + "] " + D.Message;
+}
+
+std::vector<Diag> brainy::lint::lintSource(const std::string &Path,
+                                           const std::string &Content) {
+  LexedFile File = lex(Content);
+  Checker C{Path, File, {}};
+  checkNondetRand(C);
+  checkWallClock(C);
+  checkUnorderedIter(C);
+  checkNakedNew(C);
+  checkCatchAll(C);
+  checkHeaderGuard(C);
+  checkUsingNamespaceHeader(C);
+  std::sort(C.Diags.begin(), C.Diags.end(),
+            [](const Diag &A, const Diag &B) {
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              return A.RuleId < B.RuleId;
+            });
+  return std::move(C.Diags);
+}
+
+std::vector<Diag> brainy::lint::lintFile(const std::string &Path,
+                                         const std::string &FullPath) {
+  std::ifstream In(FullPath, std::ios::binary);
+  if (!In)
+    return {{Path, 0, "BL000", "io", "cannot open file"}};
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return lintSource(Path, Buffer.str());
+}
+
+std::vector<std::string>
+brainy::lint::defaultScanSet(const std::string &Root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Paths;
+  for (const char *Dir : {"src", "tools", "tests", "bench", "examples"}) {
+    fs::path Base = fs::path(Root) / Dir;
+    std::error_code Ec;
+    if (!fs::is_directory(Base, Ec))
+      continue;
+    for (auto It = fs::recursive_directory_iterator(Base, Ec);
+         !Ec && It != fs::recursive_directory_iterator(); ++It) {
+      if (!It->is_regular_file())
+        continue;
+      fs::path P = It->path();
+      std::string Ext = P.extension().string();
+      if (Ext != ".h" && Ext != ".cpp")
+        continue;
+      std::string Rel = fs::relative(P, Root, Ec).generic_string();
+      if (Rel.find("fixtures/") != std::string::npos)
+        continue;
+      Paths.push_back(Rel);
+    }
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}

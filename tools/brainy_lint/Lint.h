@@ -1,0 +1,78 @@
+//===- tools/brainy_lint/Lint.h - Invariant rule engine --------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// brainy-lint: a self-contained scanner (tokenizer + rule engine, no
+/// libclang) that enforces the repo's determinism and hygiene invariants
+/// (DESIGN.md §9). The training pipeline's contract — Jobs=N bit-identical
+/// to serial, fault runs bit-identical to ExcludeSeeds runs — rests on
+/// source-level invariants that no compiler checks: no ambient randomness,
+/// no wall-clock reads, no hash-order iteration feeding merged state.
+/// These rules make that contract machine-checked on every commit.
+///
+/// Rules carry stable IDs (BLxxx) and names; a diagnostic on line L is
+/// suppressed by a comment containing `brainy-lint: allow(<name>)` on
+/// line L or L-1 (the comment must justify itself; see the suppression
+/// policy in DESIGN.md §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_TOOLS_BRAINY_LINT_LINT_H
+#define BRAINY_TOOLS_BRAINY_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace brainy {
+namespace lint {
+
+/// A rule catalogue entry.
+struct Rule {
+  /// Stable numeric ID, e.g. "BL001".
+  const char *Id;
+  /// Stable name used in diagnostics and allow() suppressions.
+  const char *Name;
+  /// One-line description of what the rule forbids.
+  const char *Summary;
+  /// Where the construct is allowed ("-" when nowhere).
+  const char *AllowedZones;
+};
+
+/// The full rule catalogue, in BLxxx order.
+const std::vector<Rule> &rules();
+
+/// One finding.
+struct Diag {
+  std::string Path;
+  unsigned Line = 0;
+  std::string RuleId;   ///< "BL004"
+  std::string RuleName; ///< "naked-new"
+  std::string Message;
+};
+
+/// "path:line: error: [BL004 naked-new] message"
+std::string format(const Diag &D);
+
+/// Lints in-memory source text. \p Path must be the repo-relative path
+/// with forward slashes: it selects header-only rules (.h) and the
+/// allowed-zone exemptions (e.g. src/support/Rng.* for nondet-rand).
+std::vector<Diag> lintSource(const std::string &Path,
+                             const std::string &Content);
+
+/// Reads \p FullPath and lints it as \p Path. An unreadable file yields a
+/// single "BL000 io" diagnostic rather than a crash.
+std::vector<Diag> lintFile(const std::string &Path,
+                           const std::string &FullPath);
+
+/// Collects the repo-relative paths brainy-lint scans by default below
+/// \p Root: *.h and *.cpp under src/, tools/, tests/, bench/ and
+/// examples/, sorted, fixture directories excluded.
+std::vector<std::string> defaultScanSet(const std::string &Root);
+
+} // namespace lint
+} // namespace brainy
+
+#endif // BRAINY_TOOLS_BRAINY_LINT_LINT_H

@@ -1,0 +1,85 @@
+//===- tools/brainy_lint/brainy_lint_main.cpp - CLI driver ----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// Usage:
+//   brainy_lint [--root DIR] [file...]
+//
+// With no files, scans the default set (*.h / *.cpp under src, tools,
+// tests, bench, examples below --root). Exits 0 when clean, 1 when any
+// rule fired, 2 on usage errors. `--list-rules` prints the catalogue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace brainy::lint;
+
+namespace {
+
+int listRules() {
+  std::printf("%-7s %-24s %-28s %s\n", "id", "name", "allowed-in",
+              "forbids");
+  for (const Rule &R : rules())
+    std::printf("%-7s %-24s %-28s %s\n", R.Id, R.Name, R.AllowedZones,
+                R.Summary);
+  std::printf("\nSuppression: '// brainy-lint: allow(<name>): <reason>' on "
+              "the flagged line or the line above.\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Root = ".";
+  std::vector<std::string> Files;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--list-rules") == 0)
+      return listRules();
+    if (std::strcmp(Argv[I], "--root") == 0) {
+      if (I + 1 == Argc) {
+        std::fprintf(stderr, "brainy_lint: --root needs a directory\n");
+        return 2;
+      }
+      Root = Argv[++I];
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "brainy_lint: unknown flag '%s' (try --list-rules)\n",
+                   Argv[I]);
+      return 2;
+    }
+    Files.push_back(Argv[I]);
+  }
+
+  bool DefaultSet = Files.empty();
+  if (DefaultSet)
+    Files = defaultScanSet(Root);
+  if (Files.empty()) {
+    std::fprintf(stderr, "brainy_lint: nothing to scan under '%s'\n",
+                 Root.c_str());
+    return 2;
+  }
+
+  size_t NumDiags = 0;
+  for (const std::string &File : Files) {
+    std::string Full = DefaultSet ? Root + "/" + File : File;
+    for (const Diag &D : lintFile(File, Full)) {
+      std::printf("%s\n", format(D).c_str());
+      ++NumDiags;
+    }
+  }
+  if (NumDiags) {
+    std::printf("brainy_lint: %zu problem%s in %zu file%s scanned\n",
+                NumDiags, NumDiags == 1 ? "" : "s", Files.size(),
+                Files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
