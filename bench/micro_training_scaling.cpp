@@ -2,20 +2,35 @@
 //
 // Part of the Brainy reproduction of PLDI 2011's "Brainy".
 //
-// Wall-clock scaling of the parallel Phase I pipeline: runs phaseOneAll at
-// 1/2/4/8 jobs on a fresh TrainingFramework each time (cold measurement
-// cache, so every job count pays for the same racing work) and reports
-// time and speedup versus the serial run. The recorded-pair counts are
-// printed alongside as a visible determinism check. BRAINY_SCALE multiplies
-// the workload as usual.
+// Wall-clock scaling of the parallel Phase I pipeline along both axes:
+//
+//  * jobs    — the local thread pool at 1/2/4/8 workers;
+//  * workers — the distributed coordinator (DESIGN.md §10) at 1/2/4
+//    thread-backed workers, paying the full wire-protocol cost
+//    (framing, CRC32, cache round-trips) without process spawn noise.
+//
+// Each configuration runs phaseOneAll on a fresh TrainingFramework (cold
+// measurement cache, so every row pays for the same racing work) and
+// reports time and speedup versus the serial run. The recorded-pair counts
+// are printed alongside as a visible determinism check. BRAINY_SCALE
+// multiplies the workload as usual.
+//
+// --json <path> additionally writes the rows in the stable
+// brainy-bench-v1 schema consumed by tools/check_bench_regression.py and
+// published by the CI bench job as BENCH_training.json.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
 #include "core/TrainingFramework.h"
+#include "distributed/Coordinator.h"
+#include "distributed/Launch.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace brainy;
 
@@ -38,31 +53,94 @@ size_t totalPairs(const std::array<PhaseOneResult, NumModelKinds> &All) {
   return N;
 }
 
+struct Row {
+  std::string Name;
+  double WallMs = 0;
+  size_t Pairs = 0;
+};
+
+void printRow(const Row &R, double SerialMs, size_t SerialPairs) {
+  std::printf("%-12s %12.1f %9.2fx %12zu%s\n", R.Name.c_str(), R.WallMs,
+              SerialMs > 0 ? SerialMs / R.WallMs : 0.0, R.Pairs,
+              R.Pairs == SerialPairs ? "" : "  MISMATCH vs jobs=1!");
+}
+
+/// brainy-bench-v1: a flat name -> wall_ms map plus enough context to know
+/// whether two files are comparable. Schema changes bump the version.
+void writeJson(const char *Path, const std::vector<Row> &Rows) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"schema\": \"brainy-bench-v1\",\n"
+                  "  \"bench\": \"training_scaling\",\n"
+                  "  \"scale\": %.4f,\n  \"results\": [\n",
+               experimentScale());
+  for (size_t I = 0; I != Rows.size(); ++I)
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"pairs\": %zu}%s\n",
+                 Rows[I].Name.c_str(), Rows[I].WallMs, Rows[I].Pairs,
+                 I + 1 == Rows.size() ? "" : ",");
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("\nwrote %s\n", Path);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   MachineConfig Machine = MachineConfig::core2();
   std::printf("# Phase I wall-time scaling (phaseOneAll on %s, "
               "BRAINY_SCALE=%.2f)\n",
               Machine.Name.c_str(), experimentScale());
-  std::printf("%-6s %12s %10s %12s\n", "jobs", "wall_ms", "speedup",
+  std::printf("%-12s %12s %10s %12s\n", "config", "wall_ms", "speedup",
               "pairs");
 
+  std::vector<Row> Rows;
   double SerialMs = 0;
   size_t SerialPairs = 0;
   for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
     TrainingFramework Framework(scalingOptions(Jobs), Machine);
     WallTimer Timer;
     auto All = Framework.phaseOneAll();
-    double Ms = Timer.millis();
-    size_t Pairs = totalPairs(All);
+    Row R{"jobs=" + std::to_string(Jobs), Timer.millis(), totalPairs(All)};
     if (Jobs == 1) {
-      SerialMs = Ms;
-      SerialPairs = Pairs;
+      SerialMs = R.WallMs;
+      SerialPairs = R.Pairs;
     }
-    std::printf("%-6u %12.1f %9.2fx %12zu%s\n", Jobs, Ms,
-                SerialMs > 0 ? SerialMs / Ms : 0.0, Pairs,
-                Pairs == SerialPairs ? "" : "  MISMATCH vs jobs=1!");
+    printRow(R, SerialMs, SerialPairs);
+    Rows.push_back(R);
   }
+
+  // The distributed axis: same workload, chunks fanned over thread-backed
+  // workers through the full wire protocol. Speedup is still measured
+  // against the local serial run, so the protocol overhead is visible.
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    TrainOptions Opts = scalingOptions(1);
+    dist::Coordinator Coord(Machine, Opts, Workers, dist::threadLauncher());
+    Opts.Distribution = &Coord;
+    TrainingFramework Framework(Opts, Machine);
+    WallTimer Timer;
+    auto All = Framework.phaseOneAll();
+    Row R{"workers=" + std::to_string(Workers), Timer.millis(),
+          totalPairs(All)};
+    printRow(R, SerialMs, SerialPairs);
+    Rows.push_back(R);
+  }
+
+  if (JsonPath)
+    writeJson(JsonPath, Rows);
   return 0;
 }

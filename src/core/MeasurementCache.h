@@ -25,6 +25,15 @@
 /// Because measurements are pure, two shards measuring the same key record
 /// identical values and merge order cannot change any result.
 ///
+/// Remote-backed tier (distributed Phase I, DESIGN.md §10): a cache can be
+/// given a RemoteFetchFn. A Shard whose local overlay and shared map both
+/// miss then asks the remote tier — in practice the coordinator's cache,
+/// served over the worker transport and keyed by (config, machine, seed,
+/// kind) with config and machine fixed per connection — before paying for
+/// a measurement. Remote hits land in the overlay but are excluded from
+/// freshRecords(), so a worker never echoes the coordinator's own entries
+/// back at it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BRAINY_CORE_MEASUREMENTCACHE_H
@@ -37,9 +46,24 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 namespace brainy {
+
+/// One seed's measured cycles, as exchanged with a remote cache tier and
+/// as merged back from distributed workers. Mask bit i covers Cycles[i].
+struct CycleRecord {
+  uint64_t Seed = 0;
+  unsigned Mask = 0;
+  std::array<double, NumDsKinds> Cycles{};
+};
+
+/// Fetches every known measurement for a seed from a remote tier. Returns
+/// false (and leaves \p Out.Mask zero) on a remote miss; transport errors
+/// surface as exceptions and fail the seed like any evaluation fault.
+using RemoteFetchFn = std::function<bool(uint64_t Seed, CycleRecord &Out)>;
 
 /// Per-(seed, DsKind) cycle memo. Coordinator-side mutation (merge) is
 /// serialised by WaveMutex; shard-side reads are lock-free and rely on the
@@ -74,11 +98,53 @@ public:
           !FaultInjector::instance().shouldFail(FaultSite::CacheLookup, Seed,
                                                 /*Salt=*/I))
         return Cycles;
+      // Remote tier: ask once per seed per shard. The remote map is frozen
+      // for the shard's lifetime (the coordinator merges only between
+      // waves), so a second query for the same seed could not learn more.
+      if (Parent->Remote && RemoteTried.insert(Seed).second) {
+        CycleRecord Rec;
+        if (Parent->Remote(Seed, Rec) && Rec.Mask) {
+          Entry &E = Fresh[Seed];
+          for (unsigned K = 0; K != NumDsKinds; ++K)
+            if ((Rec.Mask & (1u << K)) && !(E.MeasuredMask & (1u << K)))
+              E.Cycles[K] = Rec.Cycles[K];
+          E.MeasuredMask |= Rec.Mask;
+          RemoteMask[Seed] |= Rec.Mask;
+          if (E.MeasuredMask & Bit)
+            return E.Cycles[I];
+        }
+      }
       Cycles = Measure();
-      Entry &E = It != Fresh.end() ? It->second : Fresh[Seed];
+      Entry &E = Fresh[Seed];
       E.Cycles[I] = Cycles;
       E.MeasuredMask |= Bit;
       return Cycles;
+    }
+
+    /// The measurements this shard performed itself for seeds in
+    /// [\p BeginSeed, \p EndSeed), in seed order, excluding entries that
+    /// were fetched from the remote tier. This is what a distributed
+    /// worker streams back to the coordinator after a chunk.
+    std::vector<CycleRecord> freshRecords(uint64_t BeginSeed,
+                                          uint64_t EndSeed) const {
+      std::vector<CycleRecord> Out;
+      for (uint64_t Seed = BeginSeed; Seed != EndSeed; ++Seed) {
+        auto It = Fresh.find(Seed);
+        if (It == Fresh.end())
+          continue;
+        unsigned Mask = It->second.MeasuredMask;
+        auto RIt = RemoteMask.find(Seed);
+        if (RIt != RemoteMask.end())
+          Mask &= ~RIt->second;
+        if (!Mask)
+          continue;
+        CycleRecord Rec;
+        Rec.Seed = Seed;
+        Rec.Mask = Mask;
+        Rec.Cycles = It->second.Cycles;
+        Out.push_back(Rec);
+      }
+      return Out;
     }
 
   private:
@@ -87,9 +153,18 @@ public:
 
     const MeasurementCache *Parent;
     std::unordered_map<uint64_t, Entry> Fresh;
+    /// Kind bits of Fresh entries that came from the remote tier, not from
+    /// a local measurement.
+    std::unordered_map<uint64_t, unsigned> RemoteMask;
+    /// Seeds already asked of the remote tier (hit or miss).
+    std::set<uint64_t> RemoteTried;
   };
 
   Shard shard() const { return Shard(*this); }
+
+  /// Installs the remote tier consulted by shards on a shared-map miss.
+  /// Setup-time only: call before any shard exists.
+  void setRemoteTier(RemoteFetchFn Fn) { Remote = std::move(Fn); }
 
   /// Folds a shard's fresh measurements into the shared map. Coordinator
   /// only; no shard may be executing concurrently. Hash-order iteration is
@@ -108,6 +183,38 @@ public:
       Dst.MeasuredMask |= KV.second.MeasuredMask;
     }
     S.Fresh.clear();
+    S.RemoteMask.clear();
+    S.RemoteTried.clear();
+  }
+
+  /// Folds one record streamed back from a distributed worker. Same
+  /// mask-union rule as merge(): first write wins, duplicates are
+  /// identical by purity.
+  void mergeRecord(const CycleRecord &Rec) BRAINY_EXCLUDES(WaveMutex) {
+    MutexLock Lock(WaveMutex);
+    Entry &Dst = Map[Rec.Seed];
+    unsigned New = Rec.Mask & ~Dst.MeasuredMask;
+    for (unsigned I = 0; I != NumDsKinds; ++I)
+      if (New & (1u << I))
+        Dst.Cycles[I] = Rec.Cycles[I];
+    Dst.MeasuredMask |= Rec.Mask;
+  }
+
+  /// Everything known about \p Seed, for serving a remote tier. Returns
+  /// false when no kind of the seed is cached. Thread-safe: the
+  /// coordinator answers worker lookups concurrently during a wave (the
+  /// map is read-only between merges, but the lock keeps the contract
+  /// simple and checkable).
+  bool lookupAll(uint64_t Seed, CycleRecord &Out) const
+      BRAINY_EXCLUDES(WaveMutex) {
+    MutexLock Lock(WaveMutex);
+    auto It = Map.find(Seed);
+    if (It == Map.end() || !It->second.MeasuredMask)
+      return false;
+    Out.Seed = Seed;
+    Out.Mask = It->second.MeasuredMask;
+    Out.Cycles = It->second.Cycles;
+    return true;
   }
 
   /// Number of seeds with at least one cached measurement.
@@ -137,6 +244,8 @@ private:
   /// design (see lookup()).
   mutable Mutex WaveMutex;
   std::unordered_map<uint64_t, Entry> Map BRAINY_GUARDED_BY(WaveMutex);
+  /// Optional remote tier; set at setup time, immutable afterwards.
+  RemoteFetchFn Remote;
 };
 
 } // namespace brainy

@@ -32,10 +32,6 @@ using namespace brainy;
 
 namespace {
 
-/// Seeds per worker chunk. Purely a scheduling knob: results are identical
-/// for any value, it only balances claim overhead against tail waste.
-constexpr uint64_t PhaseOneChunk = 16;
-
 /// Salt offset separating Phase II eval-fault decisions from Phase I's
 /// (which use Salt = attempt index). Keeps `BRAINY_FAULT=eval:...` able to
 /// hit both phases without one phase's survival implying the other's.
@@ -115,7 +111,7 @@ bool TrainingFramework::specMatchesModel(uint64_t Seed,
   return specMatches(AppSpec::fromSeed(Seed, Options.GenConfig), Model);
 }
 
-std::array<TrainingFramework::SeedOutcome, NumModelKinds>
+std::array<SeedOutcome, NumModelKinds>
 TrainingFramework::evalSeed(uint64_t Seed,
                             const std::array<bool, NumModelKinds> &Wanted,
                             MeasurementCache::Shard &Shard) const {
@@ -181,6 +177,61 @@ bool TrainingFramework::tryEvalSeed(
     }
   }
   return false;
+}
+
+std::vector<SeedEvalResult> TrainingFramework::evalWaveLocal(
+    uint64_t WaveBegin, uint64_t WaveEnd,
+    const std::array<bool, NumModelKinds> &Wanted) const {
+  size_t NumSeeds = static_cast<size_t>(WaveEnd - WaveBegin);
+  size_t NumChunks = (NumSeeds + PhaseOneChunk - 1) / PhaseOneChunk;
+
+  std::vector<MeasurementCache::Shard> Shards;
+  Shards.reserve(NumChunks);
+  for (size_t C = 0; C != NumChunks; ++C)
+    Shards.push_back(Cache.shard());
+
+  std::vector<SeedEvalResult> Evals(NumSeeds);
+  std::vector<std::exception_ptr> ChunkErrors;
+  pool().parallelChunks(
+      0, NumChunks, 1,
+      [&](size_t CBegin, size_t CEnd) {
+        for (size_t C = CBegin; C != CEnd; ++C) {
+          uint64_t Begin = WaveBegin + C * PhaseOneChunk;
+          uint64_t End = std::min(WaveEnd, Begin + PhaseOneChunk);
+          for (uint64_t Offset = Begin; Offset != End; ++Offset) {
+            SeedEvalResult &Slot = Evals[Offset - WaveBegin];
+            Slot.Ok = tryEvalSeed(Options.FirstSeed + Offset, Wanted,
+                                  Shards[C], Slot.Outcomes);
+          }
+        }
+      },
+      ChunkErrors);
+  // tryEvalSeed never throws, so captured chunk errors are unexpected
+  // (e.g. bad_alloc). Log and keep going: the chunk's untouched slots stay
+  // Ok=false and merge as skipped instead of aborting the wave.
+  for (size_t C = 0; C != NumChunks; ++C) {
+    if (!ChunkErrors[C])
+      continue;
+    uint64_t Begin = WaveBegin + C * PhaseOneChunk;
+    try {
+      std::rethrow_exception(ChunkErrors[C]);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr,
+                   "brainy: phase I: chunk at seed %llu failed: %s\n",
+                   static_cast<unsigned long long>(Options.FirstSeed + Begin),
+                   E.what());
+      // brainy-lint: allow(catch-all): classification tail of a
+      // rethrow_exception switch; the chunk is already recorded failed.
+    } catch (...) {
+      std::fprintf(stderr, "brainy: phase I: chunk at seed %llu failed\n",
+                   static_cast<unsigned long long>(Options.FirstSeed +
+                                                   Begin));
+    }
+  }
+
+  for (MeasurementCache::Shard &S : Shards)
+    Cache.merge(std::move(S));
+  return Evals;
 }
 
 std::array<PhaseOneResult, NumModelKinds>
@@ -251,7 +302,7 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
     }
   };
 
-  if (jobs() <= 1) {
+  if (jobs() <= 1 && !Options.Distribution) {
     // Serial path: one shard for the whole scan, fullness consulted live so
     // no seed is ever measured past the stopping point.
     MeasurementCache::Shard Shard = Cache.shard();
@@ -269,81 +320,37 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
     return Results;
   }
 
-  // Parallel path: waves of jobs() chunks. Each chunk races its seeds
-  // against a dispatch-time fullness snapshot into a private cache shard;
-  // the join merges shards and replays the bookkeeping in seed order.
-  uint64_t WaveSeeds = PhaseOneChunk * jobs();
+  // Parallel/distributed path: waves of Width chunks. Each chunk races its
+  // seeds against a dispatch-time fullness snapshot — on pool threads into
+  // private cache shards, or on remote workers via the ChunkEvalService —
+  // and the join replays the bookkeeping in seed order. The merge below is
+  // the only consumer of either evaluator, so local, distributed, and
+  // serial runs are bit-identical by construction.
+  unsigned Width =
+      Options.Distribution ? Options.Distribution->width() : jobs();
+  if (Width == 0)
+    Width = 1;
+  uint64_t WaveSeeds = PhaseOneChunk * Width;
   for (uint64_t WaveBegin = 0; WaveBegin < Options.MaxSeeds && !AllFull();
        WaveBegin += WaveSeeds) {
     uint64_t WaveEnd = std::min(Options.MaxSeeds, WaveBegin + WaveSeeds);
-    size_t NumChunks = static_cast<size_t>(
-        (WaveEnd - WaveBegin + PhaseOneChunk - 1) / PhaseOneChunk);
     std::array<bool, NumModelKinds> Wanted = WantedNow();
 
-    std::vector<MeasurementCache::Shard> Shards;
-    Shards.reserve(NumChunks);
-    for (size_t C = 0; C != NumChunks; ++C)
-      Shards.push_back(Cache.shard());
+    std::vector<SeedEvalResult> Evals =
+        Options.Distribution
+            ? Options.Distribution->evalWave(Options.FirstSeed + WaveBegin,
+                                             Options.FirstSeed + WaveEnd,
+                                             Wanted)
+            : evalWaveLocal(WaveBegin, WaveEnd, Wanted);
+    // A short service reply leaves trailing slots defaulted: Ok=false, so
+    // the missing seeds merge as skipped rather than faulting.
+    Evals.resize(static_cast<size_t>(WaveEnd - WaveBegin));
 
-    // Per-seed evaluation slot. Ok=false means the seed is skipped — the
-    // default, so a chunk that dies mid-flight leaves its unevaluated
-    // seeds skipped rather than poisoning the wave.
-    struct SeedEval {
-      bool Ok = false;
-      std::array<SeedOutcome, NumModelKinds> Outcomes{};
-    };
-    std::vector<std::vector<SeedEval>> Evals(NumChunks);
-
-    std::vector<std::exception_ptr> ChunkErrors;
-    pool().parallelChunks(
-        0, NumChunks, 1,
-        [&](size_t CBegin, size_t CEnd) {
-          for (size_t C = CBegin; C != CEnd; ++C) {
-            uint64_t Begin = WaveBegin + C * PhaseOneChunk;
-            uint64_t End = std::min(WaveEnd, Begin + PhaseOneChunk);
-            Evals[C].resize(End - Begin);
-            for (uint64_t Offset = Begin; Offset != End; ++Offset) {
-              SeedEval &Slot = Evals[C][Offset - Begin];
-              Slot.Ok = tryEvalSeed(Options.FirstSeed + Offset, Wanted,
-                                    Shards[C], Slot.Outcomes);
-            }
-          }
-        },
-        ChunkErrors);
-    // tryEvalSeed never throws, so captured chunk errors are unexpected
-    // (e.g. bad_alloc sizing a slot vector). Log and keep going: the
-    // chunk's seeds merge as skipped instead of aborting the wave.
-    for (size_t C = 0; C != NumChunks; ++C) {
-      if (!ChunkErrors[C])
-        continue;
-      uint64_t Begin = WaveBegin + C * PhaseOneChunk;
-      Evals[C].resize(std::min(WaveEnd, Begin + PhaseOneChunk) - Begin);
-      try {
-        std::rethrow_exception(ChunkErrors[C]);
-      } catch (const std::exception &E) {
-        std::fprintf(stderr,
-                     "brainy: phase I: chunk at seed %llu failed: %s\n",
-                     static_cast<unsigned long long>(Options.FirstSeed +
-                                                     Begin),
-                     E.what());
-        // brainy-lint: allow(catch-all): classification tail of a
-        // rethrow_exception switch; the chunk is already recorded failed.
-      } catch (...) {
-        std::fprintf(stderr, "brainy: phase I: chunk at seed %llu failed\n",
-                     static_cast<unsigned long long>(Options.FirstSeed +
-                                                     Begin));
-      }
-    }
-
-    for (MeasurementCache::Shard &S : Shards)
-      Cache.merge(std::move(S));
     bool Stopped = false;
     for (uint64_t Offset = WaveBegin; Offset != WaveEnd && !Stopped;
          ++Offset) {
-      size_t C = static_cast<size_t>((Offset - WaveBegin) / PhaseOneChunk);
-      size_t I = static_cast<size_t>((Offset - WaveBegin) % PhaseOneChunk);
       uint64_t Seed = Options.FirstSeed + Offset;
-      const SeedEval &Slot = Evals[C][I];
+      const SeedEvalResult &Slot = Evals[Offset - WaveBegin];
       if (!Slot.Ok) {
         // Same decision order as the serial loop: stop if every family is
         // already full, otherwise record the skip and move on.

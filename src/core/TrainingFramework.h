@@ -35,6 +35,58 @@
 
 namespace brainy {
 
+/// Seeds per Phase I worker chunk — the unit of dispatch for both the local
+/// thread pool and the distributed coordinator (DESIGN.md §7, §10). Purely a
+/// scheduling knob: results are identical for any value, it only balances
+/// claim overhead against tail waste.
+constexpr uint64_t PhaseOneChunk = 16;
+
+/// One seed's Phase I evaluation for one family, computed from pure
+/// measurements only (no dependence on win-count state). This is the unit
+/// that crosses the distributed wire: outcomes are a pure function of
+/// (seed, config, machine), so where they were computed cannot matter.
+struct SeedOutcome {
+  bool Matched = false;
+  DsKind Best = DsKind::Vector;
+  double Margin = 0;
+  unsigned NumCandidates = 0;
+};
+
+/// A seed's evaluation slot as produced by local chunk workers or streamed
+/// back from distributed ones. Ok=false means the seed is skipped — the
+/// default, so a chunk that dies mid-flight (worker loss, transport error)
+/// leaves its unevaluated seeds skipped rather than poisoning the wave.
+struct SeedEvalResult {
+  bool Ok = false;
+  std::array<SeedOutcome, NumModelKinds> Outcomes{};
+};
+
+/// Evaluates Phase I waves on behalf of the framework — the seam between
+/// core and src/distributed/ (which implements it with worker processes)
+/// kept abstract here so core never depends on the transport layer.
+///
+/// The contract mirrors the local wave loop: evalWave receives a chunk-
+/// aligned seed range and a dispatch-time Wanted snapshot, evaluates every
+/// seed purely, and returns one slot per seed in seed order. Slots for
+/// seeds lost to worker death/timeout come back Ok=false and turn into
+/// PhaseOneResult::SkippedSeeds during the ordered merge, exactly like a
+/// locally failed evaluation.
+class ChunkEvalService {
+public:
+  virtual ~ChunkEvalService() = default;
+
+  /// Number of chunk evaluators: one wave spans width() * PhaseOneChunk
+  /// seeds (the local loop's jobs() analogue).
+  virtual unsigned width() const = 0;
+
+  /// Evaluates seeds [\p BeginSeed, \p EndSeed) against \p Wanted.
+  /// Returns EndSeed - BeginSeed slots in seed order; a short reply is
+  /// treated as trailing skips by the caller.
+  virtual std::vector<SeedEvalResult>
+  evalWave(uint64_t BeginSeed, uint64_t EndSeed,
+           const std::array<bool, NumModelKinds> &Wanted) = 0;
+};
+
 /// Knobs for both training phases.
 struct TrainOptions {
   AppConfig GenConfig;
@@ -68,6 +120,13 @@ struct TrainOptions {
   /// worker-loss hook for distributed Phase I, and how fault-run
   /// determinism is asserted in tests.
   std::set<uint64_t> ExcludeSeeds;
+  /// When set, Phase I wave evaluation is delegated to this service — in
+  /// practice a dist::Coordinator fanning chunks out to worker processes —
+  /// instead of the local thread pool; Jobs then governs only Phase II and
+  /// model training. Non-owning: the service must outlive the framework.
+  /// The ordered merge is shared with the local path, so results stay
+  /// bit-identical to Jobs=1 minus any seeds the service reports lost.
+  ChunkEvalService *Distribution = nullptr;
   /// Network hyperparameters for the final model.
   NetConfig Net;
 };
@@ -137,19 +196,14 @@ public:
   /// guarded by PoolMutex, so first use may come from any thread.
   ThreadPool &pool() const;
 
-  /// The shared (seed, kind) -> cycles memo (exposed for tests/benches).
+  /// The shared (seed, kind) -> cycles memo (exposed for tests/benches,
+  /// and — non-const — for the distributed worker's remote cache tier).
   const MeasurementCache &measurements() const { return Cache; }
+  MeasurementCache &measurements() { return Cache; }
 
-private:
-  /// One seed's Phase I evaluation for one family, computed from pure
-  /// measurements only (no dependence on win-count state).
-  struct SeedOutcome {
-    bool Matched = false;
-    DsKind Best = DsKind::Vector;
-    double Margin = 0;
-    unsigned NumCandidates = 0;
-  };
-
+  /// One seed's pure Phase I evaluation. Public for the distributed worker
+  /// runtime, which evaluates chunks through exactly this entry point so a
+  /// remote seed's outcome is the same bits a local run would produce.
   std::array<SeedOutcome, NumModelKinds>
   evalSeed(uint64_t Seed, const std::array<bool, NumModelKinds> &Wanted,
            MeasurementCache::Shard &Shard) const;
@@ -157,11 +211,20 @@ private:
   /// evalSeed with the fault-isolation wrapper: excluded seeds are refused
   /// immediately; a throwing evaluation (injected or real) is retried up
   /// to Options.EvalRetries times, then logged and reported as failed.
-  /// Never throws. Returns false when the seed must be skipped.
+  /// Never throws. Returns false when the seed must be skipped. Public for
+  /// the distributed worker runtime (same rationale as evalSeed).
   bool tryEvalSeed(uint64_t Seed,
                    const std::array<bool, NumModelKinds> &Wanted,
                    MeasurementCache::Shard &Shard,
                    std::array<SeedOutcome, NumModelKinds> &Out) const;
+
+private:
+  /// The local wave evaluator: Width chunks of PhaseOneChunk seeds fanned
+  /// over pool() into private cache shards, merged back before returning.
+  /// Offsets are relative to Options.FirstSeed.
+  std::vector<SeedEvalResult>
+  evalWaveLocal(uint64_t WaveBegin, uint64_t WaveEnd,
+                const std::array<bool, NumModelKinds> &Wanted) const;
 
   std::array<PhaseOneResult, NumModelKinds>
   phaseOneImpl(const std::vector<ModelKind> &Models,

@@ -1,0 +1,178 @@
+//===- distributed/Coordinator.cpp ----------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "distributed/Coordinator.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+
+using namespace brainy;
+using namespace brainy::dist;
+
+Coordinator::Coordinator(const MachineConfig &Machine,
+                         const TrainOptions &Options, unsigned NumWorkers,
+                         WorkerLauncher Launcher, int ChunkTimeoutMs)
+    : NumWorkers(NumWorkers ? NumWorkers : 1), Launcher(std::move(Launcher)),
+      ChunkTimeoutMs(ChunkTimeoutMs), Slots(this->NumWorkers),
+      Drivers(this->NumWorkers - 1) {
+  InitContext.Machine = Machine;
+  InitContext.Config = Options.GenConfig;
+  InitContext.EvalRetries = Options.EvalRetries;
+  InitContext.ExcludeSeeds.assign(Options.ExcludeSeeds.begin(),
+                                  Options.ExcludeSeeds.end());
+  // A worker dying mid-write must surface as EPIPE on the transport, not
+  // kill the coordinator process.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+Coordinator::~Coordinator() {
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    Slot &S = Slots[I];
+    if (S.Alive && S.Conn.Link) {
+      try {
+        sendFrame(*S.Conn.Link, encodeShutdown());
+      } catch (const std::exception &) {
+        // brainy-lint: allow(catch-all): best-effort goodbye on teardown;
+        // the worker is reaped unconditionally below.
+      } catch (...) {
+      }
+    }
+    dropWorker(I);
+  }
+}
+
+bool Coordinator::ensureWorker(unsigned I) {
+  Slot &S = Slots[I];
+  if (S.Alive)
+    return true;
+  try {
+    S.Conn = Launcher();
+    if (!S.Conn.Link)
+      throw ErrorException(
+          Error(ErrCode::IoError, "launcher returned no transport"));
+    if (S.EverSpawned)
+      Respawns.fetch_add(1, std::memory_order_relaxed);
+    S.EverSpawned = true;
+    sendFrame(*S.Conn.Link, encodeInit(InitContext));
+    S.Alive = true;
+    return true;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "brainy: coordinator: worker %u spawn failed: %s\n",
+                 I, E.what());
+    // brainy-lint: allow(catch-all): spawn failure is reported via the
+    // return value and costs one chunk, not the run.
+  } catch (...) {
+    std::fprintf(stderr, "brainy: coordinator: worker %u spawn failed\n", I);
+  }
+  dropWorker(I);
+  return false;
+}
+
+void Coordinator::dropWorker(unsigned I) {
+  Slot &S = Slots[I];
+  S.Alive = false;
+  // Close the link first so a worker blocked on the transport unblocks
+  // (EOF/EPIPE), then reap it (waitpid / join).
+  S.Conn.Link.reset();
+  if (S.Conn.Terminate) {
+    S.Conn.Terminate();
+    S.Conn.Terminate = nullptr;
+  }
+}
+
+bool Coordinator::runChunk(unsigned I, uint64_t BeginSeed, uint64_t EndSeed,
+                           const std::array<bool, NumModelKinds> &Wanted,
+                           std::vector<SeedEvalResult> &Out) {
+  if (!ensureWorker(I))
+    return false;
+  Slot &S = Slots[I];
+  try {
+    EvalChunkMsg Req;
+    Req.BeginSeed = BeginSeed;
+    Req.EndSeed = EndSeed;
+    Req.Wanted = Wanted;
+    sendFrame(*S.Conn.Link, encodeEvalChunk(Req));
+    std::string Payload;
+    while (true) {
+      if (!recvFrame(*S.Conn.Link, Payload, ChunkTimeoutMs))
+        throw ErrorException(
+            Error(ErrCode::IoError, "worker closed the stream mid-chunk"));
+      switch (payloadKind(Payload)) {
+      case MsgKind::CacheGet: {
+        // Serve the shared cache. Whether a lookup hits can depend on how
+        // far other chunks have merged — but measurements are pure, so a
+        // miss only re-measures the identical value; no outcome bit can
+        // depend on this timing.
+        CacheGetMsg Get = decodeCacheGet(Payload);
+        CacheHitMsg Hit;
+        Hit.Found = Cache.lookupAll(Get.Seed, Hit.Rec);
+        sendFrame(*S.Conn.Link, encodeCacheHit(Hit));
+        break;
+      }
+      case MsgKind::ChunkDone: {
+        ChunkDoneMsg Done = decodeChunkDone(Payload);
+        if (Done.BeginSeed != BeginSeed ||
+            Done.Slots.size() != static_cast<size_t>(EndSeed - BeginSeed))
+          throw ErrorException(Error(
+              ErrCode::BadFormat, "ChunkDone does not match the request"));
+        for (const CycleRecord &Rec : Done.Fresh)
+          Cache.mergeRecord(Rec);
+        Out = std::move(Done.Slots);
+        return true;
+      }
+      default:
+        throw ErrorException(
+            Error(ErrCode::BadFormat,
+                  "unexpected message while awaiting ChunkDone"));
+      }
+    }
+  } catch (const std::exception &E) {
+    std::fprintf(
+        stderr,
+        "brainy: coordinator: worker %u lost on chunk [%llu, %llu): %s\n", I,
+        static_cast<unsigned long long>(BeginSeed),
+        static_cast<unsigned long long>(EndSeed), E.what());
+    // brainy-lint: allow(catch-all): the documented worker-loss path —
+    // the chunk is reported lost via the return value and its seeds
+    // become SkippedSeeds, so nothing is silently swallowed.
+  } catch (...) {
+    std::fprintf(stderr,
+                 "brainy: coordinator: worker %u lost on chunk [%llu, %llu)\n",
+                 I, static_cast<unsigned long long>(BeginSeed),
+                 static_cast<unsigned long long>(EndSeed));
+  }
+  dropWorker(I);
+  return false;
+}
+
+std::vector<SeedEvalResult>
+Coordinator::evalWave(uint64_t BeginSeed, uint64_t EndSeed,
+                      const std::array<bool, NumModelKinds> &Wanted) {
+  size_t NumSeeds = static_cast<size_t>(EndSeed - BeginSeed);
+  size_t NumChunks = (NumSeeds + PhaseOneChunk - 1) / PhaseOneChunk;
+  std::vector<SeedEvalResult> Evals(NumSeeds);
+  // Chunk C goes to worker C (the framework sizes waves to width()
+  // chunks, so C < NumWorkers; the modulo is a guard). Each driver writes
+  // a disjoint slice of Evals and parallelFor joins before we return.
+  Drivers.parallelFor(0, NumChunks, [&](size_t C) {
+    uint64_t Begin = BeginSeed + C * PhaseOneChunk;
+    uint64_t End = std::min(EndSeed, Begin + PhaseOneChunk);
+    std::vector<SeedEvalResult> Out;
+    if (runChunk(static_cast<unsigned>(C % NumWorkers), Begin, End, Wanted,
+                 Out)) {
+      std::move(Out.begin(), Out.end(),
+                Evals.begin() + static_cast<size_t>(Begin - BeginSeed));
+    } else {
+      // The chunk's slots stay Ok=false: the merge skips these seeds,
+      // exactly as if they had been excluded up front.
+      LostSeeds.fetch_add(End - Begin, std::memory_order_relaxed);
+    }
+  });
+  return Evals;
+}

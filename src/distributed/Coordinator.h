@@ -1,0 +1,137 @@
+//===- distributed/Coordinator.h - Phase I chunk coordinator ---*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator half of distributed Phase I (DESIGN.md §10): a
+/// ChunkEvalService that fans each wave's chunks out to a fleet of
+/// workers, serves them shared MeasurementCache lookups over the same
+/// transport, and converts worker death or timeout into skipped seeds —
+/// the chunk's slots come back Ok=false, the framework's ordered merge
+/// records them as PhaseOneResult::SkippedSeeds, and the surviving result
+/// is bit-identical to a serial run whose seed stream never contained
+/// those seeds (the ExcludeSeeds equivalence, asserted in tests and CI).
+///
+/// Worker supply is abstracted behind WorkerLauncher, so the same
+/// coordinator drives `brainy worker` subprocesses (production), plain
+/// threads (tests/benches), and — once a TCP transport exists — remote
+/// hosts. A worker that dies is respawned lazily before the next chunk it
+/// would receive; the chunk it died on is never re-dispatched, so a
+/// deterministic worker-loss fault cannot kill its replacement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_DISTRIBUTED_COORDINATOR_H
+#define BRAINY_DISTRIBUTED_COORDINATOR_H
+
+#include "core/MeasurementCache.h"
+#include "core/TrainingFramework.h"
+#include "distributed/Transport.h"
+#include "distributed/WireFormat.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+namespace brainy {
+namespace dist {
+
+/// One live worker as produced by a launcher: its transport, plus a
+/// reaper that must release the underlying resource (kill+waitpid a
+/// subprocess, join a thread) after the link has been dropped.
+struct WorkerConnection {
+  std::unique_ptr<Transport> Link;
+  std::function<void()> Terminate;
+};
+
+/// Spawns one worker. Called lazily — on first use and after a death —
+/// from coordinator driver threads; throws on spawn failure (the chunk is
+/// then skipped, not fatal).
+using WorkerLauncher = std::function<WorkerConnection()>;
+
+/// Drives \p NumWorkers workers as the framework's Phase I wave
+/// evaluator. Thread contract: evalWave runs chunk drivers on an internal
+/// pool, one per worker, each owning its worker's transport exclusively;
+/// the shared cache is the only cross-driver state and is internally
+/// locked. evalWave itself is called from a single thread (the
+/// framework's merge loop).
+class Coordinator : public ChunkEvalService {
+public:
+  /// Per-reply wait before a worker is declared dead. Generous: a chunk
+  /// is PhaseOneChunk seed evaluations, normally milliseconds.
+  static constexpr int DefaultChunkTimeoutMs = 120000;
+
+  /// \p Options supplies the evaluation context workers are initialised
+  /// with (GenConfig, EvalRetries, ExcludeSeeds); scheduling fields (Jobs,
+  /// Distribution) are ignored here.
+  Coordinator(const MachineConfig &Machine, const TrainOptions &Options,
+              unsigned NumWorkers, WorkerLauncher Launcher,
+              int ChunkTimeoutMs = DefaultChunkTimeoutMs);
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator &) = delete;
+  Coordinator &operator=(const Coordinator &) = delete;
+
+  unsigned width() const override { return NumWorkers; }
+
+  std::vector<SeedEvalResult>
+  evalWave(uint64_t BeginSeed, uint64_t EndSeed,
+           const std::array<bool, NumModelKinds> &Wanted) override;
+
+  /// Seeds in chunks lost to worker death/timeout/spawn failure. They
+  /// surface as SkippedSeeds in the framework's result; this counter
+  /// feeds the CLI's loss report.
+  uint64_t lostSeeds() const {
+    return LostSeeds.load(std::memory_order_relaxed);
+  }
+  /// Workers relaunched after a death (first spawns not counted).
+  uint64_t respawns() const {
+    return Respawns.load(std::memory_order_relaxed);
+  }
+
+  /// The shared measurement cache served to workers (exposed for tests).
+  const MeasurementCache &cache() const { return Cache; }
+
+private:
+  struct Slot {
+    WorkerConnection Conn;
+    bool Alive = false;
+    bool EverSpawned = false;
+  };
+
+  /// Spawns + Inits slot \p I if it is not alive. Returns false (after
+  /// logging) when the launcher fails.
+  bool ensureWorker(unsigned I);
+  /// Drops the link, reaps the worker, marks the slot dead.
+  void dropWorker(unsigned I);
+  /// Full request/serve/reply cycle for one chunk on worker \p I. Returns
+  /// false — never throws — when the worker was lost; \p Out is then left
+  /// untouched (all-skipped).
+  bool runChunk(unsigned I, uint64_t BeginSeed, uint64_t EndSeed,
+                const std::array<bool, NumModelKinds> &Wanted,
+                std::vector<SeedEvalResult> &Out);
+
+  InitMsg InitContext;
+  unsigned NumWorkers;
+  WorkerLauncher Launcher;
+  int ChunkTimeoutMs;
+  /// The shared (config, machine, seed, kind) cache service. Internally
+  /// locked; served concurrently by all drivers during a wave.
+  MeasurementCache Cache;
+  /// Slot I is touched only by the driver that claimed chunk I of the
+  /// current wave — drivers partition slots, so no lock is needed.
+  std::vector<Slot> Slots;
+  /// NumWorkers-1 threads; the calling thread participates, giving one
+  /// driver per worker.
+  ThreadPool Drivers;
+  std::atomic<uint64_t> LostSeeds{0};
+  std::atomic<uint64_t> Respawns{0};
+};
+
+} // namespace dist
+} // namespace brainy
+
+#endif // BRAINY_DISTRIBUTED_COORDINATOR_H

@@ -1,0 +1,104 @@
+//===- distributed/Launch.cpp ---------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "distributed/Launch.h"
+
+#include "distributed/Worker.h"
+#include "support/Error.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace brainy;
+using namespace brainy::dist;
+
+namespace {
+
+void makeSocketpair(int Fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+    throw ErrorException(
+        Error(ErrCode::IoError,
+              std::string("socketpair: ") + std::strerror(errno)));
+}
+
+} // namespace
+
+WorkerLauncher dist::processLauncher(std::string ExePath) {
+  return [ExePath]() -> WorkerConnection {
+    int Fds[2];
+    makeSocketpair(Fds);
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      int Saved = errno;
+      ::close(Fds[0]);
+      ::close(Fds[1]);
+      throw ErrorException(Error(
+          ErrCode::IoError, std::string("fork: ") + std::strerror(Saved)));
+    }
+    if (Pid == 0) {
+      // Child: the worker reads requests on stdin and writes replies on
+      // stdout (both the socketpair end); stderr stays inherited for
+      // logs. Only async-signal-safe calls between fork and exec.
+      ::close(Fds[0]);
+      if (::dup2(Fds[1], 0) < 0 || ::dup2(Fds[1], 1) < 0)
+        ::_exit(127);
+      ::close(Fds[1]);
+      ::execl(ExePath.c_str(), ExePath.c_str(), "worker",
+              static_cast<char *>(nullptr));
+      ::_exit(127); // exec failed; the coordinator sees EOF and logs it
+    }
+    ::close(Fds[1]);
+    WorkerConnection Conn;
+    Conn.Link = std::make_unique<FdTransport>(Fds[0], Fds[0], /*Owned=*/true);
+    Conn.Terminate = [Pid] {
+      // The link is already closed; a healthy worker is exiting on EOF,
+      // a wedged one is killed. Reap either way.
+      ::kill(Pid, SIGKILL);
+      int Status = 0;
+      while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+      }
+    };
+    return Conn;
+  };
+}
+
+WorkerLauncher dist::threadLauncher() {
+  return []() -> WorkerConnection {
+    int Fds[2];
+    makeSocketpair(Fds);
+
+    // The thread owns its transport end and must drop it the moment
+    // serveWorker returns: a simulated crash only looks like a crash to
+    // the coordinator once the descriptor actually closes.
+    struct ThreadWorker {
+      std::unique_ptr<FdTransport> End;
+      std::thread Runner;
+    };
+    auto State = std::make_shared<ThreadWorker>();
+    State->End = std::make_unique<FdTransport>(Fds[1], Fds[1], /*Owned=*/true);
+    State->Runner = std::thread([State] {
+      serveWorker(*State->End);
+      State->End.reset();
+    });
+
+    WorkerConnection Conn;
+    Conn.Link = std::make_unique<FdTransport>(Fds[0], Fds[0], /*Owned=*/true);
+    Conn.Terminate = [State] {
+      // The coordinator closed its end first, so the worker sees EOF and
+      // serveWorker returns; this join cannot hang.
+      State->Runner.join();
+    };
+    return Conn;
+  };
+}

@@ -1,0 +1,45 @@
+//===- distributed/Launch.h - Worker launchers -----------------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two built-in WorkerLauncher factories (DESIGN.md §10):
+///
+///  * processLauncher — fork/exec `<exe> worker` subprocesses talking over
+///    a socketpair wired to the child's stdin/stdout. The production
+///    shape: a worker crash is a real process death, isolated from the
+///    coordinator.
+///  * threadLauncher — serveWorker on an in-process thread over a
+///    socketpair. Same protocol, no exec dependency; what tests and
+///    benches use, and the fallback wherever spawning is unavailable.
+///
+/// A TCP launcher slots in beside these without touching the coordinator:
+/// it only needs to produce a connected Transport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_DISTRIBUTED_LAUNCH_H
+#define BRAINY_DISTRIBUTED_LAUNCH_H
+
+#include "distributed/Coordinator.h"
+
+#include <string>
+
+namespace brainy {
+namespace dist {
+
+/// Launcher that spawns `ExePath worker` subprocesses (the hidden CLI
+/// subcommand) over a socketpair. Terminate SIGKILLs and reaps the child;
+/// stderr is inherited so worker logs interleave with the coordinator's.
+WorkerLauncher processLauncher(std::string ExePath);
+
+/// Launcher that runs serveWorker on a plain in-process thread over a
+/// socketpair. Terminate joins the thread.
+WorkerLauncher threadLauncher();
+
+} // namespace dist
+} // namespace brainy
+
+#endif // BRAINY_DISTRIBUTED_LAUNCH_H

@@ -1,0 +1,73 @@
+//===- distributed/Transport.h - Worker link abstraction -------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream link between the Phase I coordinator and one worker
+/// (DESIGN.md §10). Everything above this interface — framing, messages,
+/// the coordinator's failure handling — is transport-agnostic, so the
+/// local-process FdTransport (pipes / socketpairs) can be joined by a TCP
+/// backend without touching the protocol layer.
+///
+/// Failure vocabulary: a clean end-of-stream before any byte of a read is
+/// the normal "peer went away" signal and is reported via the return
+/// value; everything else — short reads mid-datum, timeouts, OS errors —
+/// throws ErrorException, which the coordinator converts into a failed
+/// chunk (skipped seeds) and the worker into a quiet exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_DISTRIBUTED_TRANSPORT_H
+#define BRAINY_DISTRIBUTED_TRANSPORT_H
+
+#include <cstddef>
+
+namespace brainy {
+namespace dist {
+
+/// A reliable, ordered byte stream to one peer.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Writes exactly \p Size bytes. Throws ErrorException(IoError) on any
+  /// failure (including the peer having closed the stream).
+  virtual void writeAll(const void *Data, size_t Size) = 0;
+
+  /// Reads exactly \p Size bytes, waiting up to \p TimeoutMs for each
+  /// piece to arrive (negative = wait forever). Returns false on a clean
+  /// end-of-stream before the first byte; throws ErrorException on
+  /// timeout (IoError), OS error (IoError), or end-of-stream mid-datum
+  /// (Truncated).
+  virtual bool readAll(void *Data, size_t Size, int TimeoutMs) = 0;
+};
+
+/// Transport over POSIX file descriptors — a socketpair end, a pipe pair,
+/// or the worker subprocess's inherited stdin/stdout. Read timeouts are
+/// implemented with poll(), so a hung or dead peer cannot wedge the
+/// coordinator.
+class FdTransport : public Transport {
+public:
+  /// Wraps \p ReadFd / \p WriteFd (they may be the same descriptor, e.g. a
+  /// socketpair end). When \p Owned, the destructor closes them.
+  FdTransport(int ReadFd, int WriteFd, bool Owned);
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport &) = delete;
+  FdTransport &operator=(const FdTransport &) = delete;
+
+  void writeAll(const void *Data, size_t Size) override;
+  bool readAll(void *Data, size_t Size, int TimeoutMs) override;
+
+private:
+  int ReadFd;
+  int WriteFd;
+  bool Owned;
+};
+
+} // namespace dist
+} // namespace brainy
+
+#endif // BRAINY_DISTRIBUTED_TRANSPORT_H

@@ -1,0 +1,137 @@
+//===- distributed/WireFormat.h - Coordinator/worker protocol --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message vocabulary and framing of the distributed Phase I protocol
+/// (DESIGN.md §10). Every message travels in a length-prefixed,
+/// CRC32-framed envelope — the same checksum discipline as the v2 model
+/// bundle, so a torn or corrupted stream is detected at the frame layer
+/// rather than misparsed:
+///
+///   [u32 payload length][u32 CRC32(payload)][payload bytes]
+///
+/// all fixed-width integers little-endian, doubles as their IEEE-754 bit
+/// pattern in a u64. The payload's first byte is the MsgKind.
+///
+/// Conversation shape (one coordinator thread per worker, strictly
+/// request/response from the coordinator's side):
+///
+///   coordinator -> worker:  Init, then per chunk EvalChunk, finally
+///                           Shutdown.
+///   worker -> coordinator:  zero or more CacheGet (answered inline with
+///                           CacheHit) followed by exactly one ChunkDone
+///                           per EvalChunk.
+///
+/// Init re-states the full evaluation context — wire magic, machine
+/// model, generator config, retry policy, excluded seeds — so a worker is
+/// a pure function of its byte stream: the cache key (config, machine,
+/// seed, kind) has config and machine pinned per connection, leaving
+/// (seed, kind) on the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_DISTRIBUTED_WIREFORMAT_H
+#define BRAINY_DISTRIBUTED_WIREFORMAT_H
+
+#include "appgen/AppConfig.h"
+#include "core/TrainingFramework.h"
+#include "distributed/Transport.h"
+#include "machine/MachineModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brainy {
+namespace dist {
+
+/// Protocol identifier carried inside Init. Bump the suffix on any
+/// incompatible change.
+inline constexpr const char *WireMagic = "brainy-wire-v1";
+
+/// First payload byte of every message.
+enum class MsgKind : uint8_t {
+  Init = 1,
+  EvalChunk,
+  CacheGet,
+  CacheHit,
+  ChunkDone,
+  Shutdown,
+};
+
+/// Coordinator -> worker, once per connection: the full evaluation
+/// context.
+struct InitMsg {
+  MachineConfig Machine;
+  AppConfig Config;
+  unsigned EvalRetries = 2;
+  /// Sorted; mirrors TrainOptions::ExcludeSeeds so a remote evaluation
+  /// refuses exactly the seeds a local one would.
+  std::vector<uint64_t> ExcludeSeeds;
+};
+
+/// Coordinator -> worker: evaluate seeds [BeginSeed, EndSeed) against the
+/// dispatch-time Wanted snapshot.
+struct EvalChunkMsg {
+  uint64_t BeginSeed = 0;
+  uint64_t EndSeed = 0;
+  std::array<bool, NumModelKinds> Wanted{};
+};
+
+/// Worker -> coordinator: ask the shared measurement cache about a seed.
+struct CacheGetMsg {
+  uint64_t Seed = 0;
+};
+
+/// Coordinator -> worker: everything the shared cache knows about the
+/// requested seed (Found=false on a miss).
+struct CacheHitMsg {
+  bool Found = false;
+  CycleRecord Rec;
+};
+
+/// Worker -> coordinator: one slot per seed of the chunk in seed order,
+/// plus the measurements the worker performed itself (remote hits
+/// excluded), for folding into the shared cache.
+struct ChunkDoneMsg {
+  uint64_t BeginSeed = 0;
+  std::vector<SeedEvalResult> Slots;
+  std::vector<CycleRecord> Fresh;
+};
+
+/// Wraps \p Payload in the length+CRC32 envelope and writes it.
+void sendFrame(Transport &T, const std::string &Payload);
+
+/// Reads one frame into \p Out. Returns false on a clean end-of-stream at
+/// a frame boundary; throws ErrorException on timeout, truncation inside
+/// a frame, an implausible length (BadFormat), or a CRC mismatch
+/// (BadChecksum).
+bool recvFrame(Transport &T, std::string &Out, int TimeoutMs);
+
+/// The MsgKind of a decoded payload (throws BadFormat when empty or
+/// unrecognised).
+MsgKind payloadKind(const std::string &Payload);
+
+std::string encodeInit(const InitMsg &M);
+std::string encodeEvalChunk(const EvalChunkMsg &M);
+std::string encodeCacheGet(const CacheGetMsg &M);
+std::string encodeCacheHit(const CacheHitMsg &M);
+std::string encodeChunkDone(const ChunkDoneMsg &M);
+std::string encodeShutdown();
+
+/// Decoders throw ErrorException — BadFormat for a wrong kind byte or
+/// malformed structure, Truncated for a payload that ends early, BadMagic
+/// when Init carries an unknown wire magic.
+InitMsg decodeInit(const std::string &Payload);
+EvalChunkMsg decodeEvalChunk(const std::string &Payload);
+CacheGetMsg decodeCacheGet(const std::string &Payload);
+CacheHitMsg decodeCacheHit(const std::string &Payload);
+ChunkDoneMsg decodeChunkDone(const std::string &Payload);
+
+} // namespace dist
+} // namespace brainy
+
+#endif // BRAINY_DISTRIBUTED_WIREFORMAT_H

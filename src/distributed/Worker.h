@@ -1,0 +1,57 @@
+//===- distributed/Worker.h - Phase I worker runtime -----------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of distributed Phase I (DESIGN.md §10): a loop that
+/// receives an Init context, then evaluates EvalChunk requests purely —
+/// through exactly the TrainingFramework::tryEvalSeed entry point a local
+/// run uses — and streams ChunkDone replies back. The worker's
+/// MeasurementCache is remote-backed: before measuring a seed it asks the
+/// coordinator's shared cache (CacheGet/CacheHit), and every measurement
+/// it performs itself rides home in the ChunkDone.
+///
+/// serveWorker is transport- and launch-agnostic: `brainy worker` runs it
+/// as a subprocess over its inherited stdio descriptors, and tests/benches
+/// run it on a plain thread over a socketpair end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_DISTRIBUTED_WORKER_H
+#define BRAINY_DISTRIBUTED_WORKER_H
+
+#include "distributed/Transport.h"
+
+namespace brainy {
+namespace dist {
+
+/// Why serveWorker returned.
+enum class WorkerExit {
+  /// The coordinator sent Shutdown (or closed the stream at a frame
+  /// boundary): the normal end of life.
+  Shutdown,
+  /// A BRAINY_FAULT=worker:... probe fired on chunk receipt. The caller
+  /// must drop the transport abruptly — without a ChunkDone — so the
+  /// coordinator sees a genuine worker death.
+  SimulatedCrash,
+  /// The transport failed mid-protocol (coordinator died, stream
+  /// corrupted). Details were logged to stderr.
+  TransportLost,
+};
+
+/// Runs the worker protocol over \p T until shutdown, crash simulation,
+/// or transport loss. Never throws.
+///
+/// Worker-loss faults are keyed by the chunk's first seed (site `worker`,
+/// DESIGN.md §8/§10), so which chunks die is a pure function of the fault
+/// spec — independent of the worker count and of which worker drew the
+/// chunk — which is what makes fault runs reproducible and testable
+/// against ExcludeSeeds.
+WorkerExit serveWorker(Transport &T);
+
+} // namespace dist
+} // namespace brainy
+
+#endif // BRAINY_DISTRIBUTED_WORKER_H

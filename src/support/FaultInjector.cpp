@@ -20,6 +20,8 @@ const char *brainy::faultSiteName(FaultSite Site) {
     return "eval";
   case FaultSite::CacheLookup:
     return "cache";
+  case FaultSite::WorkerLoss:
+    return "worker";
   }
   return "?";
 }

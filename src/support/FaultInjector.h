@@ -11,9 +11,11 @@
 ///   BRAINY_FAULT=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
 ///
 /// where <site> is `io` (file open/read/write/rename), `eval` (seed
-/// evaluation and Phase II profiling), or `cache` (measurement-cache
-/// lookups, simulating a corrupt cached entry), <rate> is a failure
-/// probability in [0, 1], and <seed> picks the deterministic stream.
+/// evaluation and Phase II profiling), `cache` (measurement-cache
+/// lookups, simulating a corrupt cached entry), or `worker` (a
+/// distributed Phase I worker dying abruptly on chunk receipt), <rate> is
+/// a failure probability in [0, 1], and <seed> picks the deterministic
+/// stream.
 /// Whether a given probe fails is a pure function of (site seed, key,
 /// salt) — never of timing or thread schedule — so a fault run is exactly
 /// reproducible, at any job count (DESIGN.md §8).
@@ -37,10 +39,14 @@ enum class FaultSite : unsigned {
   FileIo = 0,
   Eval,
   CacheLookup,
+  /// A distributed Phase I worker process/thread crashing hard on chunk
+  /// receipt (keyed by the chunk's first seed, so which chunks are lost is
+  /// independent of the worker count and of which worker drew the chunk).
+  WorkerLoss,
 };
-constexpr unsigned NumFaultSites = 3;
+constexpr unsigned NumFaultSites = 4;
 
-/// "io" / "eval" / "cache".
+/// "io" / "eval" / "cache" / "worker".
 const char *faultSiteName(FaultSite Site);
 
 /// Process-wide injector. Reads BRAINY_FAULT lazily on first use; tests

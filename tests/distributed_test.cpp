@@ -1,0 +1,383 @@
+//===- tests/distributed_test.cpp - Distributed Phase I -------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The distributed training subsystem's contracts (DESIGN.md §10):
+//
+//  * the wire format round-trips every message, and the frame layer
+//    rejects truncated and corrupted streams via length+CRC32;
+//  * a coordinator-driven run merges bit-identically to the serial run
+//    for any worker count;
+//  * worker loss (BRAINY_FAULT=worker:...) degrades to SkippedSeeds, and
+//    the surviving result equals a clean run with the lost seeds
+//    pre-declared in TrainOptions::ExcludeSeeds;
+//  * the remote-backed MeasurementCache tier serves hits into shards
+//    without echoing them back as fresh records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "distributed/Coordinator.h"
+#include "distributed/Launch.h"
+#include "distributed/WireFormat.h"
+#include "support/Error.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace brainy;
+using namespace brainy::dist;
+
+namespace {
+
+/// In-memory loopback: writes append to a buffer, reads consume it.
+/// Deterministic and corruptible — what the frame-layer tests need.
+class BufferTransport : public Transport {
+public:
+  void writeAll(const void *Data, size_t Size) override {
+    Buf.append(static_cast<const char *>(Data), Size);
+  }
+  bool readAll(void *Data, size_t Size, int /*TimeoutMs*/) override {
+    if (Pos == Buf.size())
+      return false;
+    if (Buf.size() - Pos < Size)
+      throw ErrorException(
+          Error(ErrCode::Truncated, "buffer ends mid-datum"));
+    std::memcpy(Data, Buf.data() + Pos, Size);
+    Pos += Size;
+    return true;
+  }
+
+  std::string Buf;
+  size_t Pos = 0;
+};
+
+struct FaultGuard {
+  explicit FaultGuard(const std::string &Spec) {
+    Error E = FaultInjector::instance().configure(Spec);
+    EXPECT_FALSE(E) << E.message();
+  }
+  ~FaultGuard() { FaultInjector::instance().clear(); }
+};
+
+TrainOptions tinyOptions() {
+  TrainOptions Opts;
+  Opts.TargetPerDs = 3;
+  Opts.MaxSeeds = 200;
+  Opts.GenConfig.TotalInterfCalls = 120;
+  Opts.GenConfig.MaxInitialSize = 200;
+  Opts.Net.Epochs = 10;
+  Opts.Jobs = 1;
+  return Opts;
+}
+
+using ResultArray = std::array<PhaseOneResult, NumModelKinds>;
+
+void expectSameResults(const ResultArray &A, const ResultArray &B) {
+  for (unsigned M = 0; M != NumModelKinds; ++M) {
+    EXPECT_EQ(A[M].SeedsScanned, B[M].SeedsScanned) << "family " << M;
+    EXPECT_EQ(A[M].MarginRejects, B[M].MarginRejects) << "family " << M;
+    EXPECT_EQ(A[M].SkippedSeeds, B[M].SkippedSeeds) << "family " << M;
+    ASSERT_EQ(A[M].SeedDsPairs.size(), B[M].SeedDsPairs.size())
+        << "family " << M;
+    for (size_t I = 0; I != A[M].SeedDsPairs.size(); ++I) {
+      EXPECT_EQ(A[M].SeedDsPairs[I].Seed, B[M].SeedDsPairs[I].Seed);
+      EXPECT_EQ(A[M].SeedDsPairs[I].BestDs, B[M].SeedDsPairs[I].BestDs);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+TEST(WireFormatTest, InitRoundTripsEveryField) {
+  InitMsg M;
+  M.Machine = MachineConfig::atom();
+  M.Config.TotalInterfCalls = 1234;
+  M.Config.DataElemSizes = {8, 24};
+  M.Config.MaxIterCount = 99;
+  M.Config.OrderObliviousProb = 0.25;
+  M.EvalRetries = 5;
+  M.ExcludeSeeds = {3, 17, 4096};
+
+  InitMsg Back = decodeInit(encodeInit(M));
+  EXPECT_EQ(Back.Machine.Name, M.Machine.Name);
+  EXPECT_EQ(Back.Machine.L1.SizeBytes, M.Machine.L1.SizeBytes);
+  EXPECT_EQ(Back.Machine.L2.Associativity, M.Machine.L2.Associativity);
+  EXPECT_EQ(Back.Machine.PrefetchDepth, M.Machine.PrefetchDepth);
+  EXPECT_EQ(Back.Machine.MemoryCycles, M.Machine.MemoryCycles);
+  EXPECT_EQ(Back.Machine.BaseCpi, M.Machine.BaseCpi);
+  EXPECT_EQ(Back.Config.TotalInterfCalls, M.Config.TotalInterfCalls);
+  EXPECT_EQ(Back.Config.DataElemSizes, M.Config.DataElemSizes);
+  EXPECT_EQ(Back.Config.MaxIterCount, M.Config.MaxIterCount);
+  EXPECT_EQ(Back.Config.OrderObliviousProb, M.Config.OrderObliviousProb);
+  EXPECT_EQ(Back.EvalRetries, M.EvalRetries);
+  EXPECT_EQ(Back.ExcludeSeeds, M.ExcludeSeeds);
+}
+
+TEST(WireFormatTest, InitRejectsWrongMagic) {
+  InitMsg M;
+  std::string Payload = encodeInit(M);
+  // The magic string starts after the kind byte and the length prefix.
+  Payload[5 + 1] ^= 0x20;
+  try {
+    decodeInit(Payload);
+    FAIL() << "corrupt magic decoded";
+  } catch (const ErrorException &E) {
+    EXPECT_EQ(E.error().code(), ErrCode::BadMagic);
+  }
+}
+
+TEST(WireFormatTest, EvalChunkAndCacheMessagesRoundTrip) {
+  EvalChunkMsg Chunk;
+  Chunk.BeginSeed = 97;
+  Chunk.EndSeed = 113;
+  Chunk.Wanted[1] = Chunk.Wanted[4] = true;
+  EvalChunkMsg ChunkBack = decodeEvalChunk(encodeEvalChunk(Chunk));
+  EXPECT_EQ(ChunkBack.BeginSeed, 97u);
+  EXPECT_EQ(ChunkBack.EndSeed, 113u);
+  EXPECT_EQ(ChunkBack.Wanted, Chunk.Wanted);
+
+  CacheGetMsg Get;
+  Get.Seed = 41;
+  EXPECT_EQ(decodeCacheGet(encodeCacheGet(Get)).Seed, 41u);
+
+  CacheHitMsg Miss;
+  EXPECT_FALSE(decodeCacheHit(encodeCacheHit(Miss)).Found);
+
+  CacheHitMsg Hit;
+  Hit.Found = true;
+  Hit.Rec.Seed = 41;
+  Hit.Rec.Mask = (1u << 0) | (1u << 3);
+  Hit.Rec.Cycles[0] = 123.5;
+  Hit.Rec.Cycles[3] = 88.25;
+  CacheHitMsg HitBack = decodeCacheHit(encodeCacheHit(Hit));
+  ASSERT_TRUE(HitBack.Found);
+  EXPECT_EQ(HitBack.Rec.Seed, 41u);
+  EXPECT_EQ(HitBack.Rec.Mask, Hit.Rec.Mask);
+  EXPECT_EQ(HitBack.Rec.Cycles[0], 123.5);
+  EXPECT_EQ(HitBack.Rec.Cycles[3], 88.25);
+}
+
+TEST(WireFormatTest, ChunkDoneRoundTripsSlotsAndFreshRecords) {
+  ChunkDoneMsg M;
+  M.BeginSeed = 17;
+  M.Slots.resize(3);
+  M.Slots[0].Ok = true;
+  M.Slots[0].Outcomes[2].Matched = true;
+  M.Slots[0].Outcomes[2].Best = DsKind::Deque;
+  M.Slots[0].Outcomes[2].Margin = 0.125;
+  M.Slots[0].Outcomes[2].NumCandidates = 3;
+  M.Slots[1].Ok = false; // a skipped seed travels too
+  M.Slots[2].Ok = true;
+  CycleRecord Rec;
+  Rec.Seed = 18;
+  Rec.Mask = 1u << 5;
+  Rec.Cycles[5] = 777.0;
+  M.Fresh.push_back(Rec);
+
+  ChunkDoneMsg Back = decodeChunkDone(encodeChunkDone(M));
+  EXPECT_EQ(Back.BeginSeed, 17u);
+  ASSERT_EQ(Back.Slots.size(), 3u);
+  EXPECT_TRUE(Back.Slots[0].Ok);
+  EXPECT_TRUE(Back.Slots[0].Outcomes[2].Matched);
+  EXPECT_EQ(Back.Slots[0].Outcomes[2].Best, DsKind::Deque);
+  EXPECT_EQ(Back.Slots[0].Outcomes[2].Margin, 0.125);
+  EXPECT_EQ(Back.Slots[0].Outcomes[2].NumCandidates, 3u);
+  EXPECT_FALSE(Back.Slots[1].Ok);
+  ASSERT_EQ(Back.Fresh.size(), 1u);
+  EXPECT_EQ(Back.Fresh[0].Seed, 18u);
+  EXPECT_EQ(Back.Fresh[0].Cycles[5], 777.0);
+}
+
+TEST(WireFormatTest, DecodersRejectWrongKindAndTrailingBytes) {
+  std::string Payload = encodeCacheGet(CacheGetMsg{});
+  EXPECT_THROW(decodeEvalChunk(Payload), ErrorException);
+  Payload.push_back('\0');
+  EXPECT_THROW(decodeCacheGet(Payload), ErrorException);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame layer
+//===----------------------------------------------------------------------===//
+
+TEST(FrameTest, RoundTripsPayloadsAndSignalsCleanEof) {
+  BufferTransport T;
+  sendFrame(T, "hello");
+  sendFrame(T, std::string("\x00\x01\x02", 3));
+  std::string Out;
+  ASSERT_TRUE(recvFrame(T, Out, -1));
+  EXPECT_EQ(Out, "hello");
+  ASSERT_TRUE(recvFrame(T, Out, -1));
+  EXPECT_EQ(Out, std::string("\x00\x01\x02", 3));
+  EXPECT_FALSE(recvFrame(T, Out, -1)) << "clean EOF at a frame boundary";
+}
+
+TEST(FrameTest, CorruptPayloadByteFailsTheCrc) {
+  BufferTransport T;
+  sendFrame(T, "determinism");
+  T.Buf[8 + 3] ^= 0x01; // flip one payload bit past the 8-byte header
+  std::string Out;
+  try {
+    recvFrame(T, Out, -1);
+    FAIL() << "corrupt frame accepted";
+  } catch (const ErrorException &E) {
+    EXPECT_EQ(E.error().code(), ErrCode::BadChecksum);
+  }
+}
+
+TEST(FrameTest, TruncatedFrameIsRejected) {
+  BufferTransport Full;
+  sendFrame(Full, "some payload bytes");
+  BufferTransport T;
+  T.Buf = Full.Buf.substr(0, Full.Buf.size() - 5);
+  std::string Out;
+  try {
+    recvFrame(T, Out, -1);
+    FAIL() << "truncated frame accepted";
+  } catch (const ErrorException &E) {
+    EXPECT_EQ(E.error().code(), ErrCode::Truncated);
+  }
+}
+
+TEST(FrameTest, ImplausibleLengthPrefixIsRejectedBeforeAllocation) {
+  BufferTransport T;
+  // Header claiming a ~4 GiB payload; must fail on the length check, not
+  // try to allocate it.
+  T.Buf.assign("\xff\xff\xff\xff\x00\x00\x00\x00", 8);
+  std::string Out;
+  try {
+    recvFrame(T, Out, -1);
+    FAIL() << "absurd frame length accepted";
+  } catch (const ErrorException &E) {
+    EXPECT_EQ(E.error().code(), ErrCode::BadFormat);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Remote-backed cache tier
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteCacheTest, ShardUsesRemoteHitsWithoutEchoingThemBack) {
+  MeasurementCache Remote;
+  CycleRecord Seeded;
+  Seeded.Seed = 7;
+  Seeded.Mask = 1u << 2;
+  Seeded.Cycles[2] = 42.0;
+  Remote.mergeRecord(Seeded);
+
+  MeasurementCache Local;
+  unsigned Fetches = 0;
+  Local.setRemoteTier([&](uint64_t Seed, CycleRecord &Out) {
+    ++Fetches;
+    return Remote.lookupAll(Seed, Out);
+  });
+
+  MeasurementCache::Shard Shard = Local.shard();
+  unsigned Measured = 0;
+  auto Measure = [&] {
+    ++Measured;
+    return 5.0;
+  };
+  // Remote hit: no local measurement, value comes from the remote tier.
+  EXPECT_EQ(Shard.cyclesOf(7, static_cast<DsKind>(2), Measure), 42.0);
+  EXPECT_EQ(Fetches, 1u);
+  EXPECT_EQ(Measured, 0u);
+  // Same seed, kind the remote lacks: measured locally, but the remote is
+  // not asked again for this seed (its map is frozen during a shard).
+  EXPECT_EQ(Shard.cyclesOf(7, static_cast<DsKind>(4), Measure), 5.0);
+  EXPECT_EQ(Fetches, 1u);
+  EXPECT_EQ(Measured, 1u);
+  // Remote miss on another seed: fetched once, then measured.
+  EXPECT_EQ(Shard.cyclesOf(9, static_cast<DsKind>(2), Measure), 5.0);
+  EXPECT_EQ(Fetches, 2u);
+  EXPECT_EQ(Measured, 2u);
+
+  // Fresh records report only local measurements — the remote hit for
+  // (7, kind 2) must not ride back.
+  std::vector<CycleRecord> Fresh = Shard.freshRecords(0, 16);
+  ASSERT_EQ(Fresh.size(), 2u);
+  EXPECT_EQ(Fresh[0].Seed, 7u);
+  EXPECT_EQ(Fresh[0].Mask, 1u << 4);
+  EXPECT_EQ(Fresh[1].Seed, 9u);
+  EXPECT_EQ(Fresh[1].Mask, 1u << 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinator determinism
+//===----------------------------------------------------------------------===//
+
+TEST(DistributedTrainingTest, MergeIdenticalAcrossWorkerCounts) {
+  MachineConfig MC = MachineConfig::core2();
+  TrainingFramework Serial(tinyOptions(), MC);
+  ResultArray Want = Serial.phaseOneAll();
+
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    TrainOptions Opts = tinyOptions();
+    Coordinator Coord(MC, Opts, Workers, threadLauncher());
+    Opts.Distribution = &Coord;
+    TrainingFramework Distributed(Opts, MC);
+    expectSameResults(Want, Distributed.phaseOneAll());
+    EXPECT_EQ(Coord.lostSeeds(), 0u) << Workers << " workers";
+    EXPECT_GT(Coord.cache().seeds(), 0u)
+        << "workers never fed the shared cache";
+  }
+}
+
+TEST(DistributedTrainingTest, ExcludedSeedsTravelToWorkers) {
+  MachineConfig MC = MachineConfig::core2();
+  TrainOptions Opts = tinyOptions();
+  Opts.ExcludeSeeds = {2, 3, 50};
+
+  TrainingFramework Serial(Opts, MC);
+  ResultArray Want = Serial.phaseOneAll();
+
+  Coordinator Coord(MC, Opts, 2, threadLauncher());
+  TrainOptions DistOpts = Opts;
+  DistOpts.Distribution = &Coord;
+  TrainingFramework Distributed(DistOpts, MC);
+  expectSameResults(Want, Distributed.phaseOneAll());
+}
+
+TEST(DistributedTrainingTest, WorkerLossEqualsExcludedSeeds) {
+  MachineConfig MC = MachineConfig::core2();
+
+  ResultArray Faulty;
+  uint64_t Lost = 0;
+  uint64_t Respawned = 0;
+  {
+    // Deterministic worker deaths, keyed by chunk first seed: the same
+    // chunks die at any worker count.
+    FaultGuard Guard("worker:0.3:11");
+    TrainOptions Opts = tinyOptions();
+    Coordinator Coord(MC, Opts, 3, threadLauncher());
+    Opts.Distribution = &Coord;
+    TrainingFramework FW(Opts, MC);
+    Faulty = FW.phaseOneAll();
+    Lost = Coord.lostSeeds();
+    Respawned = Coord.respawns();
+  }
+  ASSERT_GT(Lost, 0u) << "fault rate produced no worker deaths";
+  EXPECT_GT(Respawned, 0u) << "dead workers were never replaced";
+
+  std::set<uint64_t> Skipped;
+  for (unsigned M = 0; M != NumModelKinds; ++M)
+    Skipped.insert(Faulty[M].SkippedSeeds.begin(),
+                   Faulty[M].SkippedSeeds.end());
+  ASSERT_FALSE(Skipped.empty());
+
+  // The §10 acceptance property: the surviving merge equals a clean local
+  // run whose seed stream never contained the lost seeds.
+  TrainOptions CleanOpts = tinyOptions();
+  CleanOpts.ExcludeSeeds = Skipped;
+  TrainingFramework Clean(CleanOpts, MC);
+  expectSameResults(Faulty, Clean.phaseOneAll());
+}
+
+} // namespace

@@ -11,8 +11,10 @@
 //   brainy appgen --seed N [--ds KIND] [--config FILE] [-o FILE]
 //       emit one synthetic training application as compilable C++
 //   brainy train --machine NAME -o MODELS [--target N] [--seeds N]
-//                [--config FILE]
-//       run the two-phase training framework and save the model bundle
+//                [--config FILE] [--workers N]
+//       run the two-phase training framework and save the model bundle;
+//       --workers N shards Phase I over N worker subprocesses
+//       (bit-identical bundle, DESIGN.md §10)
 //   brainy trainset --machine NAME --model FAMILY -o FILE
 //       run Phases I+II for one family and write the training-set file
 //   brainy eval --models MODELS --trainset FILE
@@ -25,17 +27,24 @@
 
 #include "appgen/CppEmitter.h"
 #include "core/Brainy.h"
+#include "distributed/Coordinator.h"
+#include "distributed/Launch.h"
+#include "distributed/Worker.h"
 #include "support/Env.h"
 #include "support/FaultInjector.h"
 #include "survey/Survey.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace brainy;
 
@@ -117,7 +126,7 @@ int usage() {
       "  machines\n"
       "  appgen --seed N [--ds KIND] [--config FILE] [-o FILE]\n"
       "  train --machine core2|atom -o MODELS [--target N] [--seeds N]\n"
-      "        [--config FILE] [--jobs N]\n"
+      "        [--config FILE] [--jobs N] [--workers N]\n"
       "  trainset --machine core2|atom --model FAMILY -o FILE\n"
       "           [--target N] [--seeds N] [--config FILE] [--jobs N]\n"
       "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
@@ -188,7 +197,20 @@ int cmdAppgen(const Args &A) {
   return 0;
 }
 
-int cmdTrain(const Args &A) {
+/// The running binary's path, for respawning ourselves as `brainy worker`
+/// subprocesses. /proc/self/exe survives PATH-relative and $0-less
+/// invocations; argv[0] is the fallback.
+std::string selfExePath(const char *Argv0) {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return Buf;
+  }
+  return Argv0;
+}
+
+int cmdTrain(const Args &A, const std::string &ExePath) {
   MachineConfig Machine;
   if (!pickMachine(A.get("machine", "core2"), Machine))
     return usage();
@@ -202,12 +224,28 @@ int cmdTrain(const Args &A) {
   Opts.MaxSeeds = A.getInt("seeds", 8000);
   // 0 falls back to BRAINY_JOBS, then serial.
   Opts.Jobs = static_cast<unsigned>(A.getInt("jobs", 0));
+  unsigned Workers = static_cast<unsigned>(A.getInt("workers", 0));
+  std::unique_ptr<dist::Coordinator> Coord;
+  if (Workers) {
+    // Distributed Phase I: shard chunks over `brainy worker` subprocesses
+    // (DESIGN.md §10). Phase II and model training stay local under Jobs.
+    Coord = std::make_unique<dist::Coordinator>(
+        Machine, Opts, Workers, dist::processLauncher(ExePath));
+    Opts.Distribution = Coord.get();
+  }
   std::fprintf(stderr,
                "training on %s: target %u winners/DS, up to %llu seeds, "
-               "%u job(s)...\n",
+               "%u job(s), %u worker(s)...\n",
                Machine.Name.c_str(), Opts.TargetPerDs,
-               (unsigned long long)Opts.MaxSeeds, resolveJobs(Opts.Jobs));
+               (unsigned long long)Opts.MaxSeeds, resolveJobs(Opts.Jobs),
+               Workers);
   Brainy B = Brainy::train(Opts, Machine);
+  if (Coord)
+    std::fprintf(stderr,
+                 "distributed: %llu seeds lost to worker failures, "
+                 "%llu worker respawn(s)\n",
+                 (unsigned long long)Coord->lostSeeds(),
+                 (unsigned long long)Coord->respawns());
   FaultInjector &FI = FaultInjector::instance();
   for (unsigned S = 0; S != NumFaultSites; ++S) {
     auto Site = static_cast<FaultSite>(S);
@@ -325,11 +363,31 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
 
+  // Hidden subcommand: the distributed Phase I worker runtime, spawned by
+  // the coordinator with requests on stdin and replies on stdout. Not in
+  // the usage text — it speaks the binary wire protocol, not flags.
+  if (Cmd == "worker") {
+    std::signal(SIGPIPE, SIG_IGN);
+    dist::FdTransport Link(/*ReadFd=*/0, /*WriteFd=*/1, /*Owned=*/false);
+    switch (dist::serveWorker(Link)) {
+    case dist::WorkerExit::Shutdown:
+      return 0;
+    case dist::WorkerExit::SimulatedCrash:
+      // Exit without replying: process teardown closes the transport
+      // abruptly, which is exactly what the coordinator must observe.
+      return 3;
+    case dist::WorkerExit::TransportLost:
+      return 1;
+    }
+    return 1;
+  }
+
   std::vector<std::string> Known;
   if (Cmd == "appgen")
     Known = {"seed", "ds", "config", "out"};
   else if (Cmd == "train")
-    Known = {"machine", "out", "target", "seeds", "config", "jobs"};
+    Known = {"machine", "out", "target", "seeds", "config", "jobs",
+             "workers"};
   else if (Cmd == "trainset")
     Known = {"machine", "model", "out", "target", "seeds", "config", "jobs"};
   else if (Cmd == "eval")
@@ -347,7 +405,7 @@ int main(int Argc, char **Argv) {
   if (Cmd == "appgen")
     return cmdAppgen(A);
   if (Cmd == "train")
-    return cmdTrain(A);
+    return cmdTrain(A, selfExePath(Argv[0]));
   if (Cmd == "trainset")
     return cmdTrainset(A);
   if (Cmd == "eval")

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON result against a committed baseline.
+
+Understands two schemas:
+
+ * brainy-bench-v1 (bench/micro_training_scaling --json): top-level
+   {"schema": "brainy-bench-v1", "results": [{"name", "wall_ms", ...}]}
+ * Google Benchmark (bench/micro_containers --benchmark_out): top-level
+   {"benchmarks": [{"name", "real_time", ...}]}
+
+Only names present in BOTH files are compared — a baseline refresh that
+adds or removes rows does not fail the gate. A row regresses when
+
+    current > baseline * (1 + threshold)
+
+Exit codes: 0 ok, 1 regression found, 2 usage/parse error.
+
+Stdlib only; runs on any CI Python without a venv.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Returns {name: milliseconds} for either supported schema."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        rows = {}
+        for b in doc["benchmarks"]:
+            # Aggregate rows (_mean, _stddev...) would double-count.
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+            if scale is None:
+                sys.exit(f"error: {path}: unknown time_unit {unit!r}")
+            rows[b["name"]] = float(b["real_time"]) * scale
+        return rows
+
+    if isinstance(doc, dict) and doc.get("schema") == "brainy-bench-v1":
+        return {r["name"]: float(r["wall_ms"]) for r in doc["results"]}
+
+    sys.exit(f"error: {path}: unrecognised benchmark schema")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True, help="fresh result JSON")
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed slowdown fraction (default 0.15 = 15%%)",
+    )
+    args = ap.parse_args()
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        sys.exit("error: no benchmark names in common between the two files")
+
+    regressions = []
+    print(f"{'name':40} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if cur > base * (1 + args.threshold):
+            regressions.append(name)
+            flag = "  REGRESSION"
+        print(f"{name:40} {base:10.3f}ms {cur:10.3f}ms {ratio:7.2f}x{flag}")
+
+    skipped = (set(current) | set(baseline)) - set(shared)
+    if skipped:
+        print(f"note: {len(skipped)} name(s) not in both files were skipped")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nOK: no regression beyond {args.threshold:.0%} on {len(shared)} "
+          "shared benchmark(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
