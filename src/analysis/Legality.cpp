@@ -1,0 +1,337 @@
+//===- analysis/Legality.cpp - Replacement-legality matrix ----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Legality.h"
+
+using namespace brainy;
+using namespace brainy::analysis;
+
+namespace {
+
+/// Iteration-order class. A replacement that changes the class (insertion
+/// vs sorted) changes what an order-observing loop sees.
+enum class OrderClass : uint8_t { Insertion, Sorted, None };
+
+OrderClass orderClass(Candidate C) {
+  switch (C) {
+  case Candidate::Vector:
+  case Candidate::List:
+  case Candidate::Deque:
+    return OrderClass::Insertion;
+  case Candidate::Map:
+  case Candidate::Multimap:
+  case Candidate::SplayMap:
+  case Candidate::FlatMap:
+  case Candidate::Set:
+  case Candidate::Multiset:
+  case Candidate::SplaySet:
+  case Candidate::FlatSet:
+    return OrderClass::Sorted;
+  case Candidate::UnorderedMap:
+  case Candidate::UnorderedMultimap:
+  case Candidate::UnorderedSet:
+  case Candidate::UnorderedMultiset:
+    return OrderClass::None;
+  }
+  return OrderClass::None;
+}
+
+bool isMulti(Candidate C) {
+  return C == Candidate::Multimap || C == Candidate::UnorderedMultimap ||
+         C == Candidate::Multiset || C == Candidate::UnorderedMultiset;
+}
+
+bool isNodeBased(Candidate C) {
+  // Node-based containers keep element addresses stable across unrelated
+  // mutation and invalidate only the erased element on erase. std::deque
+  // keeps *references* stable for push_front/push_back but invalidates
+  // every iterator; the matrix is conservative and treats it as unstable.
+  switch (C) {
+  case Candidate::List:
+  case Candidate::Map:
+  case Candidate::Multimap:
+  case Candidate::UnorderedMap:
+  case Candidate::UnorderedMultimap:
+  case Candidate::SplayMap:
+  case Candidate::Set:
+  case Candidate::Multiset:
+  case Candidate::UnorderedSet:
+  case Candidate::UnorderedMultiset:
+  case Candidate::SplaySet:
+    return true;
+  case Candidate::Vector:
+  case Candidate::Deque:
+  case Candidate::FlatMap:
+  case Candidate::FlatSet:
+    return false;
+  }
+  return false;
+}
+
+/// The reason string used when a required property is missing. The
+/// OrderedIteration wording is the contract `brainy check` prints and
+/// tests assert on.
+const char *missingReason(Property P) {
+  switch (P) {
+  case Property::OrderedIteration:
+    return "order-dependent iteration";
+  case Property::StableReferences:
+    return "element references invalidated by growth";
+  case Property::StableErase:
+    return "erase invalidates other iterators";
+  case Property::RandomAccess:
+    return "no random access";
+  case Property::FrontOps:
+    return "no push_front/pop_front";
+  case Property::CheapMiddleInsert:
+    return "expensive middle insert"; // advisory; never used as illegal
+  case Property::UniqueKeys:
+    return "no unique-key semantics";
+  case Property::DuplicateKeys:
+    return "duplicate keys would be dropped";
+  case Property::SortedQueries:
+    return "no ordered queries (lower_bound/equal_range)";
+  case Property::KeyLookup:
+    return "no key lookup interface";
+  }
+  return "unsupported property";
+}
+
+} // namespace
+
+const char *brainy::analysis::candidateName(Candidate C) {
+  switch (C) {
+  case Candidate::Vector:
+    return "vector";
+  case Candidate::List:
+    return "list";
+  case Candidate::Deque:
+    return "deque";
+  case Candidate::Map:
+    return "map";
+  case Candidate::Multimap:
+    return "multimap";
+  case Candidate::UnorderedMap:
+    return "unordered_map";
+  case Candidate::UnorderedMultimap:
+    return "unordered_multimap";
+  case Candidate::SplayMap:
+    return "splay_map";
+  case Candidate::FlatMap:
+    return "flat_map";
+  case Candidate::Set:
+    return "set";
+  case Candidate::Multiset:
+    return "multiset";
+  case Candidate::UnorderedSet:
+    return "unordered_set";
+  case Candidate::UnorderedMultiset:
+    return "unordered_multiset";
+  case Candidate::SplaySet:
+    return "splay_set";
+  case Candidate::FlatSet:
+    return "flat_set";
+  }
+  return "unknown";
+}
+
+const std::vector<Candidate> &brainy::analysis::allCandidates() {
+  static const std::vector<Candidate> All = {
+      Candidate::Vector,           Candidate::List,
+      Candidate::Deque,            Candidate::Map,
+      Candidate::Multimap,         Candidate::UnorderedMap,
+      Candidate::UnorderedMultimap, Candidate::SplayMap,
+      Candidate::FlatMap,          Candidate::Set,
+      Candidate::Multiset,         Candidate::UnorderedSet,
+      Candidate::UnorderedMultiset, Candidate::SplaySet,
+      Candidate::FlatSet,
+  };
+  return All;
+}
+
+bool brainy::analysis::candidateFromSpelling(const std::string &Name,
+                                             Candidate &Out) {
+  for (Candidate C : allCandidates())
+    if (Name == candidateName(C)) {
+      Out = C;
+      return true;
+    }
+  // Legacy SGI / repo spellings.
+  if (Name == "hash_map") {
+    Out = Candidate::UnorderedMap;
+    return true;
+  }
+  if (Name == "hash_set") {
+    Out = Candidate::UnorderedSet;
+    return true;
+  }
+  if (Name == "hash_multimap") {
+    Out = Candidate::UnorderedMultimap;
+    return true;
+  }
+  if (Name == "hash_multiset") {
+    Out = Candidate::UnorderedMultiset;
+    return true;
+  }
+  return false;
+}
+
+Candidate brainy::analysis::candidateForDsKind(DsKind Kind) {
+  switch (Kind) {
+  case DsKind::Vector:
+    return Candidate::Vector;
+  case DsKind::List:
+    return Candidate::List;
+  case DsKind::Deque:
+    return Candidate::Deque;
+  case DsKind::Set:
+  case DsKind::AvlSet:
+    return Candidate::Set;
+  case DsKind::HashSet:
+    return Candidate::UnorderedSet;
+  case DsKind::Map:
+  case DsKind::AvlMap:
+    return Candidate::Map;
+  case DsKind::HashMap:
+    return Candidate::UnorderedMap;
+  }
+  return Candidate::Vector;
+}
+
+Family brainy::analysis::candidateFamily(Candidate C) {
+  switch (C) {
+  case Candidate::Vector:
+  case Candidate::List:
+  case Candidate::Deque:
+    return Family::Sequence;
+  case Candidate::Map:
+  case Candidate::Multimap:
+  case Candidate::UnorderedMap:
+  case Candidate::UnorderedMultimap:
+  case Candidate::SplayMap:
+  case Candidate::FlatMap:
+    return Family::MapLike;
+  case Candidate::Set:
+  case Candidate::Multiset:
+  case Candidate::UnorderedSet:
+  case Candidate::UnorderedMultiset:
+  case Candidate::SplaySet:
+  case Candidate::FlatSet:
+    return Family::SetLike;
+  }
+  return Family::Sequence;
+}
+
+const char *brainy::analysis::propertyName(Property P) {
+  switch (P) {
+  case Property::OrderedIteration:
+    return "order-dependent-iteration";
+  case Property::StableReferences:
+    return "stable-references";
+  case Property::StableErase:
+    return "stable-erase";
+  case Property::RandomAccess:
+    return "random-access";
+  case Property::FrontOps:
+    return "front-ops";
+  case Property::CheapMiddleInsert:
+    return "cheap-middle-insert";
+  case Property::UniqueKeys:
+    return "unique-keys";
+  case Property::DuplicateKeys:
+    return "duplicate-keys";
+  case Property::SortedQueries:
+    return "sorted-queries";
+  case Property::KeyLookup:
+    return "key-lookup";
+  }
+  return "unknown";
+}
+
+bool brainy::analysis::candidateProvides(Candidate C, Property P) {
+  Family F = candidateFamily(C);
+  bool Assoc = F != Family::Sequence;
+  switch (P) {
+  case Property::OrderedIteration:
+    return orderClass(C) != OrderClass::None;
+  case Property::StableReferences:
+  case Property::StableErase:
+    return isNodeBased(C);
+  case Property::RandomAccess:
+    return C == Candidate::Vector || C == Candidate::Deque ||
+           C == Candidate::FlatMap || C == Candidate::FlatSet;
+  case Property::FrontOps:
+    return C == Candidate::List || C == Candidate::Deque;
+  case Property::CheapMiddleInsert:
+    return C == Candidate::List || isNodeBased(C);
+  case Property::UniqueKeys:
+    return Assoc && !isMulti(C);
+  case Property::DuplicateKeys:
+    // Sequences hold duplicates trivially; among associatives only the
+    // multi variants keep them.
+    return !Assoc || isMulti(C);
+  case Property::SortedQueries:
+    return Assoc && orderClass(C) == OrderClass::Sorted;
+  case Property::KeyLookup:
+    return Assoc;
+  }
+  return false;
+}
+
+const char *brainy::analysis::legalityName(Legality L) {
+  switch (L) {
+  case Legality::Legal:
+    return "legal";
+  case Legality::Illegal:
+    return "illegal";
+  case Legality::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+Verdict brainy::analysis::judge(Candidate Declared,
+                                const std::set<Property> &Required,
+                                Candidate C) {
+  if (C == Declared)
+    return {Legality::Legal, ""};
+
+  Family FD = candidateFamily(Declared);
+  Family FC = candidateFamily(C);
+
+  // Key/value pairs cannot become plain elements (or vice versa) by a
+  // type swap, whatever the usage profile says.
+  if ((FD == Family::MapLike) != (FC == Family::MapLike))
+    return {Legality::Illegal, "element shape mismatch (key/value pairs)"};
+
+  // Hard property exclusions apply across the board. Required is a
+  // std::set ordered by the Property enum, so the first missing property
+  // — and therefore the printed reason — is deterministic.
+  for (Property P : Required) {
+    if (P == Property::CheapMiddleInsert)
+      continue; // performance-advisory, never an illegality
+    if (P == Property::OrderedIteration) {
+      if (orderClass(C) == OrderClass::None)
+        return {Legality::Illegal, missingReason(P)};
+      if (orderClass(C) != orderClass(Declared))
+        return {Legality::Illegal,
+                "iteration order changes (insertion vs sorted)"};
+      continue;
+    }
+    if (!candidateProvides(C, P))
+      return {Legality::Illegal, missingReason(P)};
+  }
+
+  // Sequence <-> set-like swaps (Table 1's order-oblivious vector→set
+  // rows) change the member interface; a pure type swap cannot be proven
+  // safe from the usage profile alone, so the verdict stays conservative
+  // until `brainy apply` learns the interface mapping.
+  if (FD != FC)
+    return {Legality::Unknown,
+            "cross-family replacement needs interface rewriting"};
+
+  return {Legality::Legal, ""};
+}

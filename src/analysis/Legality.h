@@ -1,0 +1,137 @@
+//===- analysis/Legality.h - Replacement-legality matrix -------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The property/legality layer of `brainy check` (DESIGN.md §11). Brainy's
+/// advice is only adoptable when a recommended swap is *legal* for how the
+/// code actually uses the container — Primrose-style selection gated on
+/// container properties (ordered iteration, reference stability, duplicate
+/// keys, random access). This header defines:
+///
+///  - the Candidate set the analyzer judges (the std containers plus the
+///    repo's splay and flat sorted-vector variants),
+///  - the Property vocabulary a usage profile can require, and
+///  - judge(): for a variable declared as D whose usage requires
+///    properties P, is replacing it with candidate C
+///    legal | illegal(reason) | unknown(conservative reason)?
+///
+/// Conservatism rules (also DESIGN.md §11): requirements are observed from
+/// the source, so they can never exceed what the *declared* container
+/// guarantees — the program works today. Properties a use *suggests* but
+/// the declared type does not provide (e.g. taking &V[i] on a vector) are
+/// transient by construction and are not required of replacements. This
+/// makes the declared type legal for its own profile by design, which
+/// `brainy check` verifies on every run (self-consistency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ANALYSIS_LEGALITY_H
+#define BRAINY_ANALYSIS_LEGALITY_H
+
+#include "adt/DsKind.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace brainy {
+namespace analysis {
+
+/// Candidate replacement containers: every spelling the declaration finder
+/// recognises and every target the legality matrix judges.
+enum class Candidate : uint8_t {
+  Vector,
+  List,
+  Deque,
+  Map,
+  Multimap,
+  UnorderedMap,
+  UnorderedMultimap,
+  SplayMap,
+  FlatMap,
+  Set,
+  Multiset,
+  UnorderedSet,
+  UnorderedMultiset,
+  SplaySet,
+  FlatSet,
+};
+
+constexpr unsigned NumCandidates = 15;
+
+/// Stable lower-case name, e.g. "unordered_map" / "flat_map".
+const char *candidateName(Candidate C);
+
+/// All candidates in enum (= report) order.
+const std::vector<Candidate> &allCandidates();
+
+/// Parses a container type spelling ("vector", "unordered_map", also the
+/// legacy "hash_map"/"hash_set") into a candidate. Returns false for
+/// non-container names.
+bool candidateFromSpelling(const std::string &Name, Candidate &Out);
+
+/// The analysis-level candidate equivalent of a DsKind (AVL trees judge
+/// like their red-black siblings, hash_map/hash_set like unordered_*).
+Candidate candidateForDsKind(DsKind Kind);
+
+/// Container shape family. Cross-family replacement is never a pure type
+/// swap; see judge().
+enum class Family : uint8_t { Sequence, SetLike, MapLike };
+
+Family candidateFamily(Candidate C);
+
+/// Properties a variable's observed operations may require of any
+/// replacement container.
+enum class Property : uint8_t {
+  OrderedIteration,  ///< iteration order is observable and deterministic
+  StableReferences,  ///< element addresses survive unrelated mutation
+  StableErase,       ///< erase(it) invalidates only the erased element
+  RandomAccess,      ///< integer subscript / random-access iterators
+  FrontOps,          ///< push_front / pop_front
+  CheapMiddleInsert, ///< insert/erase at arbitrary positions (advisory:
+                     ///< a performance property, never an illegality)
+  UniqueKeys,        ///< operator[] / unique-insert semantics relied on
+  DuplicateKeys,     ///< declared multi container: duplicates must survive
+  SortedQueries,     ///< lower_bound/upper_bound/equal_range on the object
+  KeyLookup,         ///< find/count/contains/erase by key
+};
+
+constexpr unsigned NumProperties = 10;
+
+/// Stable kebab-case name, e.g. "order-dependent-iteration".
+const char *propertyName(Property P);
+
+/// Does candidate \p C guarantee \p P? (The capability matrix.)
+bool candidateProvides(Candidate C, Property P);
+
+enum class Legality : uint8_t { Legal, Illegal, Unknown };
+
+const char *legalityName(Legality L);
+
+/// One cell of the legality matrix.
+struct Verdict {
+  Legality Kind = Legality::Legal;
+  std::string Reason; ///< Empty for Legal.
+};
+
+/// Judges replacing a variable declared as \p Declared, whose usage
+/// requires \p Required, with candidate \p C.
+///
+///  - Same family: illegal iff a required property is missing from C's
+///    capabilities (with the missing property as the reason).
+///  - MapLike vs anything else: illegal (element shape mismatch).
+///  - Sequence vs SetLike: illegal when a required property rules it out;
+///    otherwise unknown — the interfaces differ, so a pure type swap
+///    cannot be proven safe from usage alone (Table 1's order-oblivious
+///    vector→set swaps need `brainy apply`-level rewriting).
+Verdict judge(Candidate Declared, const std::set<Property> &Required,
+              Candidate C);
+
+} // namespace analysis
+} // namespace brainy
+
+#endif // BRAINY_ANALYSIS_LEGALITY_H

@@ -1,0 +1,44 @@
+//===- analysis/Report.h - brainy check report rendering -------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the output of `brainy check` (DESIGN.md §11). Both renderers
+/// are pure functions of the analysis results, which are themselves pure
+/// functions of the input bytes — so text and JSON reports are
+/// byte-identical across runs and job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ANALYSIS_REPORT_H
+#define BRAINY_ANALYSIS_REPORT_H
+
+#include "analysis/UsageAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace brainy {
+namespace analysis {
+
+/// Human-readable report: one block per file, one entry per variable with
+/// its ops, required properties, and per-candidate verdicts rendered as
+/// `name: legal` / `name: illegal(reason)` / `name: unknown(reason)`.
+std::string renderText(const std::vector<FileAnalysis> &Files);
+
+/// Canonical JSON report (stable key order, ordered arrays).
+std::string renderJson(const std::vector<FileAnalysis> &Files);
+
+/// Self-consistency check: "path:line name (declared)" for every variable
+/// whose declared container is not Legal for its own profile. The
+/// conservatism rule (Legality.h) makes this empty by construction;
+/// `brainy check` verifies it on every run and CI fails if it ever isn't.
+std::vector<std::string>
+selfConsistencyViolations(const std::vector<FileAnalysis> &Files);
+
+} // namespace analysis
+} // namespace brainy
+
+#endif // BRAINY_ANALYSIS_REPORT_H

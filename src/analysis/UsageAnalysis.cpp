@@ -1,0 +1,504 @@
+//===- analysis/UsageAnalysis.cpp - Per-variable usage profiles -----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+//
+// Two passes over the shared lexer's token stream. Pass A walks left to
+// right binding declarations: type aliases (`using X = std::vector<..>;`,
+// typedef) are registered as they appear, container spellings followed by
+// template arguments and a declarator bind variables/members/parameters.
+// Pass B attributes operations to every bound name — member calls,
+// operator[], range-for and iterator loops, address-of-element, free
+// std::sort over the variable's iterators, and erase-during-iteration
+// (via the shared loop finder). Ambiguity is resolved conservatively:
+// a name the finder cannot bind is simply not analyzed, and a use the
+// collector cannot classify adds no requirement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/UsageAnalysis.h"
+
+#include "support/CppLexer.h"
+#include "support/Env.h"
+#include "support/ThreadPool.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace brainy;
+using namespace brainy::analysis;
+using cpplex::LoopSpan;
+using cpplex::TokKind;
+using cpplex::Token;
+
+namespace {
+
+/// Renders tokens [B, E] as a type spelling: "std::map<int, Key>".
+std::string joinSpelling(const std::vector<Token> &Toks, size_t B, size_t E) {
+  std::string Out;
+  for (size_t I = B; I <= E && I < Toks.size(); ++I) {
+    const std::string &T = Toks[I].Text;
+    if (!Out.empty() && (Toks[I].Kind == TokKind::Ident ||
+                         Toks[I].Kind == TokKind::Number)) {
+      char Last = Out.back();
+      if (Last != '<' && Last != ':' && Last != '(' && Last != ' ')
+        Out += ' ';
+    }
+    Out += T;
+    if (T == ",")
+      Out += ' ';
+  }
+  return Out;
+}
+
+struct Alias {
+  Candidate Declared;
+  std::string Spelling;
+};
+
+/// True when the parenthesis starting at \p Open looks like a function
+/// parameter list rather than constructor arguments: empty parens (the
+/// most vexing parse is a declaration) or adjacent identifier pairs
+/// ("size_t n") / a leading const.
+bool looksLikeParamList(const std::vector<Token> &Toks, size_t Open,
+                        size_t Close) {
+  if (Close == Open + 1)
+    return true;
+  for (size_t I = Open + 1; I + 1 < Close; ++I)
+    if (Toks[I].Kind == TokKind::Ident && Toks[I + 1].Kind == TokKind::Ident)
+      return true;
+  return Toks[Open + 1].Text == "const";
+}
+
+bool isDeclaratorBoundary(const std::string &T) {
+  return T == ";" || T == "=" || T == "," || T == ")" || T == "{" ||
+         T == "[" || T == "(" || T == ":";
+}
+
+/// The trailing plain identifier of a range-for's range expression
+/// (handles `M` and `Obj.M`; gives up on call/index results).
+std::string rangeExprName(const std::vector<Token> &Toks, const LoopSpan &L) {
+  for (size_t K = L.HeaderEnd; K-- > L.RangeColon + 1;) {
+    if (Toks[K].Kind == TokKind::Ident)
+      return Toks[K].Text;
+    if (Toks[K].Kind == TokKind::Punct &&
+        (Toks[K].Text == ")" || Toks[K].Text == "]"))
+      break;
+  }
+  return "";
+}
+
+struct Analyzer {
+  const std::string &Path;
+  const std::vector<Token> &Toks;
+  FileAnalysis Result;
+  std::map<std::string, Alias> Aliases;
+  /// Name -> indices into Result.Vars (a name can be declared in several
+  /// scopes; ops are attributed to every binding, conservatively).
+  std::map<std::string, std::vector<size_t>> ByName;
+
+  Analyzer(const std::string &Path, const std::vector<Token> &Toks)
+      : Path(Path), Toks(Toks) {}
+
+  void bindVar(const std::string &Name, unsigned Line, Candidate Declared,
+               std::string Spelling) {
+    Result.Vars.push_back(
+        {Name, Line, std::move(Spelling), Declared, {}, {}, {}});
+    ByName[Name].push_back(Result.Vars.size() - 1);
+  }
+
+  void record(const std::string &Name, Op O) {
+    auto It = ByName.find(Name);
+    if (It == ByName.end())
+      return;
+    for (size_t Idx : It->second)
+      Result.Vars[Idx].Ops.insert(O);
+  }
+
+  /// Family-dependent ops get classified per binding.
+  void recordFamily(const std::string &Name, Op SeqOp, Op MapOp, Op SetOp) {
+    auto It = ByName.find(Name);
+    if (It == ByName.end())
+      return;
+    for (size_t Idx : It->second) {
+      switch (candidateFamily(Result.Vars[Idx].Declared)) {
+      case Family::Sequence:
+        Result.Vars[Idx].Ops.insert(SeqOp);
+        break;
+      case Family::MapLike:
+        Result.Vars[Idx].Ops.insert(MapOp);
+        break;
+      case Family::SetLike:
+        Result.Vars[Idx].Ops.insert(SetOp);
+        break;
+      }
+    }
+  }
+
+  bool known(const std::string &Name) const { return ByName.count(Name); }
+
+  //===--------------------------------------------------------------------===//
+  // Pass A: declarations
+  //===--------------------------------------------------------------------===//
+
+  /// Parses declarators following the type that ends at token \p TypeEnd
+  /// and binds them. Returns the index to resume scanning from.
+  size_t bindDeclarators(size_t TypeEnd, Candidate Declared,
+                         const std::string &Spelling) {
+    size_t J = TypeEnd + 1;
+    while (true) {
+      while (J < Toks.size() && Toks[J].Kind == TokKind::Punct &&
+             (Toks[J].Text == "&" || Toks[J].Text == "*"))
+        ++J;
+      if (J >= Toks.size() || Toks[J].Kind != TokKind::Ident)
+        break;
+      if (J + 1 >= Toks.size() ||
+          !isDeclaratorBoundary(Toks[J + 1].Text))
+        break;
+      if (Toks[J + 1].Text == "(") {
+        // Constructor arguments bind a variable; a parameter list means
+        // this was a function returning the container — skip it.
+        size_t Close = cpplex::matchDelim(Toks, J + 1);
+        if (Close == Toks.size() || looksLikeParamList(Toks, J + 1, Close))
+          break;
+      }
+      bindVar(Toks[J].Text, Toks[J].Line, Declared, Spelling);
+      if (J + 1 >= Toks.size() || Toks[J + 1].Text != ",")
+        break;
+      J += 2;
+    }
+    return J;
+  }
+
+  void findDeclarations() {
+    for (size_t I = 0; I != Toks.size(); ++I) {
+      if (Toks[I].Kind != TokKind::Ident)
+        continue;
+
+      // Alias use: `Vec V;` with Vec registered earlier.
+      auto AliasIt = Aliases.find(Toks[I].Text);
+      if (AliasIt != Aliases.end()) {
+        bindDeclarators(I, AliasIt->second.Declared,
+                        AliasIt->second.Spelling);
+        continue;
+      }
+
+      Candidate Declared;
+      if (!candidateFromSpelling(Toks[I].Text, Declared))
+        continue;
+
+      // Optional namespace qualifier. A non-std qualifier means a foreign
+      // type that happens to share the name.
+      size_t TypeBegin = I;
+      if (I >= 2 && Toks[I - 1].Text == "::") {
+        const std::string &Ns = Toks[I - 2].Text;
+        if (Ns != "std" && Ns != "__gnu_cxx")
+          continue;
+        TypeBegin = I - 2;
+      }
+
+      // Template argument list (aliases above are the only unparameterized
+      // spellings the finder binds).
+      if (I + 1 >= Toks.size() || Toks[I + 1].Text != "<")
+        continue;
+      size_t AngleClose = cpplex::matchAngle(Toks, I + 1);
+      if (AngleClose == Toks.size())
+        continue;
+      std::string Spelling = joinSpelling(Toks, TypeBegin, AngleClose);
+
+      // `using NAME = std::vector<..>;` / `typedef std::vector<..> NAME;`
+      // register an alias rather than a variable.
+      if (TypeBegin >= 3 && Toks[TypeBegin - 1].Text == "=" &&
+          Toks[TypeBegin - 2].Kind == TokKind::Ident &&
+          Toks[TypeBegin - 3].Text == "using") {
+        Aliases[Toks[TypeBegin - 2].Text] = {Declared, Spelling};
+        I = AngleClose;
+        continue;
+      }
+      if (TypeBegin >= 1 && Toks[TypeBegin - 1].Text == "typedef") {
+        if (AngleClose + 1 < Toks.size() &&
+            Toks[AngleClose + 1].Kind == TokKind::Ident)
+          Aliases[Toks[AngleClose + 1].Text] = {Declared, Spelling};
+        I = AngleClose + 1;
+        continue;
+      }
+
+      I = bindDeclarators(AngleClose, Declared, Spelling) - 1;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass B: usage collection
+  //===--------------------------------------------------------------------===//
+
+  void classifyMember(const std::string &Var, const std::string &Member) {
+    if (Member == "push_back" || Member == "emplace_back")
+      record(Var, Op::PushBack);
+    else if (Member == "push_front" || Member == "emplace_front")
+      record(Var, Op::PushFront);
+    else if (Member == "pop_back")
+      record(Var, Op::PopBack);
+    else if (Member == "pop_front")
+      record(Var, Op::PopFront);
+    else if (Member == "insert" || Member == "emplace" ||
+             Member == "emplace_hint")
+      recordFamily(Var, Op::InsertAt, Op::Insert, Op::Insert);
+    else if (Member == "erase")
+      record(Var, Op::Erase);
+    else if (Member == "find")
+      record(Var, Op::Find);
+    else if (Member == "count")
+      record(Var, Op::Count);
+    else if (Member == "contains")
+      record(Var, Op::Contains);
+    else if (Member == "at")
+      record(Var, Op::At);
+    else if (Member == "lower_bound" || Member == "upper_bound" ||
+             Member == "equal_range")
+      record(Var, Op::SortedQuery);
+    else if (Member == "begin" || Member == "cbegin" || Member == "rbegin" ||
+             Member == "crbegin")
+      record(Var, Op::IteratorWalk);
+    else if (Member == "size" || Member == "empty")
+      record(Var, Op::SizeEmpty);
+    else if (Member == "clear")
+      record(Var, Op::Clear);
+    else if (Member == "sort")
+      record(Var, Op::Sort);
+    else if (Member == "front" || Member == "back")
+      record(Var, Op::FrontBack);
+    else if (Member == "data")
+      record(Var, Op::AddressOfElement);
+  }
+
+  /// True when the '&' at \p AmpIdx is a unary address-of (not binary
+  /// bitwise-and, not a reference declarator like `auto &E`).
+  bool isAddressOf(size_t AmpIdx) const {
+    if (AmpIdx == 0)
+      return true;
+    const Token &P = Toks[AmpIdx - 1];
+    if (P.Kind == TokKind::Ident || P.Kind == TokKind::Number)
+      return false;
+    return P.Text != ")" && P.Text != "]";
+  }
+
+  void collectUses() {
+    static const std::set<std::string> FreeSorts = {
+        "sort", "stable_sort", "nth_element", "partial_sort"};
+    for (size_t I = 0; I != Toks.size(); ++I) {
+      if (Toks[I].Kind != TokKind::Ident)
+        continue;
+      const std::string &Name = Toks[I].Text;
+
+      // Free std::sort(V.begin(), ...) — random access required.
+      if (FreeSorts.count(Name) && I + 1 < Toks.size() &&
+          Toks[I + 1].Text == "(") {
+        size_t Close = cpplex::matchDelim(Toks, I + 1);
+        for (size_t K = I + 2; K + 2 < Close; ++K)
+          if (Toks[K].Kind == TokKind::Ident && known(Toks[K].Text) &&
+              Toks[K + 1].Text == "." &&
+              (Toks[K + 2].Text == "begin" || Toks[K + 2].Text == "rbegin"))
+            record(Toks[K].Text, Op::Sort);
+        continue;
+      }
+
+      if (!known(Name))
+        continue;
+
+      // Member access: V.op(...) / V->op(...).
+      if (I + 3 < Toks.size() &&
+          (Toks[I + 1].Text == "." || Toks[I + 1].Text == "->") &&
+          Toks[I + 2].Kind == TokKind::Ident && Toks[I + 3].Text == "(") {
+        classifyMember(Name, Toks[I + 2].Text);
+        // &V.front() / &V.back() / &V.at(...) pin an element's address.
+        if (I > 0 && Toks[I - 1].Text == "&" && isAddressOf(I - 1) &&
+            (Toks[I + 2].Text == "front" || Toks[I + 2].Text == "back" ||
+             Toks[I + 2].Text == "at"))
+          record(Name, Op::AddressOfElement);
+        continue;
+      }
+
+      // Subscript: V[...] — key lookup on maps, indexing on sequences.
+      if (I + 1 < Toks.size() && Toks[I + 1].Text == "[") {
+        recordFamily(Name, Op::SubscriptIndex, Op::SubscriptKey,
+                     Op::SubscriptIndex);
+        if (I > 0 && Toks[I - 1].Text == "&" && isAddressOf(I - 1))
+          record(Name, Op::AddressOfElement);
+        continue;
+      }
+    }
+
+    // Loops: range-for attribution and erase-during-iteration.
+    static const std::set<std::string> BeginEnd = {
+        "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+    for (const LoopSpan &L : cpplex::findLoops(Toks)) {
+      std::set<std::string> Iterated;
+      if (L.RangeFor) {
+        std::string R = rangeExprName(Toks, L);
+        if (!R.empty() && known(R)) {
+          record(R, Op::RangeFor);
+          Iterated.insert(R);
+        }
+      }
+      for (size_t K = L.HeaderBegin; K + 2 < L.HeaderEnd; ++K)
+        if (Toks[K].Kind == TokKind::Ident && known(Toks[K].Text) &&
+            Toks[K + 1].Text == "." && Toks[K + 2].Kind == TokKind::Ident &&
+            BeginEnd.count(Toks[K + 2].Text))
+          Iterated.insert(Toks[K].Text);
+      for (size_t K = L.BodyBegin; K + 3 < L.BodyEnd; ++K)
+        if (Toks[K].Kind == TokKind::Ident && Iterated.count(Toks[K].Text) &&
+            Toks[K + 1].Text == "." && Toks[K + 2].Text == "erase" &&
+            Toks[K + 3].Text == "(")
+          record(Toks[K].Text, Op::EraseInLoop);
+    }
+  }
+
+  void run() {
+    Result.Path = Path;
+    findDeclarations();
+    collectUses();
+    for (VarProfile &V : Result.Vars) {
+      V.Required = inferProperties(V.Declared, V.Ops);
+      V.Verdicts.reserve(NumCandidates);
+      for (Candidate C : allCandidates())
+        V.Verdicts.push_back(judge(V.Declared, V.Required, C));
+    }
+  }
+};
+
+} // namespace
+
+const char *brainy::analysis::opName(Op O) {
+  switch (O) {
+  case Op::PushBack:
+    return "push-back";
+  case Op::PushFront:
+    return "push-front";
+  case Op::PopBack:
+    return "pop-back";
+  case Op::PopFront:
+    return "pop-front";
+  case Op::Insert:
+    return "insert";
+  case Op::InsertAt:
+    return "insert-at";
+  case Op::Erase:
+    return "erase";
+  case Op::EraseInLoop:
+    return "erase-in-loop";
+  case Op::Find:
+    return "find";
+  case Op::Count:
+    return "count";
+  case Op::Contains:
+    return "contains";
+  case Op::At:
+    return "at";
+  case Op::SubscriptKey:
+    return "subscript-key";
+  case Op::SubscriptIndex:
+    return "subscript-index";
+  case Op::RangeFor:
+    return "range-for";
+  case Op::IteratorWalk:
+    return "iterator-walk";
+  case Op::AddressOfElement:
+    return "address-of-element";
+  case Op::FrontBack:
+    return "front-back";
+  case Op::SizeEmpty:
+    return "size-empty";
+  case Op::Clear:
+    return "clear";
+  case Op::Sort:
+    return "sort";
+  case Op::SortedQuery:
+    return "sorted-query";
+  }
+  return "unknown";
+}
+
+std::set<Property>
+brainy::analysis::inferProperties(Candidate Declared,
+                                  const std::set<Op> &Ops) {
+  std::set<Property> Req;
+  auto Has = [&](Op O) { return Ops.count(O) != 0; };
+  bool Assoc = candidateFamily(Declared) != Family::Sequence;
+
+  if (Has(Op::RangeFor) || Has(Op::IteratorWalk))
+    Req.insert(Property::OrderedIteration);
+  if (Has(Op::AddressOfElement))
+    Req.insert(Property::StableReferences);
+  if (Has(Op::EraseInLoop))
+    Req.insert(Property::StableErase);
+  if (Has(Op::SubscriptIndex) || Has(Op::Sort))
+    Req.insert(Property::RandomAccess);
+  if (Has(Op::PushFront) || Has(Op::PopFront))
+    Req.insert(Property::FrontOps);
+  if (Has(Op::InsertAt))
+    Req.insert(Property::CheapMiddleInsert);
+  if (Has(Op::SubscriptKey)) {
+    Req.insert(Property::UniqueKeys);
+    Req.insert(Property::KeyLookup);
+  }
+  if (Assoc && (Has(Op::Find) || Has(Op::Count) || Has(Op::Contains) ||
+                Has(Op::At) || Has(Op::Erase) || Has(Op::EraseInLoop)))
+    Req.insert(Property::KeyLookup);
+  if (Assoc && Has(Op::Insert) &&
+      candidateProvides(Declared, Property::UniqueKeys))
+    Req.insert(Property::UniqueKeys);
+  if (Assoc && candidateProvides(Declared, Property::DuplicateKeys))
+    Req.insert(Property::DuplicateKeys);
+  if (Has(Op::SortedQuery))
+    Req.insert(Property::SortedQueries);
+
+  // Conservatism rule (Legality.h): the program already works with the
+  // declared container, so its real requirements cannot exceed what that
+  // container guarantees. Drop anything the declared type does not
+  // provide (e.g. &V[i] on a vector is transient by construction).
+  for (auto It = Req.begin(); It != Req.end();)
+    if (!candidateProvides(Declared, *It))
+      It = Req.erase(It);
+    else
+      ++It;
+  return Req;
+}
+
+FileAnalysis brainy::analysis::analyzeSource(const std::string &Path,
+                                             const std::string &Content) {
+  cpplex::LexedSource Lexed = cpplex::lex(Content);
+  Analyzer A(Path, Lexed.Tokens);
+  A.run();
+  return std::move(A.Result);
+}
+
+FileAnalysis brainy::analysis::analyzeFile(const std::string &Path,
+                                           const std::string &FullPath) {
+  std::ifstream In(FullPath, std::ios::binary);
+  if (!In) {
+    FileAnalysis FA;
+    FA.Path = Path;
+    FA.Error = "cannot open file";
+    return FA;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return analyzeSource(Path, Buffer.str());
+}
+
+std::vector<FileAnalysis> brainy::analysis::analyzeSources(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    unsigned Jobs) {
+  std::vector<FileAnalysis> Results(Sources.size());
+  unsigned Resolved = resolveJobs(Jobs);
+  // Files are independent and results land at their input index, so the
+  // fan-out cannot reorder anything: every job count yields byte-identical
+  // reports.
+  ThreadPool Pool(Resolved > 1 ? Resolved - 1 : 0);
+  Pool.parallelFor(0, Sources.size(), [&](size_t I) {
+    Results[I] = analyzeSource(Sources[I].first, Sources[I].second);
+  });
+  return Results;
+}

@@ -1,0 +1,128 @@
+//===- analysis/UsageAnalysis.h - Per-variable usage profiles --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front half of `brainy check` (DESIGN.md §11): goes from the
+/// spelling-counts of src/survey to per-variable *operation profiles*.
+/// Over the shared support/CppLexer token stream it runs
+///
+///  1. a declaration finder — binds container-typed variables, members,
+///     and parameters to their declared container (qualified, bare, or
+///     via `using X = std::vector<...>;` / typedef aliases), and
+///  2. a usage collector — attributes operations (push_back, insert,
+///     find, operator[], range-for and iterator walks, address-of-
+///     element, erase-during-iteration, size/empty, sort, lower_bound)
+///     to each bound variable, then
+///  3. a property inferencer — maps each variable's operation set to the
+///     properties any replacement must provide, intersected with what the
+///     declared container guarantees (the conservatism rule of
+///     analysis/Legality.h), and
+///  4. the legality matrix — a Verdict per candidate per variable.
+///
+/// Everything is deterministic: same input bytes, same profile, same
+/// verdicts, across runs and job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ANALYSIS_USAGEANALYSIS_H
+#define BRAINY_ANALYSIS_USAGEANALYSIS_H
+
+#include "analysis/Legality.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace brainy {
+namespace analysis {
+
+/// Operations the usage collector attributes to a variable.
+enum class Op : uint8_t {
+  PushBack,         ///< push_back / emplace_back
+  PushFront,        ///< push_front / emplace_front
+  PopBack,          ///< pop_back
+  PopFront,         ///< pop_front
+  Insert,           ///< insert/emplace on an associative container
+  InsertAt,         ///< insert/emplace on a sequence (positional)
+  Erase,            ///< erase(...) anywhere
+  EraseInLoop,      ///< erase(...) inside a loop iterating the container
+  Find,             ///< member find
+  Count,            ///< member count
+  Contains,         ///< member contains
+  At,               ///< member at
+  SubscriptKey,     ///< operator[] on a map-like container
+  SubscriptIndex,   ///< operator[] on a sequence
+  RangeFor,         ///< `for (x : c)`
+  IteratorWalk,     ///< c.begin()/c.cbegin()/c.rbegin() taken
+  AddressOfElement, ///< &c[i], &c.front(), &c.back(), c.data()
+  FrontBack,        ///< front()/back() accessors
+  SizeEmpty,        ///< size()/empty()
+  Clear,            ///< clear()
+  Sort,             ///< std::sort/stable_sort/nth_element over c.begin()
+                    ///< (or the list member sort)
+  SortedQuery,      ///< member lower_bound/upper_bound/equal_range
+};
+
+constexpr unsigned NumOps = 22;
+
+/// Stable kebab-case name, e.g. "push-back", "range-for".
+const char *opName(Op O);
+
+/// One container-typed variable (or member, or parameter) and everything
+/// the analysis learned about it.
+struct VarProfile {
+  std::string Name;
+  unsigned Line = 0;       ///< Declaration line.
+  std::string Spelling;    ///< Declared type as written, e.g.
+                           ///< "std::map<int, std::string>".
+  Candidate Declared = Candidate::Vector;
+  std::set<Op> Ops;
+  std::set<Property> Required;
+  /// One verdict per candidate, indexed in allCandidates() order.
+  std::vector<Verdict> Verdicts;
+
+  const Verdict &verdictFor(Candidate C) const {
+    return Verdicts[static_cast<unsigned>(C)];
+  }
+};
+
+/// Analysis of one translation unit.
+struct FileAnalysis {
+  std::string Path;
+  std::string Error;            ///< Non-empty: the file could not be read.
+  std::vector<VarProfile> Vars; ///< In declaration order.
+};
+
+/// Maps \p Ops to the properties a replacement for a variable declared as
+/// \p Declared must provide. Applies the conservatism rule: the result is
+/// intersected with the declared container's own guarantees, so the
+/// declared type is always legal for its own profile.
+std::set<Property> inferProperties(Candidate Declared,
+                                   const std::set<Op> &Ops);
+
+/// Analyzes in-memory source text. \p Path is used for reporting only.
+FileAnalysis analyzeSource(const std::string &Path,
+                           const std::string &Content);
+
+/// Reads and analyzes \p FullPath, reporting it as \p Path. An unreadable
+/// file yields a FileAnalysis with a non-empty Error.
+FileAnalysis analyzeFile(const std::string &Path,
+                         const std::string &FullPath);
+
+/// Analyzes many (path, content) pairs, fanning out over \p Jobs threads
+/// (resolved via support/Env's resolveJobs). Results are returned in
+/// input order and are byte-identical for every job count: files are
+/// independent and the merge is by index.
+std::vector<FileAnalysis>
+analyzeSources(const std::vector<std::pair<std::string, std::string>> &Sources,
+               unsigned Jobs = 0);
+
+} // namespace analysis
+} // namespace brainy
+
+#endif // BRAINY_ANALYSIS_USAGEANALYSIS_H

@@ -1,0 +1,324 @@
+//===- support/CppLexer.cpp - Shared lightweight C++ lexer ----------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+//
+// Lifted out of tools/brainy_lint so the lint rules and the src/analysis
+// usage analyzer share one tokenizer (and therefore one notion of "code"
+// vs comments/literals/directives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CppLexer.h"
+
+#include <algorithm>
+
+using namespace brainy;
+using namespace brainy::cpplex;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isIdentChar(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+
+} // namespace
+
+LexedSource brainy::cpplex::lex(const std::string &Src) {
+  LexedSource Out;
+  std::vector<std::pair<unsigned, std::string>> LineComments;
+  size_t I = 0, N = Src.size();
+  unsigned Line = 1;
+  bool AtLineStart = true;
+
+  auto peek = [&](size_t Ahead) -> char {
+    return I + Ahead < N ? Src[I + Ahead] : '\0';
+  };
+
+  while (I < N) {
+    char C = Src[I];
+
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      AtLineStart = true;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      ++I;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line, with continuations.
+    if (C == '#' && AtLineStart) {
+      unsigned Start = Line;
+      std::string Text;
+      while (I < N) {
+        char D = Src[I];
+        if (D == '\n') {
+          if (!Text.empty() && Text.back() == '\\') {
+            Text.pop_back();
+            Text += ' ';
+            ++Line;
+            ++I;
+            continue;
+          }
+          break;
+        }
+        Text += D;
+        ++I;
+      }
+      size_t E = Text.find_last_not_of(" \t\r");
+      Out.Directives.push_back(
+          {Start, E == std::string::npos ? Text : Text.substr(0, E + 1)});
+      continue;
+    }
+    AtLineStart = false;
+
+    // Line comment. Collected for post-pass grouping: a contiguous block
+    // of // lines is reported as one Comment.
+    if (C == '/' && peek(1) == '/') {
+      size_t End = Src.find('\n', I);
+      if (End == std::string::npos)
+        End = N;
+      LineComments.push_back({Line, Src.substr(I, End - I)});
+      I = End;
+      continue;
+    }
+
+    // Block comment.
+    if (C == '/' && peek(1) == '*') {
+      unsigned Start = Line;
+      size_t End = Src.find("*/", I + 2);
+      if (End == std::string::npos)
+        End = N;
+      else
+        End += 2;
+      std::string Text = Src.substr(I, End - I);
+      Line += static_cast<unsigned>(std::count(Text.begin(), Text.end(),
+                                               '\n'));
+      Out.Comments.push_back({Start, Line, std::move(Text)});
+      I = End;
+      continue;
+    }
+
+    // Identifier — possibly a string-literal prefix.
+    if (isIdentStart(C)) {
+      size_t B = I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      std::string Name = Src.substr(B, I - B);
+      char Next = I < N ? Src[I] : '\0';
+      bool RawPrefix = Name == "R" || Name == "u8R" || Name == "uR" ||
+                       Name == "UR" || Name == "LR";
+      bool StrPrefix = Name == "u8" || Name == "u" || Name == "U" ||
+                       Name == "L";
+      if (RawPrefix && Next == '"') {
+        // Raw string: R"delim( ... )delim"
+        ++I; // consume the quote
+        std::string Delim;
+        while (I < N && Src[I] != '(')
+          Delim += Src[I++];
+        ++I; // consume '('
+        std::string Close = ")" + Delim + "\"";
+        size_t End = Src.find(Close, I);
+        if (End == std::string::npos)
+          End = N;
+        else
+          End += Close.size();
+        unsigned Start = Line;
+        Line += static_cast<unsigned>(
+            std::count(Src.begin() + static_cast<long>(B),
+                       Src.begin() + static_cast<long>(End), '\n'));
+        Out.Tokens.push_back({TokKind::String, "<raw>", Start});
+        I = End;
+        continue;
+      }
+      if (StrPrefix && (Next == '"' || Next == '\'')) {
+        // Fall through to the literal lexer below; drop the prefix.
+        continue;
+      }
+      Out.Tokens.push_back({TokKind::Ident, std::move(Name), Line});
+      continue;
+    }
+
+    // String / char literal.
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      unsigned Start = Line;
+      ++I;
+      while (I < N) {
+        char D = Src[I];
+        if (D == '\\') {
+          I += 2;
+          continue;
+        }
+        if (D == '\n')
+          ++Line;
+        ++I;
+        if (D == Quote)
+          break;
+      }
+      Out.Tokens.push_back(
+          {Quote == '"' ? TokKind::String : TokKind::CharLit, "<lit>",
+           Start});
+      continue;
+    }
+
+    // Number (coarse: digits, dots, exponents, suffixes).
+    if (C >= '0' && C <= '9') {
+      size_t B = I;
+      while (I < N && (isIdentChar(Src[I]) || Src[I] == '.' ||
+                       ((Src[I] == '+' || Src[I] == '-') && I > B &&
+                        (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
+                         Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
+        ++I;
+      Out.Tokens.push_back({TokKind::Number, Src.substr(B, I - B), Line});
+      continue;
+    }
+
+    // Punctuation: '...' and '::' matter to the clients; the rest is
+    // single-character.
+    if (C == '.' && peek(1) == '.' && peek(2) == '.') {
+      Out.Tokens.push_back({TokKind::Punct, "...", Line});
+      I += 3;
+      continue;
+    }
+    if (C == ':' && peek(1) == ':') {
+      Out.Tokens.push_back({TokKind::Punct, "::", Line});
+      I += 2;
+      continue;
+    }
+    Out.Tokens.push_back({TokKind::Punct, std::string(1, C), Line});
+    ++I;
+  }
+
+  // Group consecutive // lines into one Comment unit.
+  for (size_t B = 0; B != LineComments.size();) {
+    size_t E = B + 1;
+    std::string Text = LineComments[B].second;
+    while (E != LineComments.size() &&
+           LineComments[E].first == LineComments[E - 1].first + 1) {
+      Text += '\n';
+      Text += LineComments[E].second;
+      ++E;
+    }
+    Out.Comments.push_back(
+        {LineComments[B].first, LineComments[E - 1].first, std::move(Text)});
+    B = E;
+  }
+  // Keep the comment table sorted by position even though block and line
+  // comments were collected in separate passes.
+  std::sort(Out.Comments.begin(), Out.Comments.end(),
+            [](const Comment &A, const Comment &B) {
+              return A.FirstLine < B.FirstLine;
+            });
+  return Out;
+}
+
+size_t brainy::cpplex::matchDelim(const std::vector<Token> &Toks, size_t I) {
+  int Depth = 0;
+  for (size_t K = I; K != Toks.size(); ++K) {
+    if (Toks[K].Kind != TokKind::Punct)
+      continue;
+    const std::string &T = Toks[K].Text;
+    if (T == "(" || T == "[" || T == "{")
+      ++Depth;
+    else if (T == ")" || T == "]" || T == "}")
+      if (--Depth == 0)
+        return K;
+  }
+  return Toks.size();
+}
+
+size_t brainy::cpplex::matchAngle(const std::vector<Token> &Toks, size_t I) {
+  int Angle = 0, Paren = 0;
+  for (size_t K = I; K != Toks.size(); ++K) {
+    if (Toks[K].Kind != TokKind::Punct)
+      continue;
+    const std::string &T = Toks[K].Text;
+    if (T == "(" || T == "[" || T == "{")
+      ++Paren;
+    else if (T == ")" || T == "]" || T == "}")
+      --Paren;
+    else if (Paren == 0 && T == "<")
+      ++Angle;
+    else if (Paren == 0 && T == ">" && --Angle == 0)
+      return K;
+    else if (T == ";")
+      return Toks.size(); // statement ended: it was a comparison
+  }
+  return Toks.size();
+}
+
+std::vector<LoopSpan>
+brainy::cpplex::findLoops(const std::vector<Token> &Toks) {
+  std::vector<LoopSpan> Loops;
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    if (Toks[I].Kind != TokKind::Ident ||
+        (Toks[I].Text != "for" && Toks[I].Text != "while"))
+      continue;
+    size_t Open = I + 1;
+    if (Open == Toks.size() || Toks[Open].Text != "(")
+      continue;
+    size_t Close = matchDelim(Toks, Open);
+    if (Close == Toks.size())
+      continue;
+
+    LoopSpan L;
+    L.Line = Toks[I].Line;
+    L.HeaderBegin = Open + 1;
+    L.HeaderEnd = Close;
+    L.RangeFor = false;
+    L.RangeColon = 0;
+    if (Toks[I].Text == "for") {
+      int Depth = 0;
+      for (size_t K = Open; K != Close; ++K) {
+        if (Toks[K].Kind != TokKind::Punct)
+          continue;
+        const std::string &T = Toks[K].Text;
+        if (T == "(" || T == "[" || T == "{")
+          ++Depth;
+        else if (T == ")" || T == "]" || T == "}")
+          --Depth;
+        else if (T == ":" && Depth == 1) {
+          L.RangeFor = true;
+          L.RangeColon = K;
+          break;
+        }
+      }
+    }
+
+    size_t BodyBegin = Close + 1;
+    if (BodyBegin == Toks.size())
+      continue;
+    if (Toks[BodyBegin].Text == "{") {
+      size_t BodyClose = matchDelim(Toks, BodyBegin);
+      if (BodyClose == Toks.size())
+        continue;
+      L.BodyBegin = BodyBegin + 1;
+      L.BodyEnd = BodyClose;
+    } else {
+      // Single-statement body: up to the ';' at brace depth zero.
+      size_t K = BodyBegin;
+      int Depth = 0;
+      for (; K != Toks.size(); ++K) {
+        if (Toks[K].Kind != TokKind::Punct)
+          continue;
+        const std::string &T = Toks[K].Text;
+        if (T == "(" || T == "[" || T == "{")
+          ++Depth;
+        else if (T == ")" || T == "]" || T == "}")
+          --Depth;
+        else if (T == ";" && Depth == 0)
+          break;
+      }
+      L.BodyBegin = BodyBegin;
+      L.BodyEnd = K;
+    }
+    Loops.push_back(L);
+  }
+  return Loops;
+}

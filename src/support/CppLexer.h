@@ -1,0 +1,96 @@
+//===- support/CppLexer.h - Shared lightweight C++ lexer -------*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained C++ lexer (no libclang) shared by every tool
+/// that scans source text: the brainy_lint invariant checker and the
+/// src/analysis usage/legality analyzer. Comments, string/char literals
+/// (including raw strings), and preprocessor directives are lexed out of
+/// the token stream, so a container or banned name inside a literal can
+/// never be mistaken for code. Directives and comments are kept in side
+/// tables for clients that need them (lint's allow() suppressions live in
+/// comments).
+///
+/// The lexer is deliberately approximate — it has no preprocessor and no
+/// grammar — but it is deterministic, total (never fails), and shared, so
+/// lint and analysis agree on what is and is not code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SUPPORT_CPPLEXER_H
+#define BRAINY_SUPPORT_CPPLEXER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace brainy {
+namespace cpplex {
+
+enum class TokKind { Ident, Number, Punct, String, CharLit };
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  unsigned Line;
+};
+
+struct Directive {
+  unsigned Line;
+  std::string Text; ///< Whole directive, continuations joined, trimmed.
+};
+
+/// One comment with its line span. Consecutive single-line // comments are
+/// grouped into one Comment (a block of // lines acts as one unit, which
+/// is what lint's multi-line justification comments rely on).
+struct Comment {
+  unsigned FirstLine;
+  unsigned LastLine;
+  std::string Text;
+};
+
+struct LexedSource {
+  std::vector<Token> Tokens;
+  std::vector<Directive> Directives;
+  std::vector<Comment> Comments;
+};
+
+/// Lexes \p Src. Total: malformed input degrades to best-effort tokens,
+/// never an error.
+LexedSource lex(const std::string &Src);
+
+/// Given \p Toks[I] an opening delimiter ( [ {, returns the index of the
+/// matching close (tracking all three bracket kinds), or Toks.size() when
+/// unbalanced.
+size_t matchDelim(const std::vector<Token> &Toks, size_t I);
+
+/// Given \p Toks[I] == "<" opening a template argument list, returns the
+/// index of the matching ">", or Toks.size() when none is found. Nested
+/// angles are tracked; parens/brackets inside the list are skipped.
+size_t matchAngle(const std::vector<Token> &Toks, size_t I);
+
+/// A for/while loop located in the token stream: the header parenthesis
+/// span and the body span (a balanced brace block, or a single statement
+/// up to ';'). All bounds are token indices; Header/Body ranges are
+/// half-open and exclude the delimiters themselves.
+struct LoopSpan {
+  unsigned Line;       ///< Line of the for/while keyword.
+  size_t HeaderBegin;  ///< First token inside the header parens.
+  size_t HeaderEnd;    ///< One past the last header token.
+  size_t BodyBegin;    ///< First token of the body.
+  size_t BodyEnd;      ///< One past the last body token.
+  bool RangeFor;       ///< Header contains a top-level ':' (range-for).
+  size_t RangeColon;   ///< Token index of that ':' (valid when RangeFor).
+};
+
+/// Finds every for/while loop in \p Toks (do-while is not matched; its
+/// body precedes the condition, which none of our checks need).
+std::vector<LoopSpan> findLoops(const std::vector<Token> &Toks);
+
+} // namespace cpplex
+} // namespace brainy
+
+#endif // BRAINY_SUPPORT_CPPLEXER_H

@@ -6,16 +6,24 @@
 
 #include "survey/Survey.h"
 
+#include "support/CppLexer.h"
 #include "support/Rng.h"
 #include "support/Table.h"
 
 #include <cctype>
+#include <set>
 
 using namespace brainy;
 
 std::vector<std::string> brainy::surveyedContainerNames() {
-  return {"vector",   "list",     "map",      "set",     "deque",
-          "multimap", "multiset", "hash_map", "hash_set"};
+  // The original nine spellings first (the Figure 2 set), then the modern
+  // unordered spellings; keeping the order appends-only keeps older corpus
+  // figures byte-stable.
+  return {"vector",        "list",          "map",
+          "set",           "deque",         "multimap",
+          "multiset",      "hash_map",      "hash_set",
+          "unordered_map", "unordered_set", "unordered_multimap",
+          "unordered_multiset"};
 }
 
 namespace {
@@ -106,8 +114,59 @@ brainy::countContainerRefs(const std::string &Source) {
     }
     Counts[Name] = Count;
   }
-  // hash_map/hash_set contain "map"/"set" only as suffixes after '_', which
-  // the left-boundary check already rejects, so no double counting occurs.
+  // hash_map/hash_set/unordered_* contain "map"/"set"/"multimap" only as
+  // suffixes after '_' or 'i', which the left-boundary check already
+  // rejects, so no double counting occurs.
+
+  // Alias pass: `using Vec = std::vector<...>;` and
+  // `typedef std::map<...> Index;` make later references to the container
+  // wear the alias's name; attribute each non-definition use of the alias
+  // back to the underlying container. Runs on the shared lexer's token
+  // stream (definition sites need real token structure, not substrings).
+  std::set<std::string> NameSet;
+  for (const std::string &Name : surveyedContainerNames())
+    NameSet.insert(Name);
+  const std::vector<cpplex::Token> &T = cpplex::lex(Source).Tokens;
+  auto IsIdent = [&](size_t I) {
+    return I < T.size() && T[I].Kind == cpplex::TokKind::Ident;
+  };
+  std::map<std::string, std::string> Aliases;
+  for (size_t I = 0; I != T.size(); ++I) {
+    if (!IsIdent(I))
+      continue;
+    if (T[I].Text == "using" && IsIdent(I + 1) && I + 3 < T.size() &&
+        T[I + 2].Text == "=") {
+      size_t J = I + 3;
+      if (J + 1 < T.size() && T[J].Text == "std" && T[J + 1].Text == "::")
+        J += 2;
+      if (IsIdent(J) && NameSet.count(T[J].Text))
+        Aliases[T[I + 1].Text] = T[J].Text;
+    } else if (T[I].Text == "typedef") {
+      size_t J = I + 1;
+      if (J + 1 < T.size() && T[J].Text == "std" && T[J + 1].Text == "::")
+        J += 2;
+      if (IsIdent(J) && NameSet.count(T[J].Text) && J + 1 < T.size() &&
+          T[J + 1].Text == "<") {
+        size_t Close = cpplex::matchAngle(T, J + 1);
+        if (Close != T.size() && IsIdent(Close + 1))
+          Aliases[T[Close + 1].Text] = T[J].Text;
+      }
+    }
+  }
+  for (size_t I = 0; I != T.size(); ++I) {
+    if (!IsIdent(I))
+      continue;
+    auto It = Aliases.find(T[I].Text);
+    if (It == Aliases.end())
+      continue;
+    // Skip the definition sites: `using NAME =` and `...> NAME;`.
+    if (I > 0 && T[I - 1].Text == "using" && I + 1 < T.size() &&
+        T[I + 1].Text == "=")
+      continue;
+    if (I > 0 && T[I - 1].Text == ">")
+      continue;
+    ++Counts[It->second];
+  }
   return Counts;
 }
 

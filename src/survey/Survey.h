@@ -31,7 +31,9 @@ std::vector<std::string> surveyedContainerNames();
 /// Counts static references to each surveyed container in \p Source.
 /// A reference is the container name followed by '<' (template use) or
 /// preceded by "std::"/"__gnu_cxx::" — comments and string literals are
-/// skipped.
+/// skipped. References through type aliases (`using Vec = std::vector<..>;`
+/// / `typedef std::map<..> Index;`) are attributed to the underlying
+/// container, one per non-definition use of the alias name.
 std::map<std::string, uint64_t> countContainerRefs(const std::string &Source);
 
 /// Merges per-file counts.

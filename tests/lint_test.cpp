@@ -44,9 +44,9 @@ bool fires(const std::string &Path, const std::string &Content,
 // Catalogue sanity
 //===----------------------------------------------------------------------===//
 
-TEST(LintCatalogue, SevenRulesWithStableUniqueIds) {
+TEST(LintCatalogue, EightRulesWithStableUniqueIds) {
   const auto &Rules = rules();
-  ASSERT_EQ(Rules.size(), 7u);
+  ASSERT_EQ(Rules.size(), 8u);
   std::set<std::string> Ids, Names;
   for (const Rule &R : Rules) {
     Ids.insert(R.Id);
@@ -56,6 +56,7 @@ TEST(LintCatalogue, SevenRulesWithStableUniqueIds) {
   EXPECT_EQ(Names.size(), Rules.size());
   EXPECT_EQ(Rules.front().Id, std::string("BL001"));
   EXPECT_TRUE(Ids.count("BL007"));
+  EXPECT_TRUE(Ids.count("BL008"));
 }
 
 TEST(LintCatalogue, DiagFormatIsFileLineRule) {
@@ -262,6 +263,85 @@ TEST(LintUsingNamespace, FiresInHeaderOnly) {
   EXPECT_TRUE(fires("src/core/bad.h", Fixture, "using-namespace-header"));
   EXPECT_FALSE(fires("src/core/ok.cpp", "using namespace std;\n",
                      "using-namespace-header"));
+}
+
+//===----------------------------------------------------------------------===//
+// BL008 erase-in-loop
+//===----------------------------------------------------------------------===//
+
+TEST(LintEraseInLoop, FiresOnDiscardedEraseOfLoopIterator) {
+  std::string Fixture =
+      "void f(std::map<int, int> &M) {\n"
+      "  for (auto It = M.begin(); It != M.end(); ++It) {\n"
+      "    if (bad(It)) M.erase(It);\n"
+      "  }\n"
+      "}\n";
+  auto Diags = lintSource("src/core/bad.cpp", Fixture);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].RuleName, "erase-in-loop");
+  EXPECT_EQ(Diags[0].Line, 3u);
+}
+
+TEST(LintEraseInLoop, FiresInWhileLoopOverSameContainer) {
+  std::string Fixture =
+      "void f(std::set<int> &S) {\n"
+      "  auto It = S.begin();\n"
+      "  while (It != S.end()) {\n"
+      "    if (bad(*It)) S.erase(It); else ++It;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/core/bad.cpp", Fixture, "erase-in-loop"));
+}
+
+TEST(LintEraseInLoop, FiresOnRangeForElementErase) {
+  std::string Fixture =
+      "void f(std::set<int> &S) {\n"
+      "  for (const auto &V : S) {\n"
+      "    if (bad(V)) S.erase(V);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/core/bad.cpp", Fixture, "erase-in-loop"));
+}
+
+TEST(LintEraseInLoop, ConsumedResultIsFine) {
+  std::string Fixture =
+      "void f(std::map<int, int> &M) {\n"
+      "  for (auto It = M.begin(); It != M.end();) {\n"
+      "    if (bad(It)) It = M.erase(It); else ++It;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "erase-in-loop"));
+}
+
+TEST(LintEraseInLoop, PostIncrementIdiomIsFine) {
+  std::string Fixture =
+      "void f(std::map<int, int> &M) {\n"
+      "  for (auto It = M.begin(); It != M.end();) {\n"
+      "    if (bad(It)) M.erase(It++); else ++It;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "erase-in-loop"));
+}
+
+TEST(LintEraseInLoop, EraseByOutsideKeyIsFine) {
+  std::string Fixture =
+      "void f(std::map<int, int> &M, int Key) {\n"
+      "  for (auto It = M.begin(); It != M.end(); ++It) {\n"
+      "    mark(It);\n"
+      "  }\n"
+      "  M.erase(Key);\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "erase-in-loop"));
+}
+
+TEST(LintEraseInLoop, EraseOnDifferentContainerIsFine) {
+  std::string Fixture =
+      "void f(std::map<int, int> &A, std::map<int, int> &B) {\n"
+      "  for (auto It = A.begin(); It != A.end(); ++It) {\n"
+      "    B.erase(Other);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "erase-in-loop"));
 }
 
 //===----------------------------------------------------------------------===//

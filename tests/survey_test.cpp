@@ -74,6 +74,55 @@ TEST(SurveyTest, CorpusReproducesFigure2Ordering) {
 
 TEST(SurveyTest, SurveyedNamesCoverPaperTargets) {
   auto Names = surveyedContainerNames();
-  for (const char *Needed : {"vector", "list", "set", "map"})
+  for (const char *Needed :
+       {"vector", "list", "set", "map", "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset"})
     EXPECT_NE(std::find(Names.begin(), Names.end(), Needed), Names.end());
+}
+
+TEST(SurveyTest, CountsUnorderedSpellings) {
+  auto Counts = countContainerRefs(
+      "std::unordered_map<int, int> A;\n"
+      "std::unordered_multimap<int, int> B;\n"
+      "unordered_multiset<int> C;\n"
+      "std::unordered_set<int> D;\n");
+  EXPECT_EQ(Counts["unordered_map"], 1u);
+  EXPECT_EQ(Counts["unordered_multimap"], 1u);
+  EXPECT_EQ(Counts["unordered_multiset"], 1u);
+  EXPECT_EQ(Counts["unordered_set"], 1u);
+  // No substring bleed into map/set/multimap.
+  EXPECT_EQ(Counts["map"], 0u);
+  EXPECT_EQ(Counts["set"], 0u);
+  EXPECT_EQ(Counts["multimap"], 0u);
+}
+
+TEST(SurveyTest, AliasUsesAttributeToUnderlyingContainer) {
+  auto Counts = countContainerRefs("using Vec = std::vector<int>;\n"
+                                   "typedef std::map<int, int> Index;\n"
+                                   "Vec A;\n"
+                                   "Vec B;\n"
+                                   "Index Lookup;\n");
+  // One direct reference each at the alias definitions, plus the uses:
+  // two Vec's for vector, one Index for map.
+  EXPECT_EQ(Counts["vector"], 3u);
+  EXPECT_EQ(Counts["map"], 2u);
+}
+
+TEST(SurveyTest, AliasDefinitionSitesDoNotSelfCount) {
+  auto Counts = countContainerRefs("using Vec = std::vector<int>;\n"
+                                   "typedef std::map<int, int> Index;\n");
+  EXPECT_EQ(Counts["vector"], 1u); // the std::vector reference itself
+  EXPECT_EQ(Counts["map"], 1u);
+}
+
+TEST(SurveyTest, AliasRecognitionKeepsCorpusFiguresStable) {
+  // The synthetic corpus contains no aliases; the Figure 2 totals must be
+  // exactly what the pre-alias scanner produced.
+  auto Totals = surveyCorpus(50);
+  auto Again = surveyCorpus(50);
+  EXPECT_EQ(Totals, Again);
+  for (const char *Unordered :
+       {"unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"})
+    EXPECT_EQ(Totals[Unordered], 0u);
 }

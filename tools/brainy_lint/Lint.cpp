@@ -4,20 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Implementation notes. The scanner is a real (if small) C++ lexer, not a
-// grep: comments, string/char literals (including raw strings), and
-// preprocessor directives are lexed out of the token stream first, so a
-// banned name inside a string literal — e.g. the chrono calls CppEmitter
-// writes into *generated* applications, or the violation fixtures in the
-// self-test — can never trip a rule. Rules then run over the clean token
-// stream plus the directive and comment side tables.
+// Implementation notes. The scanner runs over the shared support/CppLexer
+// token stream, not a grep: comments, string/char literals (including raw
+// strings), and preprocessor directives are lexed out of the token stream
+// first, so a banned name inside a string literal — e.g. the chrono calls
+// CppEmitter writes into *generated* applications, or the violation
+// fixtures in the self-test — can never trip a rule. Rules then run over
+// the clean token stream plus the directive and comment side tables.
 //
 //===----------------------------------------------------------------------===//
 
 #include "Lint.h"
 
+#include "support/CppLexer.h"
+
 #include <algorithm>
-#include <array>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -26,37 +27,19 @@
 
 using namespace brainy;
 using namespace brainy::lint;
+using cpplex::Directive;
+using cpplex::TokKind;
+using cpplex::Token;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Token model
-//===----------------------------------------------------------------------===//
-
-enum class TokKind { Ident, Number, Punct, String, CharLit };
-
-struct Token {
-  TokKind Kind;
-  std::string Text;
-  unsigned Line;
-};
-
-struct Directive {
-  unsigned Line;
-  std::string Text; ///< Whole directive, continuations joined, trimmed.
-};
-
+/// The lexed source plus lint's own side table: which rule names are
+/// suppressed on which lines by `brainy-lint: allow(...)` comments.
 struct LexedFile {
-  std::vector<Token> Tokens;
-  std::vector<Directive> Directives;
-  /// Line -> rule names suppressed there by `brainy-lint: allow(...)`.
+  cpplex::LexedSource Source;
+  /// Line -> rule names suppressed there.
   std::map<unsigned, std::set<std::string>> Allows;
 };
-
-bool isIdentStart(char C) {
-  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
-}
-bool isIdentChar(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
 
 /// Records the rule names of every `brainy-lint: allow(a, b)` marker in
 /// \p Comment as suppressed on lines [First, Last].
@@ -86,192 +69,14 @@ void harvestAllows(const std::string &Comment, unsigned First, unsigned Last,
   }
 }
 
-/// Lexes \p Src into tokens, directives, and suppression markers.
-LexedFile lex(const std::string &Src) {
+LexedFile lexForLint(const std::string &Src) {
   LexedFile Out;
-  std::vector<std::pair<unsigned, std::string>> LineComments;
-  size_t I = 0, N = Src.size();
-  unsigned Line = 1;
-  bool AtLineStart = true;
-
-  auto peek = [&](size_t Ahead) -> char {
-    return I + Ahead < N ? Src[I + Ahead] : '\0';
-  };
-
-  while (I < N) {
-    char C = Src[I];
-
-    if (C == '\n') {
-      ++Line;
-      ++I;
-      AtLineStart = true;
-      continue;
-    }
-    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
-      ++I;
-      continue;
-    }
-
-    // Preprocessor directive: '#' first on the line, with continuations.
-    if (C == '#' && AtLineStart) {
-      unsigned Start = Line;
-      std::string Text;
-      while (I < N) {
-        char D = Src[I];
-        if (D == '\n') {
-          if (!Text.empty() && Text.back() == '\\') {
-            Text.pop_back();
-            Text += ' ';
-            ++Line;
-            ++I;
-            continue;
-          }
-          break;
-        }
-        Text += D;
-        ++I;
-      }
-      size_t E = Text.find_last_not_of(" \t\r");
-      Out.Directives.push_back(
-          {Start, E == std::string::npos ? Text : Text.substr(0, E + 1)});
-      continue;
-    }
-    AtLineStart = false;
-
-    // Line comment. Collected for post-pass grouping: a contiguous block
-    // of // lines acts as one suppression comment covering the block and
-    // the line after it.
-    if (C == '/' && peek(1) == '/') {
-      size_t End = Src.find('\n', I);
-      if (End == std::string::npos)
-        End = N;
-      LineComments.push_back({Line, Src.substr(I, End - I)});
-      I = End;
-      continue;
-    }
-
-    // Block comment.
-    if (C == '/' && peek(1) == '*') {
-      unsigned Start = Line;
-      size_t End = Src.find("*/", I + 2);
-      if (End == std::string::npos)
-        End = N;
-      else
-        End += 2;
-      std::string Text = Src.substr(I, End - I);
-      Line += static_cast<unsigned>(std::count(Text.begin(), Text.end(),
-                                               '\n'));
-      harvestAllows(Text, Start, Line + 1, Out);
-      I = End;
-      continue;
-    }
-
-    // Identifier — possibly a string-literal prefix.
-    if (isIdentStart(C)) {
-      size_t B = I;
-      while (I < N && isIdentChar(Src[I]))
-        ++I;
-      std::string Name = Src.substr(B, I - B);
-      char Next = I < N ? Src[I] : '\0';
-      bool RawPrefix = Name == "R" || Name == "u8R" || Name == "uR" ||
-                       Name == "UR" || Name == "LR";
-      bool StrPrefix = Name == "u8" || Name == "u" || Name == "U" ||
-                       Name == "L";
-      if (RawPrefix && Next == '"') {
-        // Raw string: R"delim( ... )delim"
-        ++I; // consume the quote
-        std::string Delim;
-        while (I < N && Src[I] != '(')
-          Delim += Src[I++];
-        ++I; // consume '('
-        std::string Close = ")" + Delim + "\"";
-        size_t End = Src.find(Close, I);
-        if (End == std::string::npos)
-          End = N;
-        else
-          End += Close.size();
-        unsigned Start = Line;
-        Line += static_cast<unsigned>(
-            std::count(Src.begin() + static_cast<long>(B),
-                       Src.begin() + static_cast<long>(End), '\n'));
-        Out.Tokens.push_back({TokKind::String, "<raw>", Start});
-        I = End;
-        continue;
-      }
-      if (StrPrefix && (Next == '"' || Next == '\'')) {
-        // Fall through to the literal lexer below; drop the prefix.
-        continue;
-      }
-      Out.Tokens.push_back({TokKind::Ident, std::move(Name), Line});
-      continue;
-    }
-
-    // String / char literal.
-    if (C == '"' || C == '\'') {
-      char Quote = C;
-      unsigned Start = Line;
-      ++I;
-      while (I < N) {
-        char D = Src[I];
-        if (D == '\\') {
-          I += 2;
-          continue;
-        }
-        if (D == '\n')
-          ++Line;
-        ++I;
-        if (D == Quote)
-          break;
-      }
-      Out.Tokens.push_back(
-          {Quote == '"' ? TokKind::String : TokKind::CharLit, "<lit>",
-           Start});
-      continue;
-    }
-
-    // Number (coarse: digits, dots, exponents, suffixes).
-    if (C >= '0' && C <= '9') {
-      size_t B = I;
-      while (I < N && (isIdentChar(Src[I]) || Src[I] == '.' ||
-                       ((Src[I] == '+' || Src[I] == '-') && I > B &&
-                        (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
-                         Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
-        ++I;
-      Out.Tokens.push_back({TokKind::Number, Src.substr(B, I - B), Line});
-      continue;
-    }
-
-    // Punctuation: '...' and '::' matter to the rules; the rest is
-    // single-character.
-    if (C == '.' && peek(1) == '.' && peek(2) == '.') {
-      Out.Tokens.push_back({TokKind::Punct, "...", Line});
-      I += 3;
-      continue;
-    }
-    if (C == ':' && peek(1) == ':') {
-      Out.Tokens.push_back({TokKind::Punct, "::", Line});
-      I += 2;
-      continue;
-    }
-    Out.Tokens.push_back({TokKind::Punct, std::string(1, C), Line});
-    ++I;
-  }
-
-  // Group consecutive // lines into blocks; an allow() anywhere in the
-  // block suppresses the whole block plus the line that follows it.
-  for (size_t B = 0; B != LineComments.size();) {
-    size_t E = B + 1;
-    std::string Text = LineComments[B].second;
-    while (E != LineComments.size() &&
-           LineComments[E].first == LineComments[E - 1].first + 1) {
-      Text += '\n';
-      Text += LineComments[E].second;
-      ++E;
-    }
-    harvestAllows(Text, LineComments[B].first,
-                  LineComments[E - 1].first + 1, Out);
-    B = E;
-  }
+  Out.Source = cpplex::lex(Src);
+  // An allow() anywhere in a comment (a block comment, or a contiguous
+  // group of // lines) suppresses the comment's own lines plus the line
+  // that follows it.
+  for (const cpplex::Comment &C : Out.Source.Comments)
+    harvestAllows(C.Text, C.FirstLine, C.LastLine + 1, Out);
   return Out;
 }
 
@@ -295,6 +100,11 @@ struct Checker {
   const std::string &Path;
   const LexedFile &File;
   std::vector<Diag> Diags;
+
+  const std::vector<Token> &tokens() const { return File.Source.Tokens; }
+  const std::vector<Directive> &directives() const {
+    return File.Source.Directives;
+  }
 
   // The Allows table already extends one line past each comment, so a
   // marker covers its own line(s) plus the line that follows — checking
@@ -326,13 +136,13 @@ void checkNondetRand(Checker &C) {
       "mt19937_64",    "minstd_rand",   "minstd_rand0",
       "ranlux24",      "ranlux48",      "knuth_b",
       "default_random_engine", "random_shuffle"};
-  for (const Token &T : C.File.Tokens)
+  for (const Token &T : C.tokens())
     if (T.Kind == TokKind::Ident && Banned.count(T.Text))
       C.diag(T.Line, "BL001", "nondet-rand",
              "'" + T.Text +
                  "' is a nondeterminism source; all randomness must come "
                  "from support/Rng (seeded, regenerable)");
-  for (const Directive &D : C.File.Directives)
+  for (const Directive &D : C.directives())
     if (D.Text.find("<random>") != std::string::npos)
       C.diag(D.Line, "BL001", "nondet-rand",
              "#include <random> outside support/Rng; use the seeded Rng "
@@ -350,7 +160,7 @@ void checkWallClock(Checker &C) {
       "steady_clock",  "system_clock", "high_resolution_clock",
       "gettimeofday",  "clock_gettime", "timespec_get",
       "localtime",     "gmtime",        "mktime"};
-  const auto &Toks = C.File.Tokens;
+  const auto &Toks = C.tokens();
   for (size_t I = 0; I != Toks.size(); ++I) {
     const Token &T = Toks[I];
     if (T.Kind != TokKind::Ident)
@@ -370,7 +180,7 @@ void checkWallClock(Checker &C) {
                  "()' reads the wall clock; route timing through the "
                  "support/Timer shim");
   }
-  for (const Directive &D : C.File.Directives)
+  for (const Directive &D : C.directives())
     for (const char *Header : {"<chrono>", "<ctime>", "<sys/time.h>"})
       if (D.Text.find(Header) != std::string::npos)
         C.diag(D.Line, "BL002", "wall-clock",
@@ -423,7 +233,7 @@ void checkUnorderedIter(Checker &C) {
   // examples may iterate freely (their output feeds humans, not models).
   if (!pathStartsWith(C.Path, "src/") && !pathStartsWith(C.Path, "tools/"))
     return;
-  const auto &Toks = C.File.Tokens;
+  const auto &Toks = C.tokens();
   std::set<std::string> Unordered = unorderedDecls(Toks);
 
   auto flagIfUnordered = [&](size_t Begin, size_t End, unsigned Line) {
@@ -443,32 +253,9 @@ void checkUnorderedIter(Checker &C) {
     }
   };
 
-  for (size_t I = 0; I != Toks.size(); ++I) {
-    if (Toks[I].Kind != TokKind::Ident || Toks[I].Text != "for")
-      continue;
-    size_t J = I + 1;
-    if (J == Toks.size() || Toks[J].Text != "(")
-      continue;
-    // Find a top-level ':' (range-for) inside the parens.
-    int Depth = 0;
-    size_t Colon = 0, Close = 0;
-    for (size_t K = J; K != Toks.size(); ++K) {
-      if (Toks[K].Kind != TokKind::Punct)
-        continue;
-      if (Toks[K].Text == "(" || Toks[K].Text == "[" || Toks[K].Text == "{")
-        ++Depth;
-      else if (Toks[K].Text == ")" || Toks[K].Text == "]" ||
-               Toks[K].Text == "}") {
-        if (--Depth == 0) {
-          Close = K;
-          break;
-        }
-      } else if (Toks[K].Text == ":" && Depth == 1 && !Colon)
-        Colon = K;
-    }
-    if (Colon && Close)
-      flagIfUnordered(Colon + 1, Close, Toks[I].Line);
-  }
+  for (const cpplex::LoopSpan &L : cpplex::findLoops(Toks))
+    if (L.RangeFor)
+      flagIfUnordered(L.RangeColon + 1, L.HeaderEnd, L.Line);
 
   // Explicit iterator loops: Name.begin() / Name.cbegin() on a recorded
   // unordered declaration. `.end()` alone is not flagged — it is the
@@ -491,7 +278,7 @@ void checkUnorderedIter(Checker &C) {
 void checkNakedNew(Checker &C) {
   if (pathStartsWith(C.Path, "src/containers/"))
     return;
-  const auto &Toks = C.File.Tokens;
+  const auto &Toks = C.tokens();
   for (size_t I = 0; I != Toks.size(); ++I) {
     const Token &T = Toks[I];
     if (T.Kind != TokKind::Ident || (T.Text != "new" && T.Text != "delete"))
@@ -514,7 +301,7 @@ void checkNakedNew(Checker &C) {
 //===----------------------------------------------------------------------===//
 
 void checkCatchAll(Checker &C) {
-  const auto &Toks = C.File.Tokens;
+  const auto &Toks = C.tokens();
   for (size_t I = 0; I + 3 < Toks.size(); ++I) {
     if (Toks[I].Kind != TokKind::Ident || Toks[I].Text != "catch" ||
         Toks[I + 1].Text != "(" || Toks[I + 2].Text != "..." ||
@@ -555,7 +342,7 @@ void checkCatchAll(Checker &C) {
 void checkHeaderGuard(Checker &C) {
   if (!isHeader(C.Path))
     return;
-  const auto &Dirs = C.File.Directives;
+  const auto &Dirs = C.directives();
   if (Dirs.empty()) {
     C.diag(1, "BL006", "header-guard",
            "header has no include guard (#ifndef/#define or #pragma once)");
@@ -589,7 +376,7 @@ void checkHeaderGuard(Checker &C) {
 void checkUsingNamespaceHeader(Checker &C) {
   if (!isHeader(C.Path))
     return;
-  const auto &Toks = C.File.Tokens;
+  const auto &Toks = C.tokens();
   for (size_t I = 0; I + 1 < Toks.size(); ++I)
     if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == "using" &&
         Toks[I + 1].Kind == TokKind::Ident &&
@@ -597,6 +384,81 @@ void checkUsingNamespaceHeader(Checker &C) {
       C.diag(Toks[I].Line, "BL007", "using-namespace-header",
              "'using namespace' in a header leaks into every includer; "
              "qualify names instead");
+}
+
+//===----------------------------------------------------------------------===//
+// BL008 erase-in-loop
+//===----------------------------------------------------------------------===//
+
+/// Container names a loop iterates: the trailing identifier of the
+/// range-for expression, plus every `X` with `X.begin()` / `X.end()` (and
+/// the c/r variants) in the header.
+std::set<std::string> iteratedNames(const std::vector<Token> &Toks,
+                                    const cpplex::LoopSpan &L) {
+  std::set<std::string> Names;
+  if (L.RangeFor) {
+    // `for (auto &KV : Expr)` — the last plain identifier of Expr is the
+    // best container-name guess (handles `M` and `Obj.M`).
+    for (size_t K = L.HeaderEnd; K-- > L.RangeColon + 1;) {
+      if (Toks[K].Kind == TokKind::Ident) {
+        Names.insert(Toks[K].Text);
+        break;
+      }
+      if (Toks[K].Kind == TokKind::Punct &&
+          (Toks[K].Text == ")" || Toks[K].Text == "]"))
+        break; // call or index result: no stable name to track
+    }
+  }
+  static const std::set<std::string> BeginEnd = {
+      "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+  for (size_t K = L.HeaderBegin; K + 2 < L.HeaderEnd; ++K)
+    if (Toks[K].Kind == TokKind::Ident && Toks[K + 1].Text == "." &&
+        Toks[K + 2].Kind == TokKind::Ident && BeginEnd.count(Toks[K + 2].Text))
+      Names.insert(Toks[K].Text);
+  return Names;
+}
+
+void checkEraseInLoop(Checker &C) {
+  const auto &Toks = C.tokens();
+  for (const cpplex::LoopSpan &L : cpplex::findLoops(Toks)) {
+    std::set<std::string> Iterated = iteratedNames(Toks, L);
+    if (Iterated.empty())
+      continue;
+    // Identifiers appearing in the loop header: the loop's own iterator
+    // variables. `X.erase(Key)` with a key from outside the loop is not
+    // this rule's hazard; `X.erase(It)` with the header's iterator is.
+    std::set<std::string> HeaderIdents;
+    for (size_t K = L.HeaderBegin; K < L.HeaderEnd; ++K)
+      if (Toks[K].Kind == TokKind::Ident)
+        HeaderIdents.insert(Toks[K].Text);
+
+    for (size_t K = L.BodyBegin; K + 3 < L.BodyEnd; ++K) {
+      if (Toks[K].Kind != TokKind::Ident || !Iterated.count(Toks[K].Text) ||
+          Toks[K + 1].Text != "." || Toks[K + 2].Text != "erase" ||
+          Toks[K + 3].Text != "(")
+        continue;
+      size_t Close = cpplex::matchDelim(Toks, K + 3);
+      if (Close == Toks.size() || Close > L.BodyEnd)
+        continue;
+      // Argument must be a single identifier (an iterator), and one the
+      // loop header owns. `erase(It++)` — the node-container idiom that
+      // advances before invalidation — is exempt.
+      if (Close != K + 5 || Toks[K + 4].Kind != TokKind::Ident ||
+          !HeaderIdents.count(Toks[K + 4].Text))
+        continue;
+      // Consumed result (`It = X.erase(It)`, `auto N = ...`, `return ...`)
+      // is the correct pattern.
+      if (K >= 1 + L.BodyBegin &&
+          (Toks[K - 1].Text == "=" || Toks[K - 1].Text == "return"))
+        continue;
+      C.diag(Toks[K].Line, "BL008", "erase-in-loop",
+             "'" + Toks[K].Text + ".erase(" + Toks[K + 4].Text +
+                 ")' inside a loop over '" + Toks[K].Text +
+                 "' discards the returned iterator; the erased iterator is "
+                 "invalid — use 'It = c.erase(It)' (or erase(It++) on "
+                 "node-based containers)");
+    }
+  }
 }
 
 } // namespace
@@ -627,6 +489,10 @@ const std::vector<Rule> &brainy::lint::rules() {
        "headers must carry a matching include guard or #pragma once", "-"},
       {"BL007", "using-namespace-header",
        "'using namespace' inside a header", "-"},
+      {"BL008", "erase-in-loop",
+       "erase(it) in a loop over the same container that discards the "
+       "returned iterator (iterator-invalidation hazard)",
+       "-"},
   };
   return Rules;
 }
@@ -638,7 +504,7 @@ std::string brainy::lint::format(const Diag &D) {
 
 std::vector<Diag> brainy::lint::lintSource(const std::string &Path,
                                            const std::string &Content) {
-  LexedFile File = lex(Content);
+  LexedFile File = lexForLint(Content);
   Checker C{Path, File, {}};
   checkNondetRand(C);
   checkWallClock(C);
@@ -647,6 +513,7 @@ std::vector<Diag> brainy::lint::lintSource(const std::string &Path,
   checkCatchAll(C);
   checkHeaderGuard(C);
   checkUsingNamespaceHeader(C);
+  checkEraseInLoop(C);
   std::sort(C.Diags.begin(), C.Diags.end(),
             [](const Diag &A, const Diag &B) {
               if (A.Line != B.Line)

@@ -5,8 +5,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// brainy-lint: a self-contained scanner (tokenizer + rule engine, no
-/// libclang) that enforces the repo's determinism and hygiene invariants
+/// brainy-lint: a rule engine over the shared support/CppLexer token
+/// stream (no libclang) that enforces the repo's determinism and hygiene
+/// invariants
 /// (DESIGN.md §9). The training pipeline's contract — Jobs=N bit-identical
 /// to serial, fault runs bit-identical to ExcludeSeeds runs — rests on
 /// source-level invariants that no compiler checks: no ambient randomness,

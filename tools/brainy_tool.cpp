@@ -22,9 +22,17 @@
 //   brainy survey FILE...
 //       count STL container references in real source files (Figure 2
 //       methodology)
+//   brainy check [--json] [--jobs N] FILE...
+//       per-variable container usage analysis and replacement-legality
+//       verdicts (DESIGN.md §11)
+//   brainy recommend --source FILE [FILE...]
+//       Table 1 replacement candidates per variable, filtered by the
+//       legality verdicts (illegal targets printed with the reason)
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Report.h"
+#include "analysis/UsageAnalysis.h"
 #include "appgen/CppEmitter.h"
 #include "core/Brainy.h"
 #include "distributed/Coordinator.h"
@@ -51,19 +59,22 @@ using namespace brainy;
 namespace {
 
 /// Minimal flag parser: --key value pairs plus positional arguments.
-/// Every flag takes a value; each command validates against its own list
-/// of known flags so a typo is a usage error, not a silently ignored (or
-/// silently swallowed) argument.
+/// Value flags take the next argv entry; boolean flags (per-command list)
+/// take none. Each command validates against its own lists of known flags
+/// so a typo is a usage error, not a silently ignored (or silently
+/// swallowed) argument.
 struct Args {
   std::map<std::string, std::string> Flags;
   std::vector<std::string> Positional;
   std::string Error; ///< Non-empty = parse failed; use the message.
 
   static Args parse(int Argc, char **Argv, int Start,
-                    const std::vector<std::string> &Known) {
+                    const std::vector<std::string> &Known,
+                    const std::vector<std::string> &KnownBool = {}) {
     Args A;
-    auto IsKnown = [&](const std::string &Key) {
-      for (const std::string &K : Known)
+    auto In = [](const std::vector<std::string> &List,
+                 const std::string &Key) {
+      for (const std::string &K : List)
         if (Key == K)
           return true;
       return false;
@@ -79,7 +90,11 @@ struct Args {
         A.Positional.push_back(Arg);
         continue;
       }
-      if (!IsKnown(Key)) {
+      if (In(KnownBool, Key)) {
+        A.Flags[Key] = "1";
+        continue;
+      }
+      if (!In(Known, Key)) {
         A.Error = "unknown flag '" + Arg + "'";
         return A;
       }
@@ -100,6 +115,7 @@ struct Args {
     auto It = Flags.find(Key);
     return It == Flags.end() ? Def : It->second;
   }
+  bool has(const std::string &Key) const { return Flags.count(Key) != 0; }
   /// Strict numeric flag: range errors and trailing junk are usage errors
   /// (exit 2), not silently truncated values.
   uint64_t getInt(const std::string &Key, uint64_t Def) const {
@@ -130,7 +146,9 @@ int usage() {
       "  trainset --machine core2|atom --model FAMILY -o FILE\n"
       "           [--target N] [--seeds N] [--config FILE] [--jobs N]\n"
       "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
-      "  survey FILE...\n");
+      "  survey FILE...\n"
+      "  check [--json] [--jobs N] FILE...\n"
+      "  recommend --source FILE [FILE...]\n");
   return 2;
 }
 
@@ -356,6 +374,142 @@ int cmdSurvey(const Args &A) {
   return 0;
 }
 
+/// Reads every path, exiting 2 if any is unreadable, then runs the usage
+/// analysis (fanned out over --jobs; byte-identical for every job count).
+bool analyzePaths(const std::vector<std::string> &Paths, unsigned Jobs,
+                  std::vector<analysis::FileAnalysis> &Out) {
+  std::vector<std::pair<std::string, std::string>> Sources;
+  bool Ok = true;
+  for (const std::string &Path : Paths) {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F) {
+      std::fprintf(stderr, "brainy: cannot open '%s'\n", Path.c_str());
+      Ok = false;
+      continue;
+    }
+    std::string Text;
+    char Buf[8192];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Text.append(Buf, N);
+    std::fclose(F);
+    Sources.emplace_back(Path, std::move(Text));
+  }
+  if (!Ok)
+    return false;
+  Out = analysis::analyzeSources(Sources, Jobs);
+  return true;
+}
+
+int cmdCheck(const Args &A) {
+  if (A.Positional.empty()) {
+    std::fprintf(stderr, "check: no files given\n");
+    return 2;
+  }
+  std::vector<analysis::FileAnalysis> Files;
+  if (!analyzePaths(A.Positional, static_cast<unsigned>(A.getInt("jobs", 0)),
+                    Files))
+    return 2;
+  std::string Report = A.has("json") ? analysis::renderJson(Files)
+                                     : analysis::renderText(Files);
+  std::fwrite(Report.data(), 1, Report.size(), stdout);
+  // Built-in self-consistency: the conservatism rule guarantees the
+  // declared container is legal for its own profile; a violation means
+  // the analysis itself is broken, and CI treats it as a failure.
+  std::vector<std::string> Bad = analysis::selfConsistencyViolations(Files);
+  for (const std::string &V : Bad)
+    std::fprintf(stderr,
+                 "brainy check: self-consistency violation: %s is not "
+                 "legal for its own declared type\n",
+                 V.c_str());
+  return Bad.empty() ? 0 : 1;
+}
+
+/// Table 1 rows are keyed by DsKind; only declared types with a row get
+/// recommendations (multi/splay/flat declarations are analysis-only).
+bool dsKindForCandidate(analysis::Candidate C, DsKind &Out) {
+  switch (C) {
+  case analysis::Candidate::Vector:
+    Out = DsKind::Vector;
+    return true;
+  case analysis::Candidate::List:
+    Out = DsKind::List;
+    return true;
+  case analysis::Candidate::Deque:
+    Out = DsKind::Deque;
+    return true;
+  case analysis::Candidate::Map:
+    Out = DsKind::Map;
+    return true;
+  case analysis::Candidate::Set:
+    Out = DsKind::Set;
+    return true;
+  case analysis::Candidate::UnorderedMap:
+    Out = DsKind::HashMap;
+    return true;
+  case analysis::Candidate::UnorderedSet:
+    Out = DsKind::HashSet;
+    return true;
+  default:
+    return false;
+  }
+}
+
+int cmdRecommend(const Args &A) {
+  // Static mode: start from the full order-oblivious Table 1 row for each
+  // variable's declared type, then let the legality verdicts veto targets
+  // the usage profile rules out — with the reason printed, so a filtered
+  // candidate is explainable, not silently absent.
+  std::vector<std::string> Paths;
+  if (A.has("source"))
+    Paths.push_back(A.get("source"));
+  Paths.insert(Paths.end(), A.Positional.begin(), A.Positional.end());
+  if (Paths.empty()) {
+    std::fprintf(stderr, "recommend: no --source files given\n");
+    return 2;
+  }
+  std::vector<analysis::FileAnalysis> Files;
+  if (!analyzePaths(Paths, static_cast<unsigned>(A.getInt("jobs", 0)),
+                    Files))
+    return 2;
+  for (const analysis::FileAnalysis &FA : Files) {
+    std::printf("== %s ==\n", FA.Path.c_str());
+    if (FA.Vars.empty()) {
+      std::printf("  (no container-typed variables found)\n");
+      continue;
+    }
+    for (const analysis::VarProfile &V : FA.Vars) {
+      std::printf("  %s : %s (line %u, declared %s)\n", V.Name.c_str(),
+                  V.Spelling.c_str(), V.Line,
+                  analysis::candidateName(V.Declared));
+      DsKind Declared;
+      if (!dsKindForCandidate(V.Declared, Declared)) {
+        std::printf("    (no Table 1 row for the declared type)\n");
+        continue;
+      }
+      for (DsKind Target :
+           replacementCandidates(Declared, /*OrderOblivious=*/true)) {
+        const analysis::Verdict &Vd =
+            V.verdictFor(analysis::candidateForDsKind(Target));
+        switch (Vd.Kind) {
+        case analysis::Legality::Legal:
+          std::printf("    candidate %s\n", dsKindName(Target));
+          break;
+        case analysis::Legality::Illegal:
+          std::printf("    filtered  %s — illegal(%s)\n", dsKindName(Target),
+                      Vd.Reason.c_str());
+          break;
+        case analysis::Legality::Unknown:
+          std::printf("    filtered  %s — unknown(%s)\n", dsKindName(Target),
+                      Vd.Reason.c_str());
+          break;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -383,6 +537,7 @@ int main(int Argc, char **Argv) {
   }
 
   std::vector<std::string> Known;
+  std::vector<std::string> KnownBool;
   if (Cmd == "appgen")
     Known = {"seed", "ds", "config", "out"};
   else if (Cmd == "train")
@@ -392,10 +547,15 @@ int main(int Argc, char **Argv) {
     Known = {"machine", "model", "out", "target", "seeds", "config", "jobs"};
   else if (Cmd == "eval")
     Known = {"models", "trainset", "model"};
+  else if (Cmd == "check") {
+    Known = {"jobs"};
+    KnownBool = {"json"};
+  } else if (Cmd == "recommend")
+    Known = {"source", "jobs"};
   else if (Cmd != "machines" && Cmd != "survey")
     return usage();
 
-  Args A = Args::parse(Argc, Argv, 2, Known);
+  Args A = Args::parse(Argc, Argv, 2, Known, KnownBool);
   if (!A.Error.empty()) {
     std::fprintf(stderr, "brainy: %s\n", A.Error.c_str());
     return usage();
@@ -410,5 +570,9 @@ int main(int Argc, char **Argv) {
     return cmdTrainset(A);
   if (Cmd == "eval")
     return cmdEval(A);
+  if (Cmd == "check")
+    return cmdCheck(A);
+  if (Cmd == "recommend")
+    return cmdRecommend(A);
   return cmdSurvey(A);
 }
