@@ -36,44 +36,70 @@ public:
   DsKind kind() const override { return KindValue; }
 
   ds::OpResult insert(ds::Key K) override {
+    ds::OpResult R;
     if constexpr (isSequenceKind())
-      return Inner.pushBack(K);
+      R = Inner.pushBack(K);
     else
-      return Inner.insert(K);
+      R = Inner.insert(K);
+    record(ContainerOp::Insert, R);
+    return R;
   }
 
   ds::OpResult insertAt(uint64_t Pos, ds::Key K) override {
+    ds::OpResult R;
     if constexpr (isSequenceKind())
-      return Inner.insertAt(Pos, K);
+      R = Inner.insertAt(Pos, K);
     else
-      return Inner.insert(K);
+      R = Inner.insert(K);
+    record(ContainerOp::InsertAt, R);
+    return R;
   }
 
   ds::OpResult pushFront(ds::Key K) override {
+    ds::OpResult R;
     if constexpr (isSequenceKind())
-      return Inner.pushFront(K);
+      R = Inner.pushFront(K);
     else
-      return Inner.insert(K);
+      R = Inner.insert(K);
+    record(ContainerOp::PushFront, R);
+    return R;
   }
 
   ds::OpResult erase(ds::Key K) override {
+    ds::OpResult R;
     if constexpr (isSequenceKind())
-      return Inner.eraseValue(K);
+      R = Inner.eraseValue(K);
     else
-      return Inner.erase(K);
+      R = Inner.erase(K);
+    record(ContainerOp::Erase, R);
+    return R;
   }
 
-  ds::OpResult eraseAt(uint64_t Pos) override { return Inner.eraseAt(Pos); }
+  ds::OpResult eraseAt(uint64_t Pos) override {
+    ds::OpResult R = Inner.eraseAt(Pos);
+    record(ContainerOp::EraseAt, R);
+    return R;
+  }
 
-  ds::OpResult find(ds::Key K) override { return Inner.find(K); }
+  ds::OpResult find(ds::Key K) override {
+    ds::OpResult R = Inner.find(K);
+    record(ContainerOp::Find, R);
+    return R;
+  }
 
   ds::OpResult iterate(uint64_t Steps) override {
-    return Inner.iterate(Steps);
+    ds::OpResult R = Inner.iterate(Steps);
+    record(ContainerOp::Iterate, R);
+    return R;
   }
 
   uint64_t size() const override { return Inner.size(); }
   void clear() override { Inner.clear(); }
   void setSink(EventSink *Sink) override { Inner.setSink(Sink); }
+  EventSink *sink() const override { return Inner.sink(); }
+  void setOpListener(OpListener *Listener) override {
+    Inner.setOpListener(Listener);
+  }
   uint64_t simLiveBytes() const override { return Inner.simLiveBytes(); }
   uint64_t simPeakBytes() const override { return Inner.simPeakBytes(); }
   uint32_t elementBytes() const override { return Inner.elementBytes(); }
@@ -89,6 +115,13 @@ private:
   static constexpr bool isSequenceKind() {
     return KindValue == DsKind::Vector || KindValue == DsKind::List ||
            KindValue == DsKind::Deque;
+  }
+
+  // Op recording costs one predictable branch when profiling is off; the
+  // size() call only happens with a listener registered.
+  void record(ContainerOp Op, const ds::OpResult &R) {
+    if (Inner.opListener())
+      Inner.recordOp(Op, R, Inner.size());
   }
 
   Impl Inner;

@@ -63,6 +63,15 @@ public:
   /// Redirects instrumentation events.
   virtual void setSink(EventSink *Sink) = 0;
 
+  /// The sink currently receiving this container's events (may be null).
+  virtual EventSink *sink() const { return nullptr; }
+
+  /// Registers \p Listener to receive one ContainerOp record per interface
+  /// call. Adapters stamp the record into the same event stream as the
+  /// hardware events, devirtualizing what ProfiledContainer used to do
+  /// with a forwarding wrapper. Default: ignore (no profiling).
+  virtual void setOpListener(OpListener *Listener) { (void)Listener; }
+
   /// Live simulated heap bytes (memory-bloat signal).
   virtual uint64_t simLiveBytes() const = 0;
   virtual uint64_t simPeakBytes() const = 0;

@@ -17,6 +17,7 @@
 #ifndef BRAINY_CONTAINERS_CONTAINERBASE_H
 #define BRAINY_CONTAINERS_CONTAINERBASE_H
 
+#include "machine/EventBuffer.h"
 #include "machine/EventSink.h"
 #include "machine/SimAllocator.h"
 
@@ -40,15 +41,42 @@ struct OpResult {
 };
 
 /// Base class holding instrumentation state shared by all containers.
+///
+/// When the sink exposes an EventBuffer (MachineModel does), every emitter
+/// appends an encoded record instead of making a virtual call — the
+/// training inner loop's hot path. Sinks without a buffer keep the direct
+/// per-event virtual path.
 class ContainerBase {
 public:
   /// \p ElemBytes simulated bytes per stored element (>= 8).
   /// \p HeapBase start of this container's simulated heap region.
   ContainerBase(uint32_t ElemBytes, EventSink *Sink, uint64_t HeapBase)
-      : Elem(ElemBytes < 8 ? 8 : ElemBytes), Sink(Sink), Alloc(HeapBase) {}
+      : Elem(ElemBytes < 8 ? 8 : ElemBytes), Sink(Sink),
+        Buf(Sink ? Sink->eventBuffer() : nullptr), Alloc(HeapBase) {}
 
-  void setSink(EventSink *NewSink) { Sink = NewSink; }
+  void setSink(EventSink *NewSink) {
+    Sink = NewSink;
+    Buf = Sink ? Sink->eventBuffer() : nullptr;
+  }
   EventSink *sink() const { return Sink; }
+
+  /// Registers \p Listener to receive one ContainerOp record per interface
+  /// call (the software-feature profile). Null disables op recording.
+  void setOpListener(OpListener *Listener) { Profile = Listener; }
+  OpListener *opListener() const { return Profile; }
+
+  /// Emits the op record for one completed interface call. Routed through
+  /// the event stream when the sink is buffered (so op records stay
+  /// ordered against the hardware events they caused) and delivered
+  /// directly otherwise.
+  void recordOp(ContainerOp Op, const OpResult &R, uint64_t SizeAfter) {
+    if (!Profile)
+      return;
+    if (Buf)
+      Buf->op(Op, R.Found, R.Cost, SizeAfter);
+    else
+      Profile->onOp(Op, R.Found, R.Cost, SizeAfter);
+  }
 
   uint32_t elementBytes() const { return Elem; }
 
@@ -58,35 +86,47 @@ public:
 
 protected:
   void note(uint64_t Addr, uint32_t Bytes) {
-    if (Sink)
+    if (Buf)
+      Buf->access(Addr, Bytes);
+    else if (Sink)
       Sink->onAccess(Addr, Bytes);
   }
 
   void branch(BranchSite Site, bool Taken) {
-    if (Sink)
+    if (Buf)
+      Buf->branch(Site, Taken);
+    else if (Sink)
       Sink->onBranch(Site, Taken);
   }
 
   void work(uint64_t Instructions) {
-    if (Sink)
+    if (Buf)
+      Buf->instructions(Instructions);
+    else if (Sink)
       Sink->onInstructions(Instructions);
   }
 
   uint64_t allocSim(uint64_t Bytes) {
     uint64_t Addr = Alloc.allocate(Bytes);
-    if (Sink)
+    if (Buf)
+      Buf->alloc(Bytes);
+    else if (Sink)
       Sink->onAlloc(Bytes);
     return Addr;
   }
 
   void freeSim(uint64_t Addr, uint64_t Bytes) {
     Alloc.release(Addr, Bytes);
-    if (Sink)
+    if (Buf)
+      Buf->free(Bytes);
+    else if (Sink)
       Sink->onFree(Bytes);
   }
 
   uint32_t Elem;
   EventSink *Sink;
+  EventBuffer *Buf;          ///< Sink's buffer; null = direct virtual path.
+  OpListener *Profile = nullptr;
   SimAllocator Alloc;
 };
 

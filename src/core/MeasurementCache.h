@@ -43,7 +43,9 @@
 #include "support/FaultInjector.h"
 #include "support/ThreadSafety.h"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <set>
@@ -114,6 +116,7 @@ public:
             return E.Cycles[I];
         }
       }
+      Parent->FreshCount.fetch_add(1, std::memory_order_relaxed);
       Cycles = Measure();
       Entry &E = Fresh[Seed];
       E.Cycles[I] = Cycles;
@@ -189,7 +192,8 @@ public:
 
   /// Folds one record streamed back from a distributed worker. Same
   /// mask-union rule as merge(): first write wins, duplicates are
-  /// identical by purity.
+  /// identical by purity. Newly-learned kind bits count as fresh
+  /// measurements — they were computed this run, just remotely.
   void mergeRecord(const CycleRecord &Rec) BRAINY_EXCLUDES(WaveMutex) {
     MutexLock Lock(WaveMutex);
     Entry &Dst = Map[Rec.Seed];
@@ -198,6 +202,52 @@ public:
       if (New & (1u << I))
         Dst.Cycles[I] = Rec.Cycles[I];
     Dst.MeasuredMask |= Rec.Mask;
+    FreshCount.fetch_add(__builtin_popcount(New), std::memory_order_relaxed);
+  }
+
+  /// mergeRecord without the fresh accounting — the load path for records
+  /// restored from a persisted measurement cache (MeasurementStore), which
+  /// were computed by an earlier run.
+  void restoreRecord(const CycleRecord &Rec) BRAINY_EXCLUDES(WaveMutex) {
+    MutexLock Lock(WaveMutex);
+    Entry &Dst = Map[Rec.Seed];
+    unsigned New = Rec.Mask & ~Dst.MeasuredMask;
+    for (unsigned I = 0; I != NumDsKinds; ++I)
+      if (New & (1u << I))
+        Dst.Cycles[I] = Rec.Cycles[I];
+    Dst.MeasuredMask |= Rec.Mask;
+  }
+
+  /// Every cached record, sorted by seed — the persistence snapshot.
+  /// Coordinator-side only (no shard may be live), like merge().
+  std::vector<CycleRecord> records() const BRAINY_EXCLUDES(WaveMutex) {
+    MutexLock Lock(WaveMutex);
+    std::vector<CycleRecord> Out;
+    Out.reserve(Map.size());
+    // brainy-lint: allow(unordered-iter): the snapshot is sorted by seed
+    // below, so hash iteration order cannot reach any result.
+    for (const auto &KV : Map) {
+      if (!KV.second.MeasuredMask)
+        continue;
+      CycleRecord Rec;
+      Rec.Seed = KV.first;
+      Rec.Mask = KV.second.MeasuredMask;
+      Rec.Cycles = KV.second.Cycles;
+      Out.push_back(Rec);
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const CycleRecord &A, const CycleRecord &B) {
+                return A.Seed < B.Seed;
+              });
+    return Out;
+  }
+
+  /// Measurements actually computed since construction: Measure() calls by
+  /// local shards plus new kind bits merged from distributed workers.
+  /// Restored-from-disk records are excluded — a warm run that recomputes
+  /// nothing reports 0.
+  uint64_t freshMeasurements() const {
+    return FreshCount.load(std::memory_order_relaxed);
   }
 
   /// Everything known about \p Seed, for serving a remote tier. Returns
@@ -246,6 +296,10 @@ private:
   std::unordered_map<uint64_t, Entry> Map BRAINY_GUARDED_BY(WaveMutex);
   /// Optional remote tier; set at setup time, immutable afterwards.
   RemoteFetchFn Remote;
+  /// Fresh-measurement tally (see freshMeasurements()). A relaxed atomic,
+  /// not WaveMutex state: shards bump it lock-free from worker threads and
+  /// it feeds only diagnostics, never a training result.
+  mutable std::atomic<uint64_t> FreshCount{0};
 };
 
 } // namespace brainy

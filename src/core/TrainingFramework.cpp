@@ -19,6 +19,7 @@
 
 #include "core/TrainingFramework.h"
 
+#include "core/MeasurementStore.h"
 #include "support/Env.h"
 #include "support/FaultInjector.h"
 
@@ -96,7 +97,22 @@ RaceOutcome raceWith(const std::vector<DsKind> &Candidates,
 TrainingFramework::TrainingFramework(TrainOptions Options,
                                      MachineConfig Machine)
     : Options(std::move(Options)), Machine(std::move(Machine)),
-      ResolvedJobs(resolveJobs(this->Options.Jobs)) {}
+      ResolvedJobs(resolveJobs(this->Options.Jobs)) {
+  if (this->Options.MeasurementCacheFile.empty())
+    return;
+  // Warm start: restore persisted Phase I measurements. Any defect beyond
+  // a simply-missing file (corruption, truncation, config/machine
+  // mismatch) is reported and the cache recomputed from scratch — stale or
+  // torn measurements must never steer training silently.
+  Expected<size_t> Count = loadMeasurements(
+      this->Options.MeasurementCacheFile, Cache, this->Options.GenConfig,
+      this->Machine);
+  if (Count)
+    LoadedMeasurements = *Count;
+  else if (Count.error().code() != ErrCode::IoError)
+    std::fprintf(stderr, "brainy: recomputing measurements: %s\n",
+                 Count.error().message().c_str());
+}
 
 ThreadPool &TrainingFramework::pool() const {
   MutexLock Lock(PoolMutex);

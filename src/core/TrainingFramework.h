@@ -85,6 +85,12 @@ public:
   virtual std::vector<SeedEvalResult>
   evalWave(uint64_t BeginSeed, uint64_t EndSeed,
            const std::array<bool, NumModelKinds> &Wanted) = 0;
+
+  /// The measurement cache this service accumulated while evaluating, or
+  /// null if it keeps none. Brainy::train folds it into the framework's
+  /// cache before persisting measurements, so a distributed run saves the
+  /// same records a local one would.
+  virtual const MeasurementCache *measurements() const { return nullptr; }
 };
 
 /// Knobs for both training phases.
@@ -127,6 +133,14 @@ struct TrainOptions {
   /// The ordered merge is shared with the local path, so results stay
   /// bit-identical to Jobs=1 minus any seeds the service reports lost.
   ChunkEvalService *Distribution = nullptr;
+  /// When non-empty, the persistent measurement cache (DESIGN.md §12):
+  /// Phase I cycle measurements are preloaded from this file at framework
+  /// construction (and by a distributed Coordinator into its served cache)
+  /// and written back after training. Measurements are pure, so a warm
+  /// cache skips simulation without changing a single bundle byte; a file
+  /// recorded under a different generator config or machine is rejected by
+  /// fingerprint and ignored.
+  std::string MeasurementCacheFile;
   /// Network hyperparameters for the final model.
   NetConfig Net;
 };
@@ -201,6 +215,10 @@ public:
   const MeasurementCache &measurements() const { return Cache; }
   MeasurementCache &measurements() { return Cache; }
 
+  /// Records restored into Cache from Options.MeasurementCacheFile at
+  /// construction (0 when unset, missing, or rejected).
+  size_t loadedMeasurements() const { return LoadedMeasurements; }
+
   /// One seed's pure Phase I evaluation. Public for the distributed worker
   /// runtime, which evaluates chunks through exactly this entry point so a
   /// remote seed's outcome is the same bits a local run would produce.
@@ -233,6 +251,7 @@ private:
   TrainOptions Options;
   MachineConfig Machine;
   unsigned ResolvedJobs = 1;
+  size_t LoadedMeasurements = 0;
   /// Internally synchronised (WaveMutex + the wave contract).
   mutable MeasurementCache Cache;
   /// Guards only the lazy creation of Pool; the pool itself is internally

@@ -6,6 +6,7 @@
 
 #include "distributed/Coordinator.h"
 
+#include "core/MeasurementStore.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -26,6 +27,17 @@ Coordinator::Coordinator(const MachineConfig &Machine,
   InitContext.EvalRetries = Options.EvalRetries;
   InitContext.ExcludeSeeds.assign(Options.ExcludeSeeds.begin(),
                                   Options.ExcludeSeeds.end());
+  // Warm start (DESIGN.md §12): preload the persisted measurement cache
+  // into the cache served to workers, so warm distributed runs answer
+  // every worker lookup from disk-restored records and no worker
+  // re-simulates a cached seed. Only a simply-missing file stays quiet.
+  if (!Options.MeasurementCacheFile.empty()) {
+    Expected<size_t> Count = loadMeasurements(
+        Options.MeasurementCacheFile, Cache, Options.GenConfig, Machine);
+    if (!Count && Count.error().code() != ErrCode::IoError)
+      std::fprintf(stderr, "brainy: recomputing measurements: %s\n",
+                   Count.error().message().c_str());
+  }
   // A worker dying mid-write must surface as EPIPE on the transport, not
   // kill the coordinator process.
   std::signal(SIGPIPE, SIG_IGN);

@@ -95,6 +95,11 @@ public:
   /// The shared measurement cache served to workers (exposed for tests).
   const MeasurementCache &cache() const { return Cache; }
 
+  /// Brainy::train folds these records into the framework's own cache
+  /// before persisting, so a distributed run's cache file is as complete
+  /// as a local one.
+  const MeasurementCache *measurements() const override { return &Cache; }
+
 private:
   struct Slot {
     WorkerConnection Conn;

@@ -6,31 +6,7 @@
 
 #include "machine/BranchPredictor.h"
 
-#include <cassert>
-
 using namespace brainy;
-
-bool BranchPredictor::observe(BranchSite Site, bool Taken) {
-  auto Index = static_cast<uint32_t>(Site);
-  assert(Index < NumSites && "invalid branch site");
-  uint8_t &Counter = Counters[Index];
-  bool Predicted = Counter >= 2;
-  bool Wrong = Predicted != Taken;
-
-  ++Branches;
-  if (Wrong) {
-    ++Mispredicts;
-    ++PerSiteMiss[Index];
-  }
-  if (Taken) {
-    if (Counter < 3)
-      ++Counter;
-  } else {
-    if (Counter > 0)
-      --Counter;
-  }
-  return Wrong;
-}
 
 void BranchPredictor::reset() {
   // Weakly not-taken start: rare exceptional paths mispredict immediately,

@@ -20,6 +20,7 @@
 #include "machine/EventSink.h"
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 
 namespace brainy {
@@ -30,8 +31,29 @@ public:
   BranchPredictor() { reset(); }
 
   /// Predicts, updates the counter with the actual \p Taken outcome, and
-  /// returns true when the prediction was wrong.
-  bool observe(BranchSite Site, bool Taken);
+  /// returns true when the prediction was wrong. Inline: this runs once per
+  /// decoded branch record in MachineModel's batch-drain kernel.
+  bool observe(BranchSite Site, bool Taken) {
+    auto Index = static_cast<uint32_t>(Site);
+    assert(Index < NumSites && "invalid branch site");
+    uint8_t &Counter = Counters[Index];
+    bool Predicted = Counter >= 2;
+    bool Wrong = Predicted != Taken;
+
+    ++Branches;
+    if (Wrong) {
+      ++Mispredicts;
+      ++PerSiteMiss[Index];
+    }
+    if (Taken) {
+      if (Counter < 3)
+        ++Counter;
+    } else {
+      if (Counter > 0)
+        --Counter;
+    }
+    return Wrong;
+  }
 
   uint64_t branches() const { return Branches; }
   uint64_t mispredicts() const { return Mispredicts; }

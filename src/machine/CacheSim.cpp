@@ -6,6 +6,8 @@
 
 #include "machine/CacheSim.h"
 
+#include <algorithm>
+
 using namespace brainy;
 
 static uint32_t log2Exact(uint64_t Value) {
@@ -20,34 +22,12 @@ static uint32_t log2Exact(uint64_t Value) {
 CacheSim::CacheSim(CacheGeometry Geometry) : Geom(Geometry) {
   assert(Geom.numSets() >= 1 && "cache smaller than one set");
   BlockShift = log2Exact(Geom.BlockBytes);
+  Assoc = Geom.Associativity;
   uint64_t NumSets = Geom.numSets();
   (void)log2Exact(NumSets); // Asserts power-of-two set count.
   SetMask = NumSets - 1;
-  Ways.resize(NumSets * Geom.Associativity);
-}
-
-bool CacheSim::access(uint64_t Addr) {
-  uint64_t Block = Addr >> BlockShift;
-  uint64_t Set = Block & SetMask;
-  uint64_t Tag = Block >> 1; // Keep set bits in the tag; harmless and simple.
-  Way *SetBase = &Ways[Set * Geom.Associativity];
-  ++Clock;
-
-  Way *Victim = SetBase;
-  for (uint32_t W = 0; W != Geom.Associativity; ++W) {
-    Way &Entry = SetBase[W];
-    if (Entry.LastUse != 0 && Entry.Tag == Tag) {
-      Entry.LastUse = Clock;
-      ++Hits;
-      return true;
-    }
-    if (Entry.LastUse < Victim->LastUse)
-      Victim = &Entry;
-  }
-  ++Misses;
-  Victim->Tag = Tag;
-  Victim->LastUse = Clock;
-  return false;
+  Tags.resize(NumSets * Assoc, 0);
+  LastUse.resize(NumSets * Assoc, 0);
 }
 
 uint32_t CacheSim::accessRange(uint64_t Addr, uint32_t Bytes) {
@@ -62,30 +42,9 @@ uint32_t CacheSim::accessRange(uint64_t Addr, uint32_t Bytes) {
   return MissCount;
 }
 
-void CacheSim::fill(uint64_t Addr) {
-  uint64_t Block = Addr >> BlockShift;
-  uint64_t Set = Block & SetMask;
-  uint64_t Tag = Block >> 1;
-  Way *SetBase = &Ways[Set * Geom.Associativity];
-  ++Clock;
-
-  Way *Victim = SetBase;
-  for (uint32_t W = 0; W != Geom.Associativity; ++W) {
-    Way &Entry = SetBase[W];
-    if (Entry.LastUse != 0 && Entry.Tag == Tag) {
-      Entry.LastUse = Clock;
-      return;
-    }
-    if (Entry.LastUse < Victim->LastUse)
-      Victim = &Entry;
-  }
-  Victim->Tag = Tag;
-  Victim->LastUse = Clock;
-}
-
 void CacheSim::reset() {
-  for (Way &Entry : Ways)
-    Entry = Way();
+  std::fill(Tags.begin(), Tags.end(), 0);
+  std::fill(LastUse.begin(), LastUse.end(), 0);
   Clock = 0;
   Hits = 0;
   Misses = 0;

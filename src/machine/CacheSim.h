@@ -10,6 +10,12 @@
 /// hinges on L2 capacity differences between the Core2 (4 MB) and the Atom
 /// (512 KB), so the simulator models both levels.
 ///
+/// The state is laid out structure-of-arrays (parallel Tags[] / LastUse[]
+/// vectors instead of an array of Way structs) and the probe loop lives in
+/// the header: the batch-drain kernel in MachineModel executes one probe
+/// per decoded access record, and the SoA layout lets the tag scan touch
+/// one contiguous 8-entry run per array instead of strided struct fields.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BRAINY_MACHINE_CACHESIM_H
@@ -39,7 +45,82 @@ public:
 
   /// Looks up the block containing \p Addr, filling on miss.
   /// \returns true on hit.
-  bool access(uint64_t Addr);
+  ///
+  /// Victim choice is position-stable: the scan starts at way 0 and only
+  /// moves on a strictly smaller timestamp, so ties resolve to the lowest
+  /// way index — the exact replacement order the pre-SoA model had, which
+  /// the bit-identity guarantee depends on.
+  bool access(uint64_t Addr) {
+    uint64_t Block = Addr >> BlockShift;
+    uint64_t Set = Block & SetMask;
+    uint64_t Tag = Block >> 1; // Keep set bits in the tag; harmless & simple.
+    uint64_t Base = Set * Assoc;
+    uint64_t *SetTags = &Tags[Base];
+    uint64_t *SetUse = &LastUse[Base];
+    ++Clock;
+
+    // Track the victim's timestamp by value so the scan keeps it in a
+    // register; strict less-than preserves lowest-way tie-breaking. The
+    // victim update is written ternary-style so the compiler emits
+    // conditional moves — on random timestamps that branch is inherently
+    // unpredictable and mispredicts dominate the scan otherwise. The hit
+    // test uses a bitwise & for the same reason.
+    uint32_t Victim = 0;
+    uint64_t VictimUse = SetUse[0];
+    for (uint32_t W = 0; W != Assoc; ++W) {
+      uint64_t Use = SetUse[W];
+      if ((Use != 0) & (SetTags[W] == Tag)) {
+        SetUse[W] = Clock;
+        ++Hits;
+        LastSlot = Base + W;
+        return true;
+      }
+      bool Less = Use < VictimUse;
+      Victim = Less ? W : Victim;
+      VictimUse = Less ? Use : VictimUse;
+    }
+    ++Misses;
+    SetTags[Victim] = Tag;
+    SetUse[Victim] = Clock;
+    LastSlot = Base + Victim;
+    return false;
+  }
+
+  /// Flat Tags/LastUse index of the entry access() last hit in or filled —
+  /// combined with the caller tracking "same block as last access", this
+  /// enables the O(1) re-touch fast path below.
+  uint64_t lastTouchedSlot() const { return LastSlot; }
+
+  /// Re-touches \p Slot, which the caller knows still holds the block of
+  /// \p Addr (it was the most recently used entry and nothing touched this
+  /// cache since). Side effects are exactly those of access() hitting at
+  /// that entry: clock tick, LRU stamp, hit count. Taking the precomputed
+  /// flat slot skips the set-index arithmetic entirely — the repeat path
+  /// does no address math beyond the caller's block compare.
+  void touchSlot(uint64_t Addr, uint64_t Slot) {
+    (void)Addr;
+    assert(Slot < LastUse.size() && LastUse[Slot] != 0 &&
+           Slot / Assoc == ((Addr >> BlockShift) & SetMask) &&
+           Tags[Slot] == ((Addr >> BlockShift) >> 1) &&
+           "touchSlot caller lost track of the MRU block");
+    ++Clock;
+    LastUse[Slot] = Clock;
+    ++Hits;
+  }
+
+  /// \p Count back-to-back touchSlot(Slot) calls collapsed to O(1): only
+  /// the final LRU stamp survives Count consecutive overwrites, so the end
+  /// state is reached by one store. The batch drain kernel uses this to
+  /// coalesce runs of repeat-block access records — a rewrite only the
+  /// buffered representation permits, since a per-event interface never
+  /// sees the run.
+  void touchSlotRun(uint64_t Slot, uint64_t Count) {
+    assert(Slot < LastUse.size() && LastUse[Slot] != 0 &&
+           "touchSlotRun caller lost track of the MRU block");
+    Clock += Count;
+    LastUse[Slot] = Clock;
+    Hits += Count;
+  }
 
   /// Looks up every block overlapped by [Addr, Addr+Bytes).
   /// \returns the number of misses among the touched blocks.
@@ -47,7 +128,30 @@ public:
 
   /// Fills the block containing \p Addr without touching hit/miss counters
   /// (models a hardware prefetch completing before the demand access).
-  void fill(uint64_t Addr);
+  void fill(uint64_t Addr) {
+    uint64_t Block = Addr >> BlockShift;
+    uint64_t Set = Block & SetMask;
+    uint64_t Tag = Block >> 1;
+    uint64_t Base = Set * Assoc;
+    uint64_t *SetTags = &Tags[Base];
+    uint64_t *SetUse = &LastUse[Base];
+    ++Clock;
+
+    uint32_t Victim = 0;
+    uint64_t VictimUse = SetUse[0];
+    for (uint32_t W = 0; W != Assoc; ++W) {
+      uint64_t Use = SetUse[W];
+      if ((Use != 0) & (SetTags[W] == Tag)) {
+        SetUse[W] = Clock;
+        return;
+      }
+      bool Less = Use < VictimUse;
+      Victim = Less ? W : Victim;
+      VictimUse = Less ? Use : VictimUse;
+    }
+    SetTags[Victim] = Tag;
+    SetUse[Victim] = Clock;
+  }
 
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
@@ -59,23 +163,24 @@ public:
   }
 
   const CacheGeometry &geometry() const { return Geom; }
+  uint32_t blockShift() const { return BlockShift; }
 
   /// Invalidates all contents and zeroes counters.
   void reset();
 
 private:
-  struct Way {
-    uint64_t Tag = 0;
-    uint64_t LastUse = 0; ///< monotonically increasing timestamp; 0 = invalid
-  };
-
   CacheGeometry Geom;
   uint64_t SetMask;
   uint32_t BlockShift;
+  uint32_t Assoc;
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
-  std::vector<Way> Ways; ///< NumSets x Associativity, row-major
+  uint64_t LastSlot = 0; ///< flat entry index access() last hit in or filled
+  // SoA: parallel per-way arrays, NumSets x Associativity, row-major.
+  // LastUse is a monotonically increasing timestamp; 0 = invalid way.
+  std::vector<uint64_t> Tags;
+  std::vector<uint64_t> LastUse;
 };
 
 } // namespace brainy

@@ -16,9 +16,12 @@
 #ifndef BRAINY_MACHINE_EVENTSINK_H
 #define BRAINY_MACHINE_EVENTSINK_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace brainy {
+
+class EventBuffer;
 
 /// Identifies a static conditional-branch site inside a container
 /// implementation. Sites are stable small integers so a bimodal predictor
@@ -36,11 +39,47 @@ enum class BranchSite : uint32_t {
   NumSites
 };
 
+/// Identifies one container interface call for the software-feature
+/// profiler. The adt adapters stamp an Op record (call kind, hit/miss,
+/// cost, size-after) into the event stream after each interface call, and
+/// an OpListener accumulates them into SoftwareFeatures — replacing the
+/// old per-call virtual forwarding wrapper.
+enum class ContainerOp : uint8_t {
+  Insert,
+  InsertAt,
+  PushFront,
+  Erase,
+  EraseAt,
+  Find,
+  Iterate,
+  NumOps
+};
+
+/// Consumer of container interface-call summaries (the software-feature
+/// half of profiling). Registered on a container directly (sink-less use)
+/// or on an EventSink, which forwards Op records as it drains batches.
+class OpListener {
+public:
+  virtual ~OpListener();
+
+  /// One interface call of kind \p Op that resolved with \p Found, cost
+  /// \p Cost abstract steps, and left the container at \p SizeAfter
+  /// elements.
+  virtual void onOp(ContainerOp Op, bool Found, uint64_t Cost,
+                    uint64_t SizeAfter) = 0;
+};
+
 /// Consumer of container runtime events.
 ///
 /// Implementations must be cheap: the hot container paths call these once or
 /// more per touched element. All methods have empty inline defaults so a
 /// partial observer only pays for what it overrides.
+///
+/// Batched delivery: a sink may expose an EventBuffer via eventBuffer();
+/// producers then append encoded records instead of making per-event
+/// virtual calls, and the sink drains them through onBatch. The default
+/// onBatch decodes back into the per-event virtuals, so partial observers
+/// keep working unchanged.
 class EventSink {
 public:
   virtual ~EventSink();
@@ -65,6 +104,29 @@ public:
 
   /// A heap release of \p Bytes.
   virtual void onFree(uint64_t Bytes) { (void)Bytes; }
+
+  /// Consumes \p Count encoded event words (EventBuffer record format) in
+  /// append order. The default implementation decodes each record back
+  /// into the matching per-event virtual and forwards Op records to the
+  /// registered OpListener, so overriding sinks and plain observers see
+  /// identical streams.
+  virtual void onBatch(const uint64_t *Words, size_t Count);
+
+  /// The sink's event buffer, when it supports batched delivery. Producers
+  /// holding a non-null buffer append records instead of calling the
+  /// per-event virtuals; they must not interleave both for one sink.
+  virtual EventBuffer *eventBuffer() { return nullptr; }
+
+  /// Drains any events still pending in eventBuffer(). No-op for sinks
+  /// without one.
+  virtual void flushEvents() {}
+
+  /// Registers \p Listener to receive Op records drained from batches.
+  void setOpListener(OpListener *Listener) { Ops = Listener; }
+  OpListener *opListener() const { return Ops; }
+
+protected:
+  OpListener *Ops = nullptr;
 };
 
 /// Returns a short stable name for \p Site (for traces and tests).

@@ -6,9 +6,60 @@
 
 #include "machine/MachineModel.h"
 
+#include <cassert>
+
 using namespace brainy;
 
 EventSink::~EventSink() = default;
+
+OpListener::~OpListener() = default;
+
+void EventSink::onBatch(const uint64_t *Words, size_t Count) {
+  // Reference decoder: replay the encoded stream through the per-event
+  // virtuals in append order. Overriding sinks (MachineModel) fuse the
+  // decode with their step functions instead; both observe the same
+  // sequence, which is what keeps batched delivery bit-identical.
+  for (size_t I = 0; I < Count;) {
+    uint64_t W0 = Words[I];
+    switch (W0 & event::KindMask) {
+    case event::Access:
+      onAccess(Words[I + 1],
+               static_cast<uint32_t>(W0 >> event::PayloadShift));
+      I += 2;
+      break;
+    case event::Branch:
+      onBranch(static_cast<BranchSite>(
+                   static_cast<uint32_t>(W0 >> event::PayloadShift)),
+               (W0 & event::FlagBit) != 0);
+      ++I;
+      break;
+    case event::Instr:
+      onInstructions(W0 >> event::PayloadShift);
+      ++I;
+      break;
+    case event::Alloc:
+      onAlloc(W0 >> event::PayloadShift);
+      ++I;
+      break;
+    case event::Free:
+      onFree(W0 >> event::PayloadShift);
+      ++I;
+      break;
+    case event::Op:
+      if (Ops)
+        Ops->onOp(static_cast<ContainerOp>(
+                      static_cast<uint8_t>(W0 >> event::PayloadShift)),
+                  (W0 & event::FlagBit) != 0, W0 >> event::OpCostShift,
+                  Words[I + 1]);
+      I += 2;
+      break;
+    default:
+      assert(false && "corrupt event record");
+      ++I;
+      break;
+    }
+  }
+}
 
 const char *brainy::branchSiteName(BranchSite Site) {
   switch (Site) {
@@ -74,65 +125,88 @@ MachineConfig MachineConfig::atom() {
 }
 
 MachineModel::MachineModel(MachineConfig Config)
-    : Cfg(std::move(Config)), L1(Cfg.L1), L2(Cfg.L2) {}
+    : Cfg(std::move(Config)), L1(Cfg.L1), L2(Cfg.L2),
+      L1BlockShift(L1.blockShift()), Events(*this) {}
 
-void MachineModel::onAccess(uint64_t Addr, uint32_t Bytes) {
-  if (Bytes == 0)
-    Bytes = 1;
-  uint32_t BlockBytes = Cfg.L1.BlockBytes;
-  uint64_t First = Addr / BlockBytes;
-  uint64_t Last = (Addr + Bytes - 1) / BlockBytes;
-  for (uint64_t Block = First; Block <= Last; ++Block) {
-    uint64_t BlockAddr = Block * BlockBytes;
-    // Streaming prefetcher: a sequential block-to-block pattern pulls the
-    // next line(s) in ahead of the demand access.
-    bool Sequential = Block == LastBlock + 1;
-    bool Streaming = Sequential || Block == LastBlock;
-    if (Sequential)
-      for (unsigned D = 1; D <= Cfg.PrefetchDepth; ++D) {
-        L2.fill(BlockAddr + static_cast<uint64_t>(D) * BlockBytes);
-        L1.fill(BlockAddr + static_cast<uint64_t>(D) * BlockBytes);
+void MachineModel::onBatch(const uint64_t *Words, size_t Count) {
+  // Fused decode + simulate: one switch per record, step functions inlined.
+  // Record order is append order, so this charges exactly the cycles the
+  // per-event virtual path would have.
+  for (size_t I = 0; I < Count;) {
+    uint64_t W0 = Words[I];
+    switch (W0 & event::KindMask) {
+    case event::Access: {
+      // Run coalescing: a maximal run of consecutive access records that
+      // all repeat LastBlock (think memmove loops re-reading one cache
+      // line) collapses to O(1) integer effects — touchSlotRun — plus the
+      // run's StreamHitCycles charges. The doubles are added one-by-one in
+      // record order into a register-local accumulator, so rounding is
+      // identical to the per-event path; only the per-event member
+      // round-trips disappear. A per-event interface can never see the
+      // run; this rewrite exists because the batch representation does.
+      if (LastL1Slot != InvalidSlot) {
+        uint32_t Shift = L1BlockShift;
+        double C = Cycles;
+        size_t J = I;
+        while (J < Count && (Words[J] & event::KindMask) == event::Access) {
+          uint64_t A = Words[J + 1];
+          uint32_t B = static_cast<uint32_t>(Words[J] >> event::PayloadShift);
+          if (B == 0)
+            B = 1;
+          if ((A >> Shift) != LastBlock ||
+              ((A + B - 1) >> Shift) != LastBlock)
+            break;
+          C += Cfg.StreamHitCycles;
+          J += 2;
+        }
+        if (J != I) {
+          Cycles = C;
+          L1.touchSlotRun(LastL1Slot, (J - I) / 2);
+          I = J;
+          break;
+        }
       }
-    LastBlock = Block;
-    if (L1.access(BlockAddr)) {
-      Cycles += Streaming ? Cfg.StreamHitCycles : Cfg.L1HitCycles;
-      continue;
+      stepAccess(Words[I + 1],
+                 static_cast<uint32_t>(W0 >> event::PayloadShift));
+      I += 2;
+      break;
     }
-    if (L2.access(BlockAddr)) {
-      Cycles += Cfg.L1HitCycles + Cfg.L2HitCycles * Cfg.MissExposure;
-      continue;
+    case event::Branch:
+      stepBranch(static_cast<BranchSite>(
+                     static_cast<uint32_t>(W0 >> event::PayloadShift)),
+                 (W0 & event::FlagBit) != 0);
+      ++I;
+      break;
+    case event::Instr:
+      stepInstructions(W0 >> event::PayloadShift);
+      ++I;
+      break;
+    case event::Alloc:
+      stepAlloc(W0 >> event::PayloadShift);
+      ++I;
+      break;
+    case event::Free:
+      stepFree(W0 >> event::PayloadShift);
+      ++I;
+      break;
+    case event::Op:
+      if (Ops)
+        Ops->onOp(static_cast<ContainerOp>(
+                      static_cast<uint8_t>(W0 >> event::PayloadShift)),
+                  (W0 & event::FlagBit) != 0, W0 >> event::OpCostShift,
+                  Words[I + 1]);
+      I += 2;
+      break;
+    default:
+      assert(false && "corrupt event record");
+      ++I;
+      break;
     }
-    Cycles += Cfg.L1HitCycles +
-              (Cfg.L2HitCycles + Cfg.MemoryCycles) * Cfg.MissExposure;
   }
 }
 
-void MachineModel::onBranch(BranchSite Site, bool Taken) {
-  // The branch instruction itself.
-  ++Instructions;
-  Cycles += Cfg.BaseCpi;
-  if (Predictor.observe(Site, Taken))
-    Cycles += Cfg.MispredictPenalty;
-}
-
-void MachineModel::onInstructions(uint64_t Count) {
-  Instructions += Count;
-  Cycles += static_cast<double>(Count) * Cfg.BaseCpi;
-}
-
-void MachineModel::onAlloc(uint64_t Bytes) {
-  (void)Bytes;
-  ++Allocations;
-  onInstructions(static_cast<uint64_t>(Cfg.AllocInstructions));
-}
-
-void MachineModel::onFree(uint64_t Bytes) {
-  (void)Bytes;
-  ++Frees;
-  onInstructions(static_cast<uint64_t>(Cfg.FreeInstructions));
-}
-
 HardwareCounters MachineModel::counters() const {
+  drainPending();
   HardwareCounters C;
   C.Instructions = Instructions;
   C.L1Accesses = L1.accesses();
@@ -148,6 +222,7 @@ HardwareCounters MachineModel::counters() const {
 }
 
 void MachineModel::reset() {
+  drainPending();
   L1.reset();
   L2.reset();
   Predictor.reset();
@@ -156,4 +231,5 @@ void MachineModel::reset() {
   Allocations = 0;
   Frees = 0;
   LastBlock = ~0ULL;
+  LastL1Slot = InvalidSlot;
 }

@@ -24,6 +24,7 @@
 
 #include "machine/BranchPredictor.h"
 #include "machine/CacheSim.h"
+#include "machine/EventBuffer.h"
 #include "machine/EventSink.h"
 
 #include <string>
@@ -99,29 +100,143 @@ struct HardwareCounters {
 
 /// EventSink implementation that accumulates cycles and counters for one
 /// simulated microarchitecture.
+///
+/// The model owns an EventBuffer: containers wired to it append encoded
+/// records and onBatch replays them through the same inline step functions
+/// the per-event virtuals use, so batched and direct delivery are
+/// bit-identical by construction. Every accessor (counters/cycles/seconds)
+/// and every per-event virtual drains pending records first, preserving
+/// global event order even when direct calls and buffered appends mix.
 class MachineModel : public EventSink {
 public:
   explicit MachineModel(MachineConfig Config);
 
-  void onAccess(uint64_t Addr, uint32_t Bytes) override;
-  void onBranch(BranchSite Site, bool Taken) override;
-  void onInstructions(uint64_t Count) override;
-  void onAlloc(uint64_t Bytes) override;
-  void onFree(uint64_t Bytes) override;
+  void onAccess(uint64_t Addr, uint32_t Bytes) override {
+    drainPending();
+    stepAccess(Addr, Bytes);
+  }
+  void onBranch(BranchSite Site, bool Taken) override {
+    drainPending();
+    stepBranch(Site, Taken);
+  }
+  void onInstructions(uint64_t Count) override {
+    drainPending();
+    stepInstructions(Count);
+  }
+  void onAlloc(uint64_t Bytes) override {
+    drainPending();
+    stepAlloc(Bytes);
+  }
+  void onFree(uint64_t Bytes) override {
+    drainPending();
+    stepFree(Bytes);
+  }
 
-  /// Snapshot of all counters since the last reset().
+  /// The batch-drain kernel: decodes \p Count encoded words and replays
+  /// them through the inline step functions, forwarding Op records to the
+  /// registered OpListener.
+  void onBatch(const uint64_t *Words, size_t Count) override;
+
+  EventBuffer *eventBuffer() override { return &Events; }
+  void flushEvents() override { Events.flush(); }
+
+  /// Snapshot of all counters since the last reset(). Drains pending
+  /// buffered events first.
   HardwareCounters counters() const;
 
-  double cycles() const { return Cycles; }
+  double cycles() const {
+    drainPending();
+    return Cycles;
+  }
   /// Nominal wall time implied by the cycle count and configured clock.
-  double seconds() const { return Cycles / (Cfg.ClockGhz * 1e9); }
+  double seconds() const { return cycles() / (Cfg.ClockGhz * 1e9); }
 
   const MachineConfig &config() const { return Cfg; }
 
-  /// Clears counters and flushes caches/predictor state.
+  /// Clears counters and flushes caches/predictor state. Events still
+  /// pending in the buffer are charged first — they happened before the
+  /// reset in program order.
   void reset();
 
 private:
+  void drainPending() const {
+    if (!Events.empty())
+      Events.flush();
+  }
+
+  void stepAccess(uint64_t Addr, uint32_t Bytes) {
+    if (Bytes == 0)
+      Bytes = 1;
+    // L1 block size is power-of-two (CacheSim asserts it), so the block
+    // split is a shift — the old per-event path paid two hardware integer
+    // divisions here, per access.
+    uint32_t Shift = L1BlockShift;
+    uint64_t First = Addr >> Shift;
+    uint64_t Last = (Addr + Bytes - 1) >> Shift;
+    // Fast path for the dominant pattern: a repeat touch of the block the
+    // previous access ended on (consecutive field/element reads within one
+    // cache line — 7 of 8 accesses in an 8-byte-stride scan). That block is
+    // the L1 MRU entry and nothing has touched the caches since, so this is
+    // a guaranteed L1 streaming hit: replay exactly its side effects (L1
+    // clock tick + LRU stamp + hit count + StreamHitCycles) without the
+    // probe scan or prefetch checks. Not sequential, so no fills fire on
+    // this path in the general loop either — bit-identical by construction.
+    if (First == Last && First == LastBlock && LastL1Slot != InvalidSlot) {
+      L1.touchSlot(Addr, LastL1Slot);
+      Cycles += Cfg.StreamHitCycles;
+      return;
+    }
+    for (uint64_t Block = First; Block <= Last; ++Block) {
+      uint64_t BlockAddr = Block << Shift;
+      // Streaming prefetcher: a sequential block-to-block pattern pulls the
+      // next line(s) in ahead of the demand access.
+      bool Sequential = Block == LastBlock + 1;
+      bool Streaming = Sequential || Block == LastBlock;
+      if (Sequential)
+        for (unsigned D = 1; D <= Cfg.PrefetchDepth; ++D) {
+          L2.fill(BlockAddr + (static_cast<uint64_t>(D) << Shift));
+          L1.fill(BlockAddr + (static_cast<uint64_t>(D) << Shift));
+        }
+      LastBlock = Block;
+      if (L1.access(BlockAddr)) {
+        Cycles += Streaming ? Cfg.StreamHitCycles : Cfg.L1HitCycles;
+        continue;
+      }
+      if (L2.access(BlockAddr)) {
+        Cycles += Cfg.L1HitCycles + Cfg.L2HitCycles * Cfg.MissExposure;
+        continue;
+      }
+      Cycles += Cfg.L1HitCycles +
+                (Cfg.L2HitCycles + Cfg.MemoryCycles) * Cfg.MissExposure;
+    }
+    LastL1Slot = L1.lastTouchedSlot();
+  }
+
+  void stepBranch(BranchSite Site, bool Taken) {
+    // The branch instruction itself.
+    ++Instructions;
+    Cycles += Cfg.BaseCpi;
+    if (Predictor.observe(Site, Taken))
+      Cycles += Cfg.MispredictPenalty;
+  }
+
+  void stepInstructions(uint64_t Count) {
+    Instructions += Count;
+    Cycles += static_cast<double>(Count) * Cfg.BaseCpi;
+  }
+
+  void stepAlloc(uint64_t Bytes) {
+    (void)Bytes;
+    ++Allocations;
+    stepInstructions(static_cast<uint64_t>(Cfg.AllocInstructions));
+  }
+
+  void stepFree(uint64_t Bytes) {
+    (void)Bytes;
+    ++Frees;
+    stepInstructions(static_cast<uint64_t>(Cfg.FreeInstructions));
+  }
+
   MachineConfig Cfg;
   CacheSim L1;
   CacheSim L2;
@@ -131,6 +246,17 @@ private:
   uint64_t Allocations = 0;
   uint64_t Frees = 0;
   uint64_t LastBlock = ~0ULL; ///< prefetcher stream-detection state
+  /// Flat L1 entry index holding LastBlock — the repeat-access fast path's
+  /// precondition. InvalidSlot until the first access lands (and again
+  /// after reset()).
+  static constexpr uint64_t InvalidSlot = ~0ULL;
+  uint64_t LastL1Slot = InvalidSlot;
+  uint32_t L1BlockShift;
+  /// Mutable: const accessors drain it; logically the model's counters
+  /// already include pending records. Declared last so it is destroyed
+  /// first — but note containers flush through the sink they hold, so the
+  /// model must outlive its producers regardless.
+  mutable EventBuffer Events;
 };
 
 } // namespace brainy

@@ -13,74 +13,41 @@ using namespace brainy;
 ProfiledContainer::ProfiledContainer(std::unique_ptr<Container> InnerArg)
     : Inner(std::move(InnerArg)) {
   assert(Inner && "ProfiledContainer requires a container");
-  Sw.ElementBytes = Inner->elementBytes();
+  Accum.Sw.ElementBytes = Inner->elementBytes();
+  Inner->setOpListener(&Accum);
+  // With a buffered sink the op records arrive through batch drains; the
+  // sink forwards them to its registered listener.
+  if (EventSink *S = Inner->sink())
+    S->setOpListener(&Accum);
 }
 
-void ProfiledContainer::finishSample() {
-  Sw.SizeStats.add(static_cast<double>(Inner->size()));
-  Sw.Resizes = Inner->resizeCount();
-  Sw.PeakSimBytes = Inner->simPeakBytes();
-  Sw.ElementBytes = Inner->elementBytes();
+void ProfiledContainer::setSink(EventSink *Sink) {
+  // Drain records still buffered in the old sink before detaching, so no
+  // op is lost across the switch.
+  if (EventSink *Old = Inner->sink())
+    Old->flushEvents();
+  Inner->setSink(Sink);
+  if (Sink)
+    Sink->setOpListener(&Accum);
 }
 
-ds::OpResult ProfiledContainer::insert(ds::Key K) {
-  ds::OpResult R = Inner->insert(K);
-  ++Sw.InsertCount;
-  Sw.InsertCost += R.Cost;
-  finishSample();
-  return R;
+const SoftwareFeatures &ProfiledContainer::features() const {
+  if (EventSink *S = Inner->sink())
+    S->flushEvents();
+  Accum.Sw.Resizes = Inner->resizeCount();
+  Accum.Sw.PeakSimBytes = Inner->simPeakBytes();
+  Accum.Sw.ElementBytes = Inner->elementBytes();
+  return Accum.Sw;
 }
 
-ds::OpResult ProfiledContainer::insertAt(uint64_t Pos, ds::Key K) {
-  ds::OpResult R = Inner->insertAt(Pos, K);
-  ++Sw.InsertAtCount;
-  Sw.InsertCost += R.Cost;
-  finishSample();
-  return R;
-}
-
-ds::OpResult ProfiledContainer::pushFront(ds::Key K) {
-  ds::OpResult R = Inner->pushFront(K);
-  ++Sw.PushFrontCount;
-  Sw.InsertCost += R.Cost;
-  finishSample();
-  return R;
-}
-
-ds::OpResult ProfiledContainer::erase(ds::Key K) {
-  ds::OpResult R = Inner->erase(K);
-  ++Sw.EraseCount;
-  Sw.EraseCost += R.Cost;
-  if (R.Found)
-    ++Sw.EraseHits;
-  finishSample();
-  return R;
-}
-
-ds::OpResult ProfiledContainer::eraseAt(uint64_t Pos) {
-  ds::OpResult R = Inner->eraseAt(Pos);
-  ++Sw.EraseAtCount;
-  Sw.EraseCost += R.Cost;
-  if (R.Found)
-    ++Sw.EraseHits;
-  finishSample();
-  return R;
-}
-
-ds::OpResult ProfiledContainer::find(ds::Key K) {
-  ds::OpResult R = Inner->find(K);
-  ++Sw.FindCount;
-  Sw.FindCost += R.Cost;
-  if (R.Found)
-    ++Sw.FindHits;
-  finishSample();
-  return R;
-}
-
-ds::OpResult ProfiledContainer::iterate(uint64_t Steps) {
-  ds::OpResult R = Inner->iterate(Steps);
-  ++Sw.IterateCount;
-  Sw.IterateSteps += R.Cost;
-  finishSample();
-  return R;
+void ProfiledContainer::resetFeatures() {
+  if (EventSink *S = Inner->sink())
+    S->flushEvents();
+  Accum.Sw = SoftwareFeatures();
+  // The old wrapper's reset took one post-reset sample of the current
+  // state; preserve that exactly.
+  Accum.Sw.SizeStats.add(static_cast<double>(Inner->size()));
+  Accum.Sw.Resizes = Inner->resizeCount();
+  Accum.Sw.PeakSimBytes = Inner->simPeakBytes();
+  Accum.Sw.ElementBytes = Inner->elementBytes();
 }

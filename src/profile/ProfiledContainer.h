@@ -5,11 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The paper's "profiling data structures": wrappers that record how the
-/// application uses a container (software features) while the underlying
-/// machine model records hardware features, then forward to the original
-/// implementation ("their interface functions contain code which records
-/// the behaviors ... and then calls the original interfaces", Section 3).
+/// The paper's "profiling data structures": record how the application uses
+/// a container (software features) while the underlying machine model
+/// records hardware features ("their interface functions contain code which
+/// records the behaviors ... and then calls the original interfaces",
+/// Section 3).
+///
+/// Since the event-stream refactor the wrapper no longer counts per call:
+/// it registers an SwAccumulator as the wrapped container's OpListener and
+/// forwards interface calls untouched. The container stamps one Op record
+/// per call into the same encoded stream as its hardware events, so
+/// profiling adds one buffered append per op instead of doubling the
+/// per-op virtual-call count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +25,7 @@
 
 #include "adt/Container.h"
 #include "profile/Features.h"
+#include "profile/SwAccumulator.h"
 
 #include <memory>
 
@@ -31,35 +39,46 @@ public:
 
   DsKind kind() const override { return Inner->kind(); }
 
-  ds::OpResult insert(ds::Key K) override;
-  ds::OpResult insertAt(uint64_t Pos, ds::Key K) override;
-  ds::OpResult pushFront(ds::Key K) override;
-  ds::OpResult erase(ds::Key K) override;
-  ds::OpResult eraseAt(uint64_t Pos) override;
-  ds::OpResult find(ds::Key K) override;
-  ds::OpResult iterate(uint64_t Steps) override;
+  ds::OpResult insert(ds::Key K) override { return Inner->insert(K); }
+  ds::OpResult insertAt(uint64_t Pos, ds::Key K) override {
+    return Inner->insertAt(Pos, K);
+  }
+  ds::OpResult pushFront(ds::Key K) override { return Inner->pushFront(K); }
+  ds::OpResult erase(ds::Key K) override { return Inner->erase(K); }
+  ds::OpResult eraseAt(uint64_t Pos) override { return Inner->eraseAt(Pos); }
+  ds::OpResult find(ds::Key K) override { return Inner->find(K); }
+  ds::OpResult iterate(uint64_t Steps) override {
+    return Inner->iterate(Steps);
+  }
 
   uint64_t size() const override { return Inner->size(); }
   void clear() override { Inner->clear(); }
-  void setSink(EventSink *Sink) override { Inner->setSink(Sink); }
+  void setSink(EventSink *Sink) override;
+  EventSink *sink() const override { return Inner->sink(); }
   uint64_t simLiveBytes() const override { return Inner->simLiveBytes(); }
   uint64_t simPeakBytes() const override { return Inner->simPeakBytes(); }
   uint64_t resizeCount() const override { return Inner->resizeCount(); }
   uint32_t elementBytes() const override { return Inner->elementBytes(); }
 
-  /// The software features recorded so far. Resize/peak-memory fields are
-  /// refreshed from the wrapped container on each call.
-  const SoftwareFeatures &features() const { return Sw; }
+  /// Replaces the wrapper's own accumulator — callers that want raw op
+  /// records instead of SoftwareFeatures.
+  void setOpListener(OpListener *Listener) override {
+    Inner->setOpListener(Listener);
+  }
+
+  /// The software features recorded so far. Drains pending sink events (op
+  /// records ride the event stream) and refreshes the container-derived
+  /// fields (resizes, peak memory, element size).
+  const SoftwareFeatures &features() const;
 
   /// Clears recorded features (not the container contents).
-  void resetFeatures() { Sw = SoftwareFeatures(); finishSample(); }
+  void resetFeatures();
 
 private:
-  /// Updates the post-call derived fields (size sample, resizes, peak).
-  void finishSample();
-
   std::unique_ptr<Container> Inner;
-  SoftwareFeatures Sw;
+  /// Mutable: features() is logically const but must drain buffered op
+  /// records and refresh derived fields.
+  mutable SwAccumulator Accum;
 };
 
 } // namespace brainy

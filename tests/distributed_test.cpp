@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/MeasurementStore.h"
 #include "distributed/Coordinator.h"
 #include "distributed/Launch.h"
 #include "distributed/WireFormat.h"
@@ -25,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
@@ -343,6 +345,48 @@ TEST(DistributedTrainingTest, ExcludedSeedsTravelToWorkers) {
   DistOpts.Distribution = &Coord;
   TrainingFramework Distributed(DistOpts, MC);
   expectSameResults(Want, Distributed.phaseOneAll());
+}
+
+TEST(DistributedTrainingTest, WarmMeasurementCacheSkipsWorkerSimulation) {
+  MachineConfig MC = MachineConfig::core2();
+  std::string Path = ::testing::TempDir() + "brainy_dist_mcache.txt";
+  std::remove(Path.c_str());
+
+  // Cold distributed run: the workers measure everything (the coordinator
+  // cache counts each record they stream back as fresh), then the
+  // coordinator's cache — which holds every wave's measurements — is
+  // persisted. The cold run must use the same worker count as the warm
+  // one: wave width steers how far past the early-stop point the
+  // framework speculatively evaluates, so only a same-shape rerun is
+  // guaranteed to find every measurement on disk.
+  TrainOptions Opts = tinyOptions();
+  Opts.MeasurementCacheFile = Path;
+  ResultArray Want;
+  {
+    Coordinator Cold(MC, Opts, 3, threadLauncher());
+    TrainOptions ColdOpts = Opts;
+    ColdOpts.Distribution = &Cold;
+    TrainingFramework FW(ColdOpts, MC);
+    Want = FW.phaseOneAll();
+    EXPECT_GT(Cold.cache().freshMeasurements(), 0u)
+        << "cold workers measured nothing";
+    Error E = saveMeasurements(Path, Cold.cache(), Opts.GenConfig, MC);
+    ASSERT_FALSE(E) << E.message();
+  }
+
+  // Warm distributed run: the coordinator preloads the file, workers hit
+  // the remote tier for every lookup, and no worker streams back a single
+  // fresh record.
+  Coordinator Coord(MC, Opts, 3, threadLauncher());
+  EXPECT_GT(Coord.cache().seeds(), 0u)
+      << "coordinator did not preload the measurement cache";
+  TrainOptions DistOpts = Opts;
+  DistOpts.Distribution = &Coord;
+  TrainingFramework Warm(DistOpts, MC);
+  expectSameResults(Want, Warm.phaseOneAll());
+  EXPECT_EQ(Coord.cache().freshMeasurements(), 0u)
+      << "warm workers re-simulated cached seeds";
+  std::remove(Path.c_str());
 }
 
 TEST(DistributedTrainingTest, WorkerLossEqualsExcludedSeeds) {

@@ -6,10 +6,14 @@
 
 #include "machine/BranchPredictor.h"
 #include "machine/CacheSim.h"
+#include "machine/EventBuffer.h"
 #include "machine/MachineModel.h"
 #include "machine/SimAllocator.h"
 
 #include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
 
 using namespace brainy;
 
@@ -302,4 +306,151 @@ TEST(MachineModelTest, SecondsUsesClock) {
   MachineModel M(Cfg);
   M.onInstructions(2000000000ULL); // 2e9 instr * 1.0 CPI = 2e9 cycles
   EXPECT_NEAR(M.seconds(), 1.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Encoded event stream (DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Plays a deterministic mixed event sequence into \p M, either through
+/// the per-event virtuals or through its event buffer. The mix is chosen
+/// to cross every onBatch path: long same-block runs (the coalesced MRU
+/// fast path), runs broken by branches and instruction bursts, sequential
+/// scans (prefetch fills), random touches, and alloc/free traffic.
+template <typename AccessFn, typename BranchFn, typename InstrFn,
+          typename AllocFn, typename FreeFn>
+void playMixedStream(AccessFn Access, BranchFn Branch, InstrFn Instr,
+                     AllocFn Alloc, FreeFn Free) {
+  uint64_t Lcg = 42;
+  for (int Round = 0; Round != 64; ++Round) {
+    // Repeated touches of one block — coalescable, in varying run lengths.
+    uint64_t Base = 0x100000 + Round * 4096;
+    for (int I = 0; I != (Round % 7) + 1; ++I)
+      Access(Base + (I % 8) * 4, 4);
+    // A branch mid-run ends one coalesced run without changing LastBlock.
+    Branch(BranchSite::SearchHit, (Round & 3) != 0);
+    for (int I = 0; I != 5; ++I)
+      Access(Base + 16, 8);
+    // Sequential scan: prefetch + streaming-hit classification.
+    for (int I = 0; I != 32; ++I)
+      Access(0x400000 + Round * 2048 + I * 64, 8);
+    Instr(Round * 3 + 1);
+    // Random far touches: miss hierarchy + LRU victim churn.
+    for (int I = 0; I != 8; ++I) {
+      Lcg = Lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      Access((Lcg >> 16) % (8 * 1024 * 1024), 8);
+    }
+    Alloc(64 + Round);
+    if (Round & 1)
+      Free(64 + Round - 1);
+    // Straddling access: first/last bytes in different blocks.
+    Access(0x200000 + Round * 64 + 60, 16);
+  }
+}
+
+} // namespace
+
+TEST(EventStreamTest, BatchedDeliveryIsBitIdenticalToDirectCalls) {
+  for (const MachineConfig &Cfg :
+       {MachineConfig::core2(), MachineConfig::atom()}) {
+    MachineModel Direct(Cfg), Batched(Cfg);
+    playMixedStream(
+        [&](uint64_t A, uint32_t B) { Direct.onAccess(A, B); },
+        [&](BranchSite S, bool T) { Direct.onBranch(S, T); },
+        [&](uint64_t N) { Direct.onInstructions(N); },
+        [&](uint64_t B) { Direct.onAlloc(B); },
+        [&](uint64_t B) { Direct.onFree(B); });
+
+    EventBuffer *Buf = Batched.eventBuffer();
+    ASSERT_NE(Buf, nullptr);
+    playMixedStream(
+        [&](uint64_t A, uint32_t B) { Buf->access(A, B); },
+        [&](BranchSite S, bool T) { Buf->branch(S, T); },
+        [&](uint64_t N) { Buf->instructions(N); },
+        [&](uint64_t B) { Buf->alloc(B); },
+        [&](uint64_t B) { Buf->free(B); });
+    Batched.flushEvents();
+
+    // Bit-identical, not approximately equal: the batch drain (including
+    // the coalesced repeat-run path) must replay the exact arithmetic of
+    // the per-event calls.
+    HardwareCounters D = Direct.counters(), B = Batched.counters();
+    EXPECT_EQ(D.Cycles, B.Cycles) << Cfg.Name;
+    EXPECT_EQ(D.Instructions, B.Instructions) << Cfg.Name;
+    EXPECT_EQ(D.L1Accesses, B.L1Accesses) << Cfg.Name;
+    EXPECT_EQ(D.L1Misses, B.L1Misses) << Cfg.Name;
+    EXPECT_EQ(D.L2Accesses, B.L2Accesses) << Cfg.Name;
+    EXPECT_EQ(D.L2Misses, B.L2Misses) << Cfg.Name;
+    EXPECT_EQ(D.Branches, B.Branches) << Cfg.Name;
+    EXPECT_EQ(D.BranchMispredicts, B.BranchMispredicts) << Cfg.Name;
+    EXPECT_EQ(D.Allocations, B.Allocations) << Cfg.Name;
+    EXPECT_EQ(D.Frees, B.Frees) << Cfg.Name;
+    EXPECT_EQ(Direct.cycles(), Batched.cycles()) << Cfg.Name;
+  }
+}
+
+TEST(EventStreamTest, InterleavedDirectAndBufferedCallsStayOrdered) {
+  // A direct virtual call must observe everything buffered before it:
+  // the per-event entry points drain the pending buffer first.
+  MachineConfig Cfg = MachineConfig::core2();
+  MachineModel Direct(Cfg), Mixed(Cfg);
+  for (int I = 0; I != 1000; ++I) {
+    Direct.onAccess(0x1000 + (I % 16) * 64, 8);
+    Direct.onBranch(BranchSite::SearchHit, I & 1);
+  }
+  EventBuffer *Buf = Mixed.eventBuffer();
+  for (int I = 0; I != 1000; ++I) {
+    if (I % 3 == 0)
+      Mixed.onAccess(0x1000 + (I % 16) * 64, 8);
+    else
+      Buf->access(0x1000 + (I % 16) * 64, 8);
+    // Direct call with records pending: must drain, then step.
+    Mixed.onBranch(BranchSite::SearchHit, I & 1);
+  }
+  Mixed.flushEvents();
+  EXPECT_EQ(Direct.cycles(), Mixed.cycles());
+  EXPECT_EQ(Direct.counters().BranchMispredicts, Mixed.counters().BranchMispredicts);
+}
+
+TEST(EventStreamTest, OpRecordsReachTheListenerInOrder) {
+  struct Recorder final : OpListener {
+    std::vector<std::tuple<ContainerOp, bool, uint64_t, uint64_t>> Ops;
+    void onOp(ContainerOp Op, bool Found, uint64_t Cost,
+              uint64_t SizeAfter) override {
+      Ops.emplace_back(Op, Found, Cost, SizeAfter);
+    }
+  };
+  Recorder Direct, Buffered;
+
+  MachineModel M(MachineConfig::core2());
+  M.setOpListener(&Buffered);
+  EventBuffer *Buf = M.eventBuffer();
+  for (uint64_t I = 0; I != 300; ++I) {
+    ContainerOp Op = static_cast<ContainerOp>(
+        I % static_cast<uint64_t>(ContainerOp::NumOps));
+    bool Found = (I % 3) == 0;
+    uint64_t Cost = I * 7 + 1;
+    Direct.onOp(Op, Found, Cost, I);
+    Buf->op(Op, Found, Cost, I);
+  }
+  M.flushEvents();
+  EXPECT_EQ(Direct.Ops, Buffered.Ops);
+}
+
+TEST(EventStreamTest, BufferAutoFlushesWhenFull) {
+  // More events than CapacityWords: appends must self-flush, and nothing
+  // may be dropped or reordered across the flush boundary.
+  MachineConfig Cfg = MachineConfig::core2();
+  MachineModel Direct(Cfg), Batched(Cfg);
+  EventBuffer *Buf = Batched.eventBuffer();
+  const int N = 3 * static_cast<int>(EventBuffer::CapacityWords);
+  for (int I = 0; I != N; ++I) {
+    Direct.onAccess(0x8000 + (I % 512) * 64, 8);
+    Buf->access(0x8000 + (I % 512) * 64, 8);
+  }
+  Batched.flushEvents();
+  EXPECT_EQ(Direct.cycles(), Batched.cycles());
+  EXPECT_EQ(Direct.counters().L1Misses, Batched.counters().L1Misses);
 }

@@ -143,6 +143,7 @@ int usage() {
       "  appgen --seed N [--ds KIND] [--config FILE] [-o FILE]\n"
       "  train --machine core2|atom -o MODELS [--target N] [--seeds N]\n"
       "        [--config FILE] [--jobs N] [--workers N]\n"
+      "        [--measurement-cache FILE]\n"
       "  trainset --machine core2|atom --model FAMILY -o FILE\n"
       "           [--target N] [--seeds N] [--config FILE] [--jobs N]\n"
       "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
@@ -242,6 +243,9 @@ int cmdTrain(const Args &A, const std::string &ExePath) {
   Opts.MaxSeeds = A.getInt("seeds", 8000);
   // 0 falls back to BRAINY_JOBS, then serial.
   Opts.Jobs = static_cast<unsigned>(A.getInt("jobs", 0));
+  // Set before the Coordinator is built: the coordinator preloads the
+  // same file so warm distributed runs skip worker-side simulation too.
+  Opts.MeasurementCacheFile = A.get("measurement-cache");
   unsigned Workers = static_cast<unsigned>(A.getInt("workers", 0));
   std::unique_ptr<dist::Coordinator> Coord;
   if (Workers) {
@@ -542,7 +546,7 @@ int main(int Argc, char **Argv) {
     Known = {"seed", "ds", "config", "out"};
   else if (Cmd == "train")
     Known = {"machine", "out", "target", "seeds", "config", "jobs",
-             "workers"};
+             "workers", "measurement-cache"};
   else if (Cmd == "trainset")
     Known = {"machine", "model", "out", "target", "seeds", "config", "jobs"};
   else if (Cmd == "eval")
