@@ -19,6 +19,7 @@
 
 #include "core/TrainingFramework.h"
 
+#include "core/Checkpoint.h"
 #include "core/MeasurementStore.h"
 #include "support/Env.h"
 #include "support/FaultInjector.h"
@@ -318,9 +319,11 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
     }
   };
 
-  if (jobs() <= 1 && !Options.Distribution) {
+  if (jobs() <= 1 && !Options.Distribution && Options.CheckpointFile.empty()) {
     // Serial path: one shard for the whole scan, fullness consulted live so
-    // no seed is ever measured past the stopping point.
+    // no seed is ever measured past the stopping point. (Checkpointing
+    // forces the wave path below: wave boundaries are its commit points,
+    // and the ordered merge makes the results identical either way.)
     MeasurementCache::Shard Shard = Cache.shard();
     std::array<SeedOutcome, NumModelKinds> Out{};
     for (uint64_t Offset = 0; Offset != Options.MaxSeeds; ++Offset) {
@@ -347,8 +350,40 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
   if (Width == 0)
     Width = 1;
   uint64_t WaveSeeds = PhaseOneChunk * Width;
-  for (uint64_t WaveBegin = 0; WaveBegin < Options.MaxSeeds && !AllFull();
-       WaveBegin += WaveSeeds) {
+
+  // Resumable coordination (DESIGN.md §13): restore the last committed
+  // wave boundary, rebuild the win counts from the restored pairs (each
+  // pair incremented its count exactly once), and continue from there. A
+  // missing file is the normal cold start; any other load failure is
+  // logged and also cold-starts — a checkpoint can be stale, never wrong.
+  uint64_t StartOffset = 0;
+  uint64_t CkptFingerprint = 0;
+  if (!Options.CheckpointFile.empty()) {
+    CkptFingerprint =
+        checkpointFingerprint(Options, Machine, Models, CountUnmatchedSeeds);
+    Expected<TrainCheckpoint> Ck =
+        loadCheckpoint(Options.CheckpointFile, CkptFingerprint, Machine.Name);
+    if (Ck) {
+      Results = std::move(Ck->Results);
+      for (unsigned M = 0; M != NumModelKinds; ++M)
+        for (const SeedBest &P : Results[M].SeedDsPairs)
+          ++WinCount[M][static_cast<unsigned>(P.BestDs)];
+      StartOffset = Ck->NextOffset;
+      std::fprintf(stderr,
+                   "brainy: phase I: resumed from checkpoint at seed "
+                   "offset %llu%s\n",
+                   static_cast<unsigned long long>(StartOffset),
+                   Ck->Stopped ? " (already complete)" : "");
+      if (Ck->Stopped)
+        return Results;
+    } else if (Ck.error().code() != ErrCode::IoError) {
+      std::fprintf(stderr, "brainy: phase I: cold start: %s\n",
+                   Ck.error().message().c_str());
+    }
+  }
+
+  for (uint64_t WaveBegin = StartOffset;
+       WaveBegin < Options.MaxSeeds && !AllFull(); WaveBegin += WaveSeeds) {
     uint64_t WaveEnd = std::min(Options.MaxSeeds, WaveBegin + WaveSeeds);
     std::array<bool, NumModelKinds> Wanted = WantedNow();
 
@@ -377,6 +412,21 @@ TrainingFramework::phaseOneImpl(const std::vector<ModelKind> &Models,
         continue;
       }
       Stopped = !MergeSeed(Seed, Slot.Outcomes);
+    }
+
+    // Commit the merged wave. The loop's entire state at the next
+    // iteration's top is (Results, WinCount, WaveBegin), and WinCount is
+    // derivable from the pairs — so this file plus the options is exactly
+    // a resume point. A failed save costs resumability, not correctness.
+    if (!Options.CheckpointFile.empty()) {
+      TrainCheckpoint Ck;
+      Ck.NextOffset = WaveEnd;
+      Ck.Stopped = AllFull();
+      Ck.Results = Results;
+      if (Error E = saveCheckpoint(Options.CheckpointFile, Ck,
+                                   CkptFingerprint, Machine.Name))
+        std::fprintf(stderr, "brainy: phase I: checkpoint save failed: %s\n",
+                     E.message().c_str());
     }
   }
   return Results;

@@ -141,6 +141,15 @@ struct TrainOptions {
   /// recorded under a different generator config or machine is rejected by
   /// fingerprint and ignored.
   std::string MeasurementCacheFile;
+  /// When non-empty, resumable Phase I (DESIGN.md §13): every merged wave
+  /// is persisted to this file (`brainy-ckpt v1`, atomic write), and a
+  /// restarted run resumes from the last wave boundary with a
+  /// byte-identical final bundle. Checkpointing forces the wave path even
+  /// at Jobs=1 (wave boundaries are its commit points) — results are
+  /// unchanged, since the ordered merge is partition-independent. A
+  /// corrupt or config-mismatched file is rejected wholesale and the run
+  /// cold-starts; a checkpoint can never make a bundle wrong.
+  std::string CheckpointFile;
   /// Network hyperparameters for the final model.
   NetConfig Net;
 };

@@ -8,10 +8,24 @@
 
 #include "core/MeasurementStore.h"
 #include "support/Error.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+
+namespace {
+
+/// Salts for the `net` fault site (BRAINY_FAULT=net:<rate>:<seed>),
+/// probed at the coordinator's transport seam and keyed by the chunk's
+/// first seed — chunk boundaries are fixed PhaseOneChunk multiples, so
+/// which chunks suffer which network fate is independent of the worker
+/// count, exactly like the `worker` site.
+constexpr uint64_t NetSaltReset = 0;     ///< connection reset before send
+constexpr uint64_t NetSaltTimeout = 1;   ///< reply never arrives
+constexpr uint64_t NetSaltShortRead = 2; ///< reply truncated mid-frame
+
+} // namespace
 
 using namespace brainy;
 using namespace brainy::dist;
@@ -57,14 +71,28 @@ Coordinator::~Coordinator() {
     }
     dropWorker(I);
   }
+  // End-of-run loss report: fleet runs must be diagnosable from the
+  // coordinator's stderr alone, whichever frontend drove them. Quiet on
+  // the happy path.
+  uint64_t Lost = lostSeeds(), Resp = respawns(), Dead = declaredDead();
+  if (Lost || Resp || Dead)
+    std::fprintf(stderr,
+                 "brainy: coordinator: run complete: %llu seed(s) lost, "
+                 "%llu worker respawn(s)/reconnect(s), %llu worker slot(s) "
+                 "declared dead\n",
+                 static_cast<unsigned long long>(Lost),
+                 static_cast<unsigned long long>(Resp),
+                 static_cast<unsigned long long>(Dead));
 }
 
 bool Coordinator::ensureWorker(unsigned I) {
   Slot &S = Slots[I];
   if (S.Alive)
     return true;
+  if (S.Dead)
+    return false;
   try {
-    S.Conn = Launcher();
+    S.Conn = Launcher(I);
     if (!S.Conn.Link)
       throw ErrorException(
           Error(ErrCode::IoError, "launcher returned no transport"));
@@ -73,6 +101,7 @@ bool Coordinator::ensureWorker(unsigned I) {
     S.EverSpawned = true;
     sendFrame(*S.Conn.Link, encodeInit(InitContext));
     S.Alive = true;
+    S.SpawnFailures = 0;
     return true;
   } catch (const std::exception &E) {
     std::fprintf(stderr, "brainy: coordinator: worker %u spawn failed: %s\n",
@@ -83,6 +112,18 @@ bool Coordinator::ensureWorker(unsigned I) {
     std::fprintf(stderr, "brainy: coordinator: worker %u spawn failed\n", I);
   }
   dropWorker(I);
+  // A slot that cannot be (re)spawned repeatedly — refused reconnects, a
+  // gone host, a broken exec — is retired so the rest of the run is not
+  // spent on doomed connect attempts. Its chunks degrade to SkippedSeeds
+  // like any other loss.
+  if (++S.SpawnFailures >= MaxSpawnFailures && !S.Dead) {
+    S.Dead = true;
+    DeclaredDead.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "brainy: coordinator: worker %u declared dead after %u "
+                 "consecutive spawn failures\n",
+                 I, S.SpawnFailures);
+  }
   return false;
 }
 
@@ -105,11 +146,21 @@ bool Coordinator::runChunk(unsigned I, uint64_t BeginSeed, uint64_t EndSeed,
     return false;
   Slot &S = Slots[I];
   try {
+    // Deterministic network churn (BRAINY_FAULT=net:<rate>:<seed>): the
+    // three classic transport fates, keyed by the chunk's first seed so
+    // the lost-chunk set is a pure function of the spec. Each throw lands
+    // in the catch below — the same dropWorker + SkippedSeeds path a real
+    // reset/timeout/short-read takes through the transport layer.
+    FaultInjector &FI = FaultInjector::instance();
+    FI.maybeThrow(FaultSite::NetIo, BeginSeed, NetSaltReset,
+                  "connection reset by peer");
     EvalChunkMsg Req;
     Req.BeginSeed = BeginSeed;
     Req.EndSeed = EndSeed;
     Req.Wanted = Wanted;
     sendFrame(*S.Conn.Link, encodeEvalChunk(Req));
+    FI.maybeThrow(FaultSite::NetIo, BeginSeed, NetSaltTimeout,
+                  "transport read timed out");
     std::string Payload;
     while (true) {
       if (!recvFrame(*S.Conn.Link, Payload, ChunkTimeoutMs))
@@ -128,6 +179,8 @@ bool Coordinator::runChunk(unsigned I, uint64_t BeginSeed, uint64_t EndSeed,
         break;
       }
       case MsgKind::ChunkDone: {
+        FI.maybeThrow(FaultSite::NetIo, BeginSeed, NetSaltShortRead,
+                      "peer closed mid-datum (short read)");
         ChunkDoneMsg Done = decodeChunkDone(Payload);
         if (Done.BeginSeed != BeginSeed ||
             Done.Slots.size() != static_cast<size_t>(EndSeed - BeginSeed))

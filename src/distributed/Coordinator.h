@@ -47,10 +47,11 @@ struct WorkerConnection {
   std::function<void()> Terminate;
 };
 
-/// Spawns one worker. Called lazily — on first use and after a death —
-/// from coordinator driver threads; throws on spawn failure (the chunk is
-/// then skipped, not fatal).
-using WorkerLauncher = std::function<WorkerConnection()>;
+/// Spawns (or, for TCP fleets, connects) one worker for slot \p Slot.
+/// Called lazily — on first use and after a death — from coordinator
+/// driver threads; throws on spawn failure (the chunk is then skipped,
+/// not fatal; repeated failures get the slot declared dead).
+using WorkerLauncher = std::function<WorkerConnection(unsigned Slot)>;
 
 /// Drives \p NumWorkers workers as the framework's Phase I wave
 /// evaluator. Thread contract: evalWave runs chunk drivers on an internal
@@ -83,13 +84,19 @@ public:
 
   /// Seeds in chunks lost to worker death/timeout/spawn failure. They
   /// surface as SkippedSeeds in the framework's result; this counter
-  /// feeds the CLI's loss report.
+  /// feeds the loss report.
   uint64_t lostSeeds() const {
     return LostSeeds.load(std::memory_order_relaxed);
   }
-  /// Workers relaunched after a death (first spawns not counted).
+  /// Workers relaunched after a death (first spawns not counted). For a
+  /// TCP fleet a respawn is a reconnect.
   uint64_t respawns() const {
     return Respawns.load(std::memory_order_relaxed);
+  }
+  /// Slots retired after MaxSpawnFailures consecutive spawn/reconnect
+  /// failures. A dead slot's chunks are skipped without further attempts.
+  uint64_t declaredDead() const {
+    return DeclaredDead.load(std::memory_order_relaxed);
   }
 
   /// The shared measurement cache served to workers (exposed for tests).
@@ -100,15 +107,25 @@ public:
   /// as a local one.
   const MeasurementCache *measurements() const override { return &Cache; }
 
+  /// Consecutive launcher failures before a slot is declared dead for the
+  /// rest of the run. tcpLauncher's bounded retry multiplies under this:
+  /// a worker only counts as gone after MaxSpawnFailures whole retry
+  /// cycles came up empty.
+  static constexpr unsigned MaxSpawnFailures = 3;
+
 private:
   struct Slot {
     WorkerConnection Conn;
     bool Alive = false;
     bool EverSpawned = false;
+    /// Consecutive spawn failures (reset on success). At
+    /// MaxSpawnFailures the slot flips Dead and is never retried.
+    unsigned SpawnFailures = 0;
+    bool Dead = false;
   };
 
   /// Spawns + Inits slot \p I if it is not alive. Returns false (after
-  /// logging) when the launcher fails.
+  /// logging) when the launcher fails or the slot is dead.
   bool ensureWorker(unsigned I);
   /// Drops the link, reaps the worker, marks the slot dead.
   void dropWorker(unsigned I);
@@ -134,6 +151,7 @@ private:
   ThreadPool Drivers;
   std::atomic<uint64_t> LostSeeds{0};
   std::atomic<uint64_t> Respawns{0};
+  std::atomic<uint64_t> DeclaredDead{0};
 };
 
 } // namespace dist

@@ -6,15 +6,18 @@
 
 #include "distributed/Launch.h"
 
+#include "distributed/Tcp.h"
 #include "distributed/Worker.h"
 #include "support/Error.h"
 
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <thread>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -35,7 +38,7 @@ void makeSocketpair(int Fds[2]) {
 } // namespace
 
 WorkerLauncher dist::processLauncher(std::string ExePath) {
-  return [ExePath]() -> WorkerConnection {
+  return [ExePath](unsigned) -> WorkerConnection {
     int Fds[2];
     makeSocketpair(Fds);
     pid_t Pid = ::fork();
@@ -74,7 +77,7 @@ WorkerLauncher dist::processLauncher(std::string ExePath) {
 }
 
 WorkerLauncher dist::threadLauncher() {
-  return []() -> WorkerConnection {
+  return [](unsigned) -> WorkerConnection {
     int Fds[2];
     makeSocketpair(Fds);
 
@@ -100,5 +103,49 @@ WorkerLauncher dist::threadLauncher() {
       State->Runner.join();
     };
     return Conn;
+  };
+}
+
+WorkerLauncher dist::tcpLauncher(const std::vector<std::string> &Endpoints,
+                                 TcpLaunchPolicy Policy) {
+  if (Endpoints.empty())
+    throw ErrorException(
+        Error(ErrCode::InvalidValue, "tcpLauncher: empty endpoint list"));
+  // Parse eagerly: a typo in a fleet list must fail at setup, not turn
+  // into a worker slot that dies quietly on first use.
+  std::vector<TcpEndpoint> Parsed;
+  Parsed.reserve(Endpoints.size());
+  for (const std::string &Spec : Endpoints)
+    Parsed.push_back(parseEndpoint(Spec));
+  if (Policy.ConnectAttempts == 0)
+    Policy.ConnectAttempts = 1;
+
+  return [Parsed, Policy](unsigned Slot) -> WorkerConnection {
+    const TcpEndpoint &Ep = Parsed[Slot % Parsed.size()];
+    int BackoffMs = Policy.InitialBackoffMs;
+    for (unsigned Attempt = 1;; ++Attempt) {
+      try {
+        WorkerConnection Conn;
+        Conn.Link = TcpTransport::connectTo(Ep, Policy.ConnectTimeoutMs);
+        // No Terminate: there is nothing local to reap. Dropping the link
+        // is the goodbye; the remote listener survives it and a respawn
+        // of this slot is simply a reconnect.
+        return Conn;
+      } catch (const ErrorException &E) {
+        if (Attempt == Policy.ConnectAttempts)
+          throw;
+        std::fprintf(stderr,
+                     "brainy: tcp launcher: slot %u: %s "
+                     "(attempt %u/%u, retrying in %d ms)\n",
+                     Slot, E.what(), Attempt, Policy.ConnectAttempts,
+                     BackoffMs);
+        // Plain sleep; poll with no descriptors is the support-layer
+        // idiom for waiting without touching a wall clock.
+        if (BackoffMs > 0)
+          (void)::poll(nullptr, 0, BackoffMs);
+        if (BackoffMs < 60000)
+          BackoffMs *= 2;
+      }
+    }
   };
 }

@@ -14,9 +14,13 @@
 ///  * threadLauncher — serveWorker on an in-process thread over a
 ///    socketpair. Same protocol, no exec dependency; what tests and
 ///    benches use, and the fallback wherever spawning is unavailable.
+///  * tcpLauncher — connects slot I to endpoint I of a `brainy worker
+///    --listen` fleet (DESIGN.md §13), with bounded retry + exponential
+///    backoff so a worker that is restarting is rejoined, while one that
+///    is gone for good costs a few connect attempts, not the run.
 ///
-/// A TCP launcher slots in beside these without touching the coordinator:
-/// it only needs to produce a connected Transport.
+/// Launchers receive the slot index, so a fleet launcher can pin slots to
+/// endpoints; the local launchers ignore it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +30,7 @@
 #include "distributed/Coordinator.h"
 
 #include <string>
+#include <vector>
 
 namespace brainy {
 namespace dist {
@@ -38,6 +43,26 @@ WorkerLauncher processLauncher(std::string ExePath);
 /// Launcher that runs serveWorker on a plain in-process thread over a
 /// socketpair. Terminate joins the thread.
 WorkerLauncher threadLauncher();
+
+/// Retry/backoff knobs for tcpLauncher. A (re)connect makes
+/// ConnectAttempts tries, sleeping InitialBackoffMs, 2x, 4x, ... between
+/// them; each individual TCP handshake is bounded by ConnectTimeoutMs.
+/// When every attempt fails the launcher throws and the coordinator
+/// counts a spawn failure toward declaring the slot dead.
+struct TcpLaunchPolicy {
+  unsigned ConnectAttempts = 5;
+  int InitialBackoffMs = 100;
+  int ConnectTimeoutMs = 5000;
+};
+
+/// Launcher that connects worker slot I to Endpoints[I % size()] — each
+/// endpoint a "host:port" where a `brainy worker --listen` is serving.
+/// Endpoint specs are parsed eagerly: a malformed one throws
+/// ErrorException(InvalidValue/OutOfRange) here, not at first spawn.
+/// Terminate is a no-op (closing the link is the goodbye; the remote
+/// listener keeps serving and a respawn is simply a reconnect).
+WorkerLauncher tcpLauncher(const std::vector<std::string> &Endpoints,
+                           TcpLaunchPolicy Policy = {});
 
 } // namespace dist
 } // namespace brainy

@@ -127,3 +127,29 @@ WorkerExit dist::serveWorker(Transport &T) {
     return WorkerExit::TransportLost;
   }
 }
+
+uint64_t dist::serveListener(TcpListener &Listener,
+                             const std::atomic<bool> *Stop) {
+  uint64_t Served = 0;
+  try {
+    while (!Stop || !Stop->load(std::memory_order_acquire)) {
+      std::unique_ptr<TcpTransport> Conn =
+          Listener.acceptConnection(Stop ? 100 : -1);
+      if (!Conn)
+        continue; // poll slice elapsed; re-check Stop
+      serveWorker(*Conn);
+      // Whatever the exit, drop the socket here: for SimulatedCrash the
+      // abrupt close (no ChunkDone) is exactly the death the coordinator
+      // must observe, and a fresh accept is the respawn path.
+      Conn.reset();
+      ++Served;
+    }
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "brainy: worker: listener failed: %s\n", E.what());
+    // brainy-lint: allow(catch-all): serveListener's never-throws
+    // contract; a dead listener ends the loop, reported via the log.
+  } catch (...) {
+    std::fprintf(stderr, "brainy: worker: listener failed\n");
+  }
+  return Served;
+}

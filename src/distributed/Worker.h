@@ -22,7 +22,11 @@
 #ifndef BRAINY_DISTRIBUTED_WORKER_H
 #define BRAINY_DISTRIBUTED_WORKER_H
 
+#include "distributed/Tcp.h"
 #include "distributed/Transport.h"
+
+#include <atomic>
+#include <cstdint>
 
 namespace brainy {
 namespace dist {
@@ -50,6 +54,22 @@ enum class WorkerExit {
 /// chunk — which is what makes fault runs reproducible and testable
 /// against ExcludeSeeds.
 WorkerExit serveWorker(Transport &T);
+
+/// The `brainy worker --listen` accept loop (DESIGN.md §13): accepts one
+/// coordinator connection at a time on \p Listener and runs serveWorker
+/// over it; when the connection ends — shutdown, simulated crash, or
+/// transport loss — the socket is dropped (a crash thus looks like a real
+/// death to the coordinator) and the loop accepts the next connection, so
+/// a coordinator respawn of this slot is simply a reconnect, and one
+/// long-lived worker process serves any number of training runs.
+///
+/// Runs until \p Stop (when non-null) becomes true, polling the listener
+/// in 100 ms slices; with a null \p Stop it serves forever (the CLI shape
+/// — the process is terminated externally). Returns the number of
+/// connections served. Never throws: listener errors are logged and end
+/// the loop.
+uint64_t serveListener(TcpListener &Listener,
+                       const std::atomic<bool> *Stop = nullptr);
 
 } // namespace dist
 } // namespace brainy

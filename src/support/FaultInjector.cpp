@@ -22,6 +22,8 @@ const char *brainy::faultSiteName(FaultSite Site) {
     return "cache";
   case FaultSite::WorkerLoss:
     return "worker";
+  case FaultSite::NetIo:
+    return "net";
   }
   return "?";
 }

@@ -12,10 +12,11 @@
 ///
 /// where <site> is `io` (file open/read/write/rename), `eval` (seed
 /// evaluation and Phase II profiling), `cache` (measurement-cache
-/// lookups, simulating a corrupt cached entry), or `worker` (a
-/// distributed Phase I worker dying abruptly on chunk receipt), <rate> is
-/// a failure probability in [0, 1], and <seed> picks the deterministic
-/// stream.
+/// lookups, simulating a corrupt cached entry), `worker` (a distributed
+/// Phase I worker dying abruptly on chunk receipt), or `net` (the
+/// coordinator/worker transport seam: connection resets, read timeouts,
+/// short reads), <rate> is a failure probability in [0, 1], and <seed>
+/// picks the deterministic stream.
 /// Whether a given probe fails is a pure function of (site seed, key,
 /// salt) — never of timing or thread schedule — so a fault run is exactly
 /// reproducible, at any job count (DESIGN.md §8).
@@ -43,10 +44,14 @@ enum class FaultSite : unsigned {
   /// receipt (keyed by the chunk's first seed, so which chunks are lost is
   /// independent of the worker count and of which worker drew the chunk).
   WorkerLoss,
+  /// The coordinator/worker transport seam failing — connection reset,
+  /// read timeout, short read — keyed like WorkerLoss by the chunk's
+  /// first seed (salts distinguish the three fates, DESIGN.md §13).
+  NetIo,
 };
-constexpr unsigned NumFaultSites = 4;
+constexpr unsigned NumFaultSites = 5;
 
-/// "io" / "eval" / "cache" / "worker".
+/// "io" / "eval" / "cache" / "worker" / "net".
 const char *faultSiteName(FaultSite Site);
 
 /// Process-wide injector. Reads BRAINY_FAULT lazily on first use; tests

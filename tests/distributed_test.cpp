@@ -14,22 +14,40 @@
 //  * the remote-backed MeasurementCache tier serves hits into shards
 //    without echoing them back as fresh records.
 //
+// Plus the cross-host fleet contracts (DESIGN.md §13):
+//
+//  * frames cross real TCP sockets, and a `--listen`-style fleet merges
+//    bit-identically to the serial run;
+//  * a worker crash over TCP is survived by reconnecting, an unreachable
+//    endpoint is declared dead after bounded retries, and both degrade to
+//    the same ExcludeSeeds equivalence as local loss;
+//  * injected transport faults (BRAINY_FAULT=net:...) are deterministic
+//    across worker counts;
+//  * a coordinator restarted from a wave checkpoint — even with a
+//    different fleet shape — produces identical results.
+//
 //===----------------------------------------------------------------------===//
 
+#include "core/Checkpoint.h"
 #include "core/MeasurementStore.h"
 #include "distributed/Coordinator.h"
 #include "distributed/Launch.h"
+#include "distributed/Tcp.h"
 #include "distributed/WireFormat.h"
+#include "distributed/Worker.h"
 #include "support/Error.h"
 #include "support/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace brainy;
@@ -79,6 +97,46 @@ TrainOptions tinyOptions() {
 }
 
 using ResultArray = std::array<PhaseOneResult, NumModelKinds>;
+
+/// A loopback `brainy worker --listen` fleet: each worker is a
+/// TcpListener on an ephemeral 127.0.0.1 port, served by its own thread
+/// running serveListener — accepting coordinator (re)connections, one at
+/// a time, until stopped. Exactly the production shape minus the exec.
+class TcpTestFleet {
+public:
+  explicit TcpTestFleet(unsigned N) {
+    for (unsigned I = 0; I != N; ++I) {
+      Listeners.push_back(
+          std::make_unique<TcpListener>(TcpEndpoint{"127.0.0.1", 0}));
+      Endpoints.push_back("127.0.0.1:" +
+                          std::to_string(Listeners.back()->port()));
+    }
+    for (unsigned I = 0; I != N; ++I)
+      Serving.emplace_back(
+          [this, I] { serveListener(*Listeners[I], &StopFlag); });
+  }
+  ~TcpTestFleet() {
+    StopFlag.store(true, std::memory_order_release);
+    for (std::thread &T : Serving)
+      T.join();
+  }
+  TcpTestFleet(const TcpTestFleet &) = delete;
+  TcpTestFleet &operator=(const TcpTestFleet &) = delete;
+
+  std::vector<std::string> Endpoints;
+
+private:
+  std::vector<std::unique_ptr<TcpListener>> Listeners;
+  std::atomic<bool> StopFlag{false};
+  std::vector<std::thread> Serving;
+};
+
+/// An endpoint guaranteed to refuse connections: bind an ephemeral port,
+/// note it, and close the listener before anyone dials in.
+std::string refusedEndpoint() {
+  TcpListener Probe(TcpEndpoint{"127.0.0.1", 0});
+  return "127.0.0.1:" + std::to_string(Probe.port());
+}
 
 void expectSameResults(const ResultArray &A, const ResultArray &B) {
   for (unsigned M = 0; M != NumModelKinds; ++M) {
@@ -422,6 +480,276 @@ TEST(DistributedTrainingTest, WorkerLossEqualsExcludedSeeds) {
   CleanOpts.ExcludeSeeds = Skipped;
   TrainingFramework Clean(CleanOpts, MC);
   expectSameResults(Faulty, Clean.phaseOneAll());
+}
+
+//===----------------------------------------------------------------------===//
+// TCP transport
+//===----------------------------------------------------------------------===//
+
+TEST(TcpEndpointTest, ParseAcceptsHostPortAndRejectsGarbage) {
+  TcpEndpoint Ep = parseEndpoint("127.0.0.1:8080");
+  EXPECT_EQ(Ep.Host, "127.0.0.1");
+  EXPECT_EQ(Ep.Port, 8080);
+  EXPECT_EQ(endpointName(Ep), "127.0.0.1:8080");
+
+  Ep = parseEndpoint("worker-3.fleet.internal:0");
+  EXPECT_EQ(Ep.Host, "worker-3.fleet.internal");
+  EXPECT_EQ(Ep.Port, 0);
+
+  for (const char *Bad : {"nohost", "host:", ":123", "host:abc", "host:70000",
+                          "host:12x", ""})
+    EXPECT_THROW(parseEndpoint(Bad), ErrorException) << "'" << Bad << "'";
+}
+
+TEST(TcpTransportTest, FramesCrossTheSocketAndBoundedAcceptTimesOut) {
+  TcpListener Listener(TcpEndpoint{"127.0.0.1", 0});
+  ASSERT_GT(Listener.port(), 0) << "ephemeral bind resolved no port";
+  // Nobody has dialed in: a bounded accept returns null, not an error.
+  EXPECT_EQ(Listener.acceptConnection(50), nullptr);
+
+  std::thread Echo([&Listener] {
+    std::unique_ptr<TcpTransport> Conn = Listener.acceptConnection(10000);
+    ASSERT_TRUE(Conn) << "coordinator never connected";
+    std::string Payload;
+    while (recvFrame(*Conn, Payload, 10000))
+      sendFrame(*Conn, Payload);
+  });
+  std::unique_ptr<TcpTransport> Client = TcpTransport::connectTo(
+      parseEndpoint("127.0.0.1:" + std::to_string(Listener.port())), 10000);
+  ASSERT_TRUE(Client);
+  sendFrame(*Client, "over tcp");
+  sendFrame(*Client, std::string("\x00\x01\x02", 3));
+  std::string Back;
+  ASSERT_TRUE(recvFrame(*Client, Back, 10000));
+  EXPECT_EQ(Back, "over tcp");
+  ASSERT_TRUE(recvFrame(*Client, Back, 10000));
+  EXPECT_EQ(Back, std::string("\x00\x01\x02", 3));
+  Client.reset(); // clean EOF ends the echo loop
+  Echo.join();
+}
+
+TEST(TcpTransportTest, ConnectToRefusedPortThrowsIoError) {
+  TcpEndpoint Dead = parseEndpoint(refusedEndpoint());
+  try {
+    TcpTransport::connectTo(Dead, 2000);
+    FAIL() << "connect to a closed port succeeded";
+  } catch (const ErrorException &E) {
+    EXPECT_EQ(E.error().code(), ErrCode::IoError);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-host fleet (DESIGN.md §13)
+//===----------------------------------------------------------------------===//
+
+TEST(TcpFleetTest, MergeIdenticalToSerialOverTcp) {
+  MachineConfig MC = MachineConfig::core2();
+  TrainingFramework Serial(tinyOptions(), MC);
+  ResultArray Want = Serial.phaseOneAll();
+
+  TcpTestFleet Fleet(3);
+  TrainOptions Opts = tinyOptions();
+  Coordinator Coord(MC, Opts, 3, tcpLauncher(Fleet.Endpoints));
+  Opts.Distribution = &Coord;
+  TrainingFramework Distributed(Opts, MC);
+  expectSameResults(Want, Distributed.phaseOneAll());
+  EXPECT_EQ(Coord.lostSeeds(), 0u);
+  EXPECT_EQ(Coord.declaredDead(), 0u);
+  EXPECT_GT(Coord.cache().seeds(), 0u)
+      << "TCP workers never fed the shared cache";
+}
+
+TEST(TcpFleetTest, WorkerCrashOverTcpEqualsExcludedSeeds) {
+  MachineConfig MC = MachineConfig::core2();
+
+  ResultArray Faulty;
+  uint64_t Lost = 0;
+  uint64_t Reconnects = 0;
+  {
+    // Same deterministic deaths as the local test: the worker drops the
+    // socket without replying; the coordinator must reconnect to the
+    // still-serving listener and press on.
+    FaultGuard Guard("worker:0.3:11");
+    TcpTestFleet Fleet(3);
+    TrainOptions Opts = tinyOptions();
+    Coordinator Coord(MC, Opts, 3, tcpLauncher(Fleet.Endpoints));
+    Opts.Distribution = &Coord;
+    TrainingFramework FW(Opts, MC);
+    Faulty = FW.phaseOneAll();
+    Lost = Coord.lostSeeds();
+    Reconnects = Coord.respawns();
+    EXPECT_EQ(Coord.declaredDead(), 0u)
+        << "listeners kept serving; no slot should be declared dead";
+  }
+  ASSERT_GT(Lost, 0u) << "fault rate produced no worker deaths";
+  EXPECT_GT(Reconnects, 0u) << "crashed workers were never reconnected";
+
+  std::set<uint64_t> Skipped;
+  for (unsigned M = 0; M != NumModelKinds; ++M)
+    Skipped.insert(Faulty[M].SkippedSeeds.begin(),
+                   Faulty[M].SkippedSeeds.end());
+  ASSERT_FALSE(Skipped.empty());
+
+  TrainOptions CleanOpts = tinyOptions();
+  CleanOpts.ExcludeSeeds = Skipped;
+  TrainingFramework Clean(CleanOpts, MC);
+  expectSameResults(Faulty, Clean.phaseOneAll());
+}
+
+TEST(TcpFleetTest, UnreachableEndpointIsDeclaredDeadNotFatal) {
+  MachineConfig MC = MachineConfig::core2();
+
+  // Two live workers plus one endpoint nobody serves: slot 2's connects
+  // are refused, the slot is declared dead after MaxSpawnFailures retry
+  // cycles, and its chunks degrade to skipped seeds.
+  TcpTestFleet Fleet(2);
+  std::vector<std::string> Endpoints = Fleet.Endpoints;
+  Endpoints.push_back(refusedEndpoint());
+
+  TcpLaunchPolicy Fast;
+  Fast.ConnectAttempts = 2;
+  Fast.InitialBackoffMs = 1;
+  Fast.ConnectTimeoutMs = 2000;
+
+  ResultArray Faulty;
+  TrainOptions Opts = tinyOptions();
+  Coordinator Coord(MC, Opts, 3, tcpLauncher(Endpoints, Fast));
+  {
+    TrainOptions RunOpts = Opts;
+    RunOpts.Distribution = &Coord;
+    TrainingFramework FW(RunOpts, MC);
+    Faulty = FW.phaseOneAll();
+  }
+  EXPECT_EQ(Coord.declaredDead(), 1u);
+  ASSERT_GT(Coord.lostSeeds(), 0u) << "the dead slot was never assigned work";
+
+  std::set<uint64_t> Skipped;
+  for (unsigned M = 0; M != NumModelKinds; ++M)
+    Skipped.insert(Faulty[M].SkippedSeeds.begin(),
+                   Faulty[M].SkippedSeeds.end());
+  ASSERT_FALSE(Skipped.empty());
+
+  TrainOptions CleanOpts = tinyOptions();
+  CleanOpts.ExcludeSeeds = Skipped;
+  TrainingFramework Clean(CleanOpts, MC);
+  expectSameResults(Faulty, Clean.phaseOneAll());
+}
+
+TEST(TcpFleetTest, NetFaultsAreDeterministicAcrossWorkerCounts) {
+  MachineConfig MC = MachineConfig::core2();
+
+  // Injected drops/timeouts/short-reads at the transport seam, keyed by
+  // chunk first seed: the same chunks are lost at any fleet width and
+  // over any transport. Width 3 runs over real TCP; the rest use threads
+  // (the seam is coordinator-side, so the transport must not matter).
+  std::vector<ResultArray> Runs;
+  {
+    FaultGuard Guard("net:0.25:7");
+    for (unsigned Workers : {1u, 2u, 3u, 4u}) {
+      TrainOptions Opts = tinyOptions();
+      std::unique_ptr<TcpTestFleet> Fleet;
+      WorkerLauncher Launcher;
+      if (Workers == 3) {
+        Fleet = std::make_unique<TcpTestFleet>(Workers);
+        Launcher = tcpLauncher(Fleet->Endpoints);
+      } else {
+        Launcher = threadLauncher();
+      }
+      Coordinator Coord(MC, Opts, Workers, std::move(Launcher));
+      Opts.Distribution = &Coord;
+      TrainingFramework FW(Opts, MC);
+      Runs.push_back(FW.phaseOneAll());
+      EXPECT_GT(Coord.lostSeeds(), 0u)
+          << "fault rate lost nothing at " << Workers << " workers";
+    }
+  }
+  for (size_t I = 1; I != Runs.size(); ++I)
+    expectSameResults(Runs[0], Runs[I]);
+
+  // And the lost chunks degrade exactly like pre-excluded seeds.
+  std::set<uint64_t> Skipped;
+  for (unsigned M = 0; M != NumModelKinds; ++M)
+    Skipped.insert(Runs[0][M].SkippedSeeds.begin(),
+                   Runs[0][M].SkippedSeeds.end());
+  ASSERT_FALSE(Skipped.empty());
+  TrainOptions CleanOpts = tinyOptions();
+  CleanOpts.ExcludeSeeds = Skipped;
+  TrainingFramework Clean(CleanOpts, MC);
+  expectSameResults(Runs[0], Clean.phaseOneAll());
+}
+
+TEST(TcpFleetTest, CheckpointResumeAcrossFleetShapesMatchesUninterrupted) {
+  MachineConfig MC = MachineConfig::core2();
+  std::string Path = ::testing::TempDir() + "brainy_tcp_ckpt.txt";
+  std::remove(Path.c_str());
+
+  TrainingFramework Serial(tinyOptions(), MC);
+  ResultArray Want = Serial.phaseOneAll();
+
+  // "Kill" a fleet run mid-stream: cap MaxSeeds at a few waves. The
+  // checkpoint fingerprint deliberately excludes the seed budget, so the
+  // committed wave boundary is a valid resume point for the full run.
+  {
+    TcpTestFleet Fleet(2);
+    TrainOptions Opts = tinyOptions();
+    Opts.MaxSeeds = 64;
+    Opts.CheckpointFile = Path;
+    Coordinator Coord(MC, Opts, 2, tcpLauncher(Fleet.Endpoints));
+    Opts.Distribution = &Coord;
+    TrainingFramework FW(Opts, MC);
+    (void)FW.phaseOneAll();
+  }
+
+  // The restart may change fleet shape — the ordered merge is
+  // partition-independent, so resuming 2-wide work on a 3-wide fleet
+  // still reproduces the uninterrupted results bit-for-bit.
+  {
+    TcpTestFleet Fleet(3);
+    TrainOptions Opts = tinyOptions();
+    Opts.CheckpointFile = Path;
+    Coordinator Coord(MC, Opts, 3, tcpLauncher(Fleet.Endpoints));
+    Opts.Distribution = &Coord;
+    TrainingFramework FW(Opts, MC);
+    expectSameResults(Want, FW.phaseOneAll());
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TcpFleetTest, WarmMeasurementCacheOverTcpSkipsAllSimulation) {
+  MachineConfig MC = MachineConfig::core2();
+  std::string Path = ::testing::TempDir() + "brainy_tcp_mcache.txt";
+  std::remove(Path.c_str());
+
+  // Same shape constraint as the local warm test: cold and warm runs use
+  // the same fleet width, so the warm wave schedule only touches seeds
+  // the cold run measured.
+  TrainOptions Opts = tinyOptions();
+  Opts.MeasurementCacheFile = Path;
+  ResultArray Want;
+  {
+    TcpTestFleet Fleet(3);
+    Coordinator Cold(MC, Opts, 3, tcpLauncher(Fleet.Endpoints));
+    TrainOptions ColdOpts = Opts;
+    ColdOpts.Distribution = &Cold;
+    TrainingFramework FW(ColdOpts, MC);
+    Want = FW.phaseOneAll();
+    EXPECT_GT(Cold.cache().freshMeasurements(), 0u)
+        << "cold TCP workers measured nothing";
+    Error E = saveMeasurements(Path, Cold.cache(), Opts.GenConfig, MC);
+    ASSERT_FALSE(E) << E.message();
+  }
+
+  TcpTestFleet Fleet(3);
+  Coordinator Warm(MC, Opts, 3, tcpLauncher(Fleet.Endpoints));
+  EXPECT_GT(Warm.cache().seeds(), 0u)
+      << "coordinator did not preload the measurement cache";
+  TrainOptions WarmOpts = Opts;
+  WarmOpts.Distribution = &Warm;
+  TrainingFramework FW(WarmOpts, MC);
+  expectSameResults(Want, FW.phaseOneAll());
+  EXPECT_EQ(Warm.cache().freshMeasurements(), 0u)
+      << "warm TCP workers re-simulated cached seeds";
+  std::remove(Path.c_str());
 }
 
 } // namespace

@@ -37,6 +37,7 @@
 #include "core/Brainy.h"
 #include "distributed/Coordinator.h"
 #include "distributed/Launch.h"
+#include "distributed/Tcp.h"
 #include "distributed/Worker.h"
 #include "support/Env.h"
 #include "support/FaultInjector.h"
@@ -142,8 +143,9 @@ int usage() {
       "  machines\n"
       "  appgen --seed N [--ds KIND] [--config FILE] [-o FILE]\n"
       "  train --machine core2|atom -o MODELS [--target N] [--seeds N]\n"
-      "        [--config FILE] [--jobs N] [--workers N]\n"
-      "        [--measurement-cache FILE]\n"
+      "        [--config FILE] [--jobs N] [--workers N|HOST:PORT,...]\n"
+      "        [--measurement-cache FILE] [--checkpoint FILE]\n"
+      "  worker --listen HOST:PORT\n"
       "  trainset --machine core2|atom --model FAMILY -o FILE\n"
       "           [--target N] [--seeds N] [--config FILE] [--jobs N]\n"
       "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
@@ -246,13 +248,46 @@ int cmdTrain(const Args &A, const std::string &ExePath) {
   // Set before the Coordinator is built: the coordinator preloads the
   // same file so warm distributed runs skip worker-side simulation too.
   Opts.MeasurementCacheFile = A.get("measurement-cache");
-  unsigned Workers = static_cast<unsigned>(A.getInt("workers", 0));
+  // Resumable Phase I (DESIGN.md §13): every merged wave is committed to
+  // this file; a killed run rerun with the same flags resumes from the
+  // last wave boundary and emits a byte-identical bundle.
+  Opts.CheckpointFile = A.get("checkpoint");
+  // --workers N shards over local `brainy worker` subprocesses;
+  // --workers host:port,... connects to a fleet of `brainy worker
+  // --listen` processes, one slot per endpoint (DESIGN.md §13).
+  std::string WorkersSpec = A.get("workers");
+  unsigned Workers = 0;
+  dist::WorkerLauncher Launcher;
+  if (WorkersSpec.find(':') != std::string::npos) {
+    std::vector<std::string> Endpoints;
+    size_t Pos = 0;
+    while (Pos <= WorkersSpec.size()) {
+      size_t Comma = WorkersSpec.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = WorkersSpec.size();
+      if (Comma > Pos)
+        Endpoints.push_back(WorkersSpec.substr(Pos, Comma - Pos));
+      Pos = Comma + 1;
+    }
+    try {
+      Launcher = dist::tcpLauncher(Endpoints);
+    } catch (const ErrorException &E) {
+      std::fprintf(stderr, "brainy: --workers: %s\n", E.what());
+      return 2;
+    }
+    Workers = static_cast<unsigned>(Endpoints.size());
+  } else {
+    Workers = static_cast<unsigned>(A.getInt("workers", 0));
+    if (Workers)
+      Launcher = dist::processLauncher(ExePath);
+  }
   std::unique_ptr<dist::Coordinator> Coord;
   if (Workers) {
-    // Distributed Phase I: shard chunks over `brainy worker` subprocesses
-    // (DESIGN.md §10). Phase II and model training stay local under Jobs.
-    Coord = std::make_unique<dist::Coordinator>(
-        Machine, Opts, Workers, dist::processLauncher(ExePath));
+    // Distributed Phase I: shard chunks over the worker fleet
+    // (DESIGN.md §10/§13). Phase II and model training stay local under
+    // Jobs.
+    Coord = std::make_unique<dist::Coordinator>(Machine, Opts, Workers,
+                                                std::move(Launcher));
     Opts.Distribution = Coord.get();
   }
   std::fprintf(stderr,
@@ -265,9 +300,10 @@ int cmdTrain(const Args &A, const std::string &ExePath) {
   if (Coord)
     std::fprintf(stderr,
                  "distributed: %llu seeds lost to worker failures, "
-                 "%llu worker respawn(s)\n",
+                 "%llu worker respawn(s), %llu slot(s) declared dead\n",
                  (unsigned long long)Coord->lostSeeds(),
-                 (unsigned long long)Coord->respawns());
+                 (unsigned long long)Coord->respawns(),
+                 (unsigned long long)Coord->declaredDead());
   FaultInjector &FI = FaultInjector::instance();
   for (unsigned S = 0; S != NumFaultSites; ++S) {
     auto Site = static_cast<FaultSite>(S);
@@ -521,11 +557,36 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
 
-  // Hidden subcommand: the distributed Phase I worker runtime, spawned by
-  // the coordinator with requests on stdin and replies on stdout. Not in
-  // the usage text — it speaks the binary wire protocol, not flags.
+  // The distributed Phase I worker runtime. Two shapes (DESIGN.md §10,
+  // §13): spawned by a same-host coordinator with requests on stdin and
+  // replies on stdout (hidden; it speaks the binary wire protocol), or
+  // `worker --listen HOST:PORT` — a long-lived fleet member that serves
+  // any number of remote coordinators, one connection at a time, until
+  // the process is terminated externally.
   if (Cmd == "worker") {
+    // A coordinator dying mid-read must surface as EPIPE on this worker's
+    // transport, not kill the process.
     std::signal(SIGPIPE, SIG_IGN);
+    Args A = Args::parse(Argc, Argv, 2, {"listen"});
+    if (!A.Error.empty()) {
+      std::fprintf(stderr, "brainy: %s\n", A.Error.c_str());
+      return usage();
+    }
+    std::string Listen = A.get("listen");
+    if (!Listen.empty()) {
+      try {
+        dist::TcpEndpoint Ep = dist::parseEndpoint(Listen);
+        dist::TcpListener Listener(Ep);
+        std::fprintf(stderr, "brainy: worker listening on %s:%u\n",
+                     Ep.Host.c_str(), Listener.port());
+        dist::serveListener(Listener);
+        return 0;
+      } catch (const ErrorException &E) {
+        std::fprintf(stderr, "brainy: worker --listen %s: %s\n",
+                     Listen.c_str(), E.what());
+        return 1;
+      }
+    }
     dist::FdTransport Link(/*ReadFd=*/0, /*WriteFd=*/1, /*Owned=*/false);
     switch (dist::serveWorker(Link)) {
     case dist::WorkerExit::Shutdown:
@@ -546,7 +607,7 @@ int main(int Argc, char **Argv) {
     Known = {"seed", "ds", "config", "out"};
   else if (Cmd == "train")
     Known = {"machine", "out", "target", "seeds", "config", "jobs",
-             "workers", "measurement-cache"};
+             "workers", "measurement-cache", "checkpoint"};
   else if (Cmd == "trainset")
     Known = {"machine", "model", "out", "target", "seeds", "config", "jobs"};
   else if (Cmd == "eval")
