@@ -1,0 +1,61 @@
+//===- examples/apply/chord_pending.cpp - apply case study (Chord) --------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The Chord simulator's pending-lookup list as a standalone program: a
+// vector of unique request ids used purely for membership — push_back,
+// the linear std::find / std::count idioms, size, clear. No iteration,
+// no positional access, so the legality verdict is only `unknown
+// (cross-family)` — and the RewriteRule table is total over exactly this
+// op set, which is what lets `brainy apply` upgrade the vector to
+// std::unordered_set (push_back → insert, std::find(v.begin(), v.end(),
+// x) → v.find(x)) with byte-identical output.
+//
+// Compile: c++ -O2 -std=c++17 chord_pending.cpp && ./a.out
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+static uint64_t nextId(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+int main() {
+  std::vector<uint64_t> Pending;
+  uint64_t State = 7;
+  uint64_t Issued = 0, Duplicates = 0, Completed = 0, Rounds = 0;
+
+  for (unsigned Round = 0; Round != 400; ++Round) {
+    ++Rounds;
+    // Issue lookups; ids repeat, and a repeat must not re-enter the list.
+    for (unsigned K = 0; K != 64; ++K) {
+      uint64_t Id = nextId(State) % 512;
+      if (std::find(Pending.begin(), Pending.end(), Id) ==
+          Pending.end()) {
+        Pending.push_back(Id);
+        ++Issued;
+      } else {
+        ++Duplicates;
+      }
+    }
+    // Completion probe for a deterministic sample of ids.
+    for (unsigned K = 0; K != 16; ++K)
+      Completed +=
+          std::count(Pending.begin(), Pending.end(), (Round * 13 + K) % 512);
+    if (Pending.size() > 384 || Pending.empty())
+      Pending.clear();
+  }
+
+  std::printf("rounds=%llu issued=%llu dup=%llu completed=%llu left=%zu\n",
+              (unsigned long long)Rounds, (unsigned long long)Issued,
+              (unsigned long long)Duplicates,
+              (unsigned long long)Completed, Pending.size());
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- examples/apply/raytrace_groups.cpp - apply case study (raytracer) --===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The raytracer's scene-group list as a standalone program: the list is
+// built once and then *iterated* every frame, so its declaration order
+// is observable output. `brainy apply` must keep this one — the
+// range-for pins order-dependent iteration, every hashed/sorted target
+// is illegal or unmapped, and the plan reports the variable as kept with
+// a reason. The conservatism demo of the quartet.
+//
+// Compile: c++ -O2 -std=c++17 raytrace_groups.cpp && ./a.out
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+
+struct Group {
+  uint32_t Id;
+  uint32_t Spheres;
+};
+
+int main() {
+  std::list<Group> Groups;
+  for (uint32_t G = 0; G != 64; ++G)
+    Groups.push_back({G, (G * 7 + 3) % 11});
+
+  uint64_t Traced = 0;
+  for (unsigned Frame = 0; Frame != 100; ++Frame)
+    for (const Group &G : Groups)
+      Traced += G.Spheres + (Frame % (G.Id + 1));
+
+  std::printf("groups=%zu traced=%llu\n", Groups.size(),
+              (unsigned long long)Traced);
+  return 0;
+}

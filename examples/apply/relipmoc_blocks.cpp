@@ -1,0 +1,49 @@
+//===- examples/apply/relipmoc_blocks.cpp - apply case study (RelipmoC) ---===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// RelipmoC's visited-basic-block bookkeeping as a standalone program: a
+// std::set of block ids driven by insert / count / erase, never iterated
+// — the ordering the tree pays for is unused. Same-family set-like swap,
+// so the legality matrix alone proves std::unordered_set, and
+// `brainy apply` rewrites the declaration (plus header fixup) with no
+// use-site changes.
+//
+// Compile: c++ -O2 -std=c++17 relipmoc_blocks.cpp && ./a.out
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+
+static uint64_t nextBlock(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+int main() {
+  std::set<uint32_t> Visited;
+  uint64_t State = 1234;
+  uint64_t Revisits = 0, Invalidated = 0;
+
+  for (unsigned Pass = 0; Pass != 300; ++Pass) {
+    for (unsigned K = 0; K != 128; ++K) {
+      uint32_t Block = static_cast<uint32_t>(nextBlock(State) % 2048);
+      if (Visited.count(Block) != 0)
+        ++Revisits;
+      else
+        Visited.insert(Block);
+    }
+    // A rewriting pass invalidates a deterministic slice of blocks.
+    for (unsigned K = 0; K != 32; ++K)
+      Invalidated += Visited.erase((Pass * 29 + K * 7) % 2048);
+  }
+
+  std::printf("visited=%zu revisits=%llu invalidated=%llu\n",
+              Visited.size(), (unsigned long long)Revisits,
+              (unsigned long long)Invalidated);
+  return 0;
+}

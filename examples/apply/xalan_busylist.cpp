@@ -1,0 +1,55 @@
+//===- examples/apply/xalan_busylist.cpp - apply case study (Xalan) -------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+// The Xalancbmk string-cache busy list (§6.2) as a standalone program:
+// a keyed cache probed and erased by handle, never iterated. The profile
+// (subscript-key, find, count, erase, size) needs no ordering, so
+// `brainy apply` upgrades the std::map to std::unordered_map and the
+// program's output is byte-identical — the acceptance case for the
+// tree → hash rewrite.
+//
+// Compile: c++ -O2 -std=c++17 xalan_busylist.cpp && ./a.out
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+// Deterministic handle stream (splitmix64), standing in for the document
+// parse driving the cache.
+static uint64_t nextHandle(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+int main() {
+  std::map<int, std::string> Busy;
+  uint64_t State = 42;
+  uint64_t Hits = 0, Misses = 0, Evicted = 0;
+
+  for (unsigned Step = 0; Step != 20000; ++Step) {
+    int Handle = static_cast<int>(nextHandle(State) % 4096);
+    if (Busy.count(Handle) != 0) {
+      ++Hits;
+      if (Busy.find(Handle)->second.size() > 24)
+        Busy.erase(Handle);
+    } else {
+      ++Misses;
+      Busy[Handle] = std::string(Handle % 32, 'x');
+    }
+    if (Busy.size() > 3000) {
+      Busy.erase(Handle);
+      ++Evicted;
+    }
+  }
+
+  std::printf("busy=%zu hits=%llu misses=%llu evicted=%llu\n", Busy.size(),
+              (unsigned long long)Hits, (unsigned long long)Misses,
+              (unsigned long long)Evicted);
+  return 0;
+}

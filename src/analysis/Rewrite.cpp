@@ -1,0 +1,551 @@
+//===- analysis/Rewrite.cpp - Profile-driven container rewriting ----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+//
+// planOnce() runs the analyzer, picks a target per variable (preference
+// rank + legality + rule-table totality + per-site rewritability), drops
+// variables that share a declaration inconsistently, and materializes the
+// byte edits. rewriteSource() then loops: patch, re-analyze, verify; any
+// verification failure turns into a named rejection and the file is
+// re-planned without that variable, so one bad rewrite never blocks (or
+// silently rides along with) the good ones. The accepted patch must
+// additionally re-plan to zero rewrites — machine-checked idempotence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Rewrite.h"
+
+#include "support/Env.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace brainy;
+using namespace brainy::analysis;
+using cpplex::Token;
+
+namespace {
+
+size_t rankOf(const std::vector<Candidate> &Prefer, Candidate C) {
+  for (size_t I = 0; I != Prefer.size(); ++I)
+    if (Prefer[I] == C)
+      return I;
+  return Prefer.size();
+}
+
+std::string opSetString(const std::set<Op> &Ops) {
+  std::string S = "{";
+  for (Op O : Ops) {
+    if (S.size() > 1)
+      S += ' ';
+    S += opName(O);
+  }
+  return S + "}";
+}
+
+/// Member spellings the renamer accepts as rewrite sources. The emplace
+/// variants are excluded on purpose: emplace_back(a, b) has no mechanical
+/// insert() equivalent, so such sites block the upgrade instead of
+/// guessing.
+bool renameablePreMember(const std::string &Text) {
+  return Text == "push_back" || Text == "find" || Text == "count";
+}
+
+/// One rewrite the planner committed to, with what the verifier must see
+/// on the patched source.
+struct PlannedVar {
+  size_t VarIdx = 0;
+  Candidate Target = Candidate::Vector;
+  std::set<Op> ExpectedOps;
+};
+
+struct Plan {
+  DetailedAnalysis D;
+  std::vector<PlanEntry> Entries; ///< Parallel to D.File.Vars.
+  std::vector<PlannedVar> Planned;
+  std::vector<Edit> Edits;
+};
+
+/// True when every use site of \p V can be expressed on a target in
+/// family \p ToF: a rule exists, and rename rules land on sites whose
+/// current spelling the renamer knows how to replace.
+bool sitesRewritable(const VarProfile &V, Family FromF, Family ToF,
+                     const RewriteRuleTable &Rules,
+                     const std::vector<Token> &Toks) {
+  for (const UseSite &S : V.Sites) {
+    const OpRule *R = Rules.lookup(FromF, ToF, S.O);
+    if (!R)
+      return false;
+    if (!R->Member)
+      continue;
+    switch (S.Kind) {
+    case UseSite::Form::FreeFind:
+    case UseSite::Form::FreeCount:
+      break; // whole-call rewrite; always expressible
+    case UseSite::Form::Member:
+      if (S.MemberTok >= Toks.size() ||
+          (Toks[S.MemberTok].Text != R->Member &&
+           !renameablePreMember(Toks[S.MemberTok].Text)))
+        return false;
+      break;
+    default:
+      return false; // a rename rule cannot apply to this site form
+    }
+  }
+  return true;
+}
+
+Plan planOnce(const std::string &Path, const std::string &Content,
+              const ApplyOptions &Opts,
+              const std::map<std::string, std::string> &Rejected) {
+  Plan P;
+  P.D = analyzeSourceDetailed(Path, Content);
+  const std::vector<Token> &Toks = P.D.Lexed.Tokens;
+  const std::vector<VarProfile> &Vars = P.D.File.Vars;
+
+  std::map<std::string, unsigned> NameCount;
+  for (const VarProfile &V : Vars)
+    ++NameCount[V.Name];
+
+  // Pass 1: pick each variable's target (or a reason not to have one).
+  std::vector<int> TargetOf(Vars.size(), -1);
+  P.Entries.resize(Vars.size());
+  for (size_t I = 0; I != Vars.size(); ++I) {
+    const VarProfile &V = Vars[I];
+    PlanEntry &E = P.Entries[I];
+    E.Name = V.Name;
+    E.Line = V.Line;
+    E.From = V.Spelling;
+    E.St = PlanEntry::Status::Kept;
+    auto RJ = Rejected.find(V.Name);
+    if (RJ != Rejected.end()) {
+      E.St = PlanEntry::Status::Rejected;
+      E.Reason = RJ->second;
+      continue;
+    }
+    if (V.ViaAlias) {
+      E.Reason = "declared via a type alias (shared with other uses)";
+      continue;
+    }
+    if (NameCount[V.Name] > 1) {
+      E.Reason = "name bound more than once; attribution is ambiguous";
+      continue;
+    }
+    size_t DeclRank = rankOf(Opts.Prefer, V.Declared);
+    if (DeclRank == 0) {
+      E.Reason = "declared type is already the preferred choice";
+      continue;
+    }
+    Family FromF = candidateFamily(V.Declared);
+    for (size_t R = 0; R != DeclRank && TargetOf[I] < 0; ++R) {
+      Candidate C = Opts.Prefer[R];
+      if (*typeSpellingFor(C) == '\0')
+        continue;
+      if (V.verdictFor(C).Kind == Legality::Illegal)
+        continue;
+      Family ToF = candidateFamily(C);
+      if (!Opts.Rules.total(FromF, ToF, V.Ops))
+        continue;
+      if (!sitesRewritable(V, FromF, ToF, Opts.Rules, Toks))
+        continue;
+      TargetOf[I] = static_cast<int>(static_cast<unsigned>(C));
+    }
+    if (TargetOf[I] < 0)
+      E.Reason = "no preferred target passes legality and interface mapping";
+  }
+
+  // Pass 2: all variables sharing one declaration's type span must move
+  // together (the span is a single byte range); otherwise none move.
+  std::map<size_t, std::vector<size_t>> BySpan;
+  for (size_t I = 0; I != Vars.size(); ++I)
+    if (!Vars[I].ViaAlias)
+      BySpan[Vars[I].TypeTokBegin].push_back(I);
+  for (const auto &KV : BySpan) {
+    bool Consistent = true;
+    for (size_t I : KV.second)
+      Consistent &= TargetOf[I] == TargetOf[KV.second[0]];
+    if (Consistent)
+      continue;
+    for (size_t I : KV.second)
+      if (TargetOf[I] >= 0) {
+        TargetOf[I] = -1;
+        P.Entries[I].St = PlanEntry::Status::Kept;
+        P.Entries[I].Reason =
+            "shares a declaration with a variable that keeps its type";
+      }
+  }
+
+  // Pass 3: materialize edits and the verifier's expectations.
+  for (size_t I = 0; I != Vars.size(); ++I) {
+    if (TargetOf[I] < 0)
+      continue;
+    const VarProfile &V = Vars[I];
+    Candidate C = static_cast<Candidate>(TargetOf[I]);
+    Family FromF = candidateFamily(V.Declared);
+    Family ToF = candidateFamily(C);
+    PlanEntry &E = P.Entries[I];
+    E.To = typeSpellingFor(C);
+    E.St = PlanEntry::Status::Rewritten; // provisional until verified
+
+    PlannedVar PV;
+    PV.VarIdx = I;
+    PV.Target = C;
+    for (Op O : V.Ops)
+      PV.ExpectedOps.insert(Opts.Rules.lookup(FromF, ToF, O)->Post);
+
+    // (a) Declaration: replace the type's base name, keep the template
+    // argument list (all declarators of the statement share this edit;
+    // duplicates collapse in applyEdits).
+    P.Edits.push_back({Toks[V.TypeTokBegin].Offset,
+                       Toks[V.TypeNameEnd - 1].End, typeSpellingFor(C)});
+
+    // (b) Use sites.
+    for (const UseSite &S : V.Sites) {
+      const OpRule *R = Opts.Rules.lookup(FromF, ToF, S.O);
+      if (!R->Member)
+        continue;
+      if (S.Kind == UseSite::Form::Member) {
+        const Token &M = Toks[S.MemberTok];
+        if (M.Text != R->Member)
+          P.Edits.push_back({M.Offset, M.End, R->Member});
+      } else {
+        // std::find(V.begin(), V.end(), probe) -> V.find(probe); the
+        // probe expression is preserved byte-for-byte.
+        size_t ArgB = Toks[S.ArgBegin].Offset;
+        size_t ArgE = Toks[S.CallEnd - 1].End;
+        std::string Text = V.Name + "." + R->Member + "(" +
+                           Content.substr(ArgB, ArgE - ArgB) + ")";
+        P.Edits.push_back(
+            {Toks[S.CallBegin].Offset, Toks[S.CallEnd].End, std::move(Text)});
+      }
+    }
+
+    // (c) Header fixup: the target's header, after the last #include.
+    const char *Hdr = headerFor(C);
+    if (*Hdr) {
+      bool Have = false;
+      const cpplex::Directive *LastInc = nullptr;
+      for (const cpplex::Directive &Dr : P.D.Lexed.Directives) {
+        if (Dr.Text.find("include") == std::string::npos)
+          continue;
+        LastInc = &Dr;
+        Have |= Dr.Text.find(Hdr) != std::string::npos;
+      }
+      if (!Have) {
+        std::string Txt = std::string("#include ") + Hdr + "\n";
+        size_t Pos = 0;
+        if (LastInc) {
+          size_t NL = Content.find('\n', LastInc->Offset);
+          if (NL == std::string::npos) {
+            Pos = Content.size();
+            Txt = "\n" + Txt;
+          } else {
+            Pos = NL + 1;
+          }
+        }
+        P.Edits.push_back({Pos, Pos, std::move(Txt)});
+      }
+    }
+    P.Planned.push_back(std::move(PV));
+  }
+  return P;
+}
+
+/// Re-checks the patched source against the plan. Returns per-variable
+/// failure reasons; empty means the patch is proven.
+std::map<std::string, std::string> verifyPlan(const Plan &P,
+                                              const FileAnalysis &New) {
+  std::map<std::string, std::string> Fail;
+  std::set<std::string> PlannedNames;
+  for (const PlannedVar &PV : P.Planned)
+    PlannedNames.insert(P.D.File.Vars[PV.VarIdx].Name);
+
+  for (const PlannedVar &PV : P.Planned) {
+    const VarProfile &Old = P.D.File.Vars[PV.VarIdx];
+    const VarProfile *NewV = nullptr;
+    unsigned Count = 0;
+    for (const VarProfile &V : New.Vars)
+      if (V.Name == Old.Name) {
+        NewV = &V;
+        ++Count;
+      }
+    if (Count != 1) {
+      Fail[Old.Name] =
+          "patched source does not re-bind the variable exactly once";
+      continue;
+    }
+    if (NewV->Declared != PV.Target) {
+      Fail[Old.Name] = std::string("patched declaration parses as ") +
+                       candidateName(NewV->Declared) + ", not " +
+                       candidateName(PV.Target);
+      continue;
+    }
+    const Verdict &Vd = NewV->verdictFor(PV.Target);
+    if (Vd.Kind != Legality::Legal) {
+      Fail[Old.Name] = std::string("patched profile verdict is ") +
+                       legalityName(Vd.Kind) +
+                       (Vd.Reason.empty() ? "" : " (" + Vd.Reason + ")");
+      continue;
+    }
+    if (NewV->Ops != PV.ExpectedOps)
+      Fail[Old.Name] = "op set drifted: patched source observes " +
+                       opSetString(NewV->Ops) + ", rule table predicted " +
+                       opSetString(PV.ExpectedOps);
+  }
+
+  // Every profile the plan did not touch must be byte-identical.
+  std::vector<const VarProfile *> OldRest, NewRest;
+  for (const VarProfile &V : P.D.File.Vars)
+    if (!PlannedNames.count(V.Name))
+      OldRest.push_back(&V);
+  for (const VarProfile &V : New.Vars)
+    if (!PlannedNames.count(V.Name))
+      NewRest.push_back(&V);
+  bool Drift = OldRest.size() != NewRest.size();
+  for (size_t I = 0; !Drift && I != OldRest.size(); ++I)
+    Drift = OldRest[I]->Name != NewRest[I]->Name ||
+            OldRest[I]->Declared != NewRest[I]->Declared ||
+            OldRest[I]->Ops != NewRest[I]->Ops;
+  if (Drift)
+    for (const PlannedVar &PV : P.Planned) {
+      const std::string &N = P.D.File.Vars[PV.VarIdx].Name;
+      if (!Fail.count(N))
+        Fail[N] = "rewrite perturbs the profile of an unrelated variable";
+    }
+  return Fail;
+}
+
+const char *statusName(PlanEntry::Status St) {
+  switch (St) {
+  case PlanEntry::Status::Kept:
+    return "kept";
+  case PlanEntry::Status::Rewritten:
+    return "rewritten";
+  case PlanEntry::Status::Rejected:
+    return "rejected";
+  }
+  return "kept";
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+FileRewrite brainy::analysis::rewriteSource(const std::string &Path,
+                                            const std::string &Content,
+                                            const ApplyOptions &Opts) {
+  FileRewrite FR;
+  FR.Path = Path;
+  FR.Original = Content;
+  std::map<std::string, std::string> Rejections;
+
+  for (;;) {
+    Plan P = planOnce(Path, Content, Opts, Rejections);
+    if (P.Planned.empty()) {
+      FR.Patched = Content;
+      FR.Entries = std::move(P.Entries);
+      break;
+    }
+    Expected<std::string> Patched = applyEdits(Content, P.Edits);
+    if (!Patched) {
+      // A plan-level inconsistency: reject every planned variable. Each
+      // loop iteration adds at least one new rejection, so this always
+      // terminates with a clean (possibly empty) plan.
+      for (const PlannedVar &PV : P.Planned)
+        Rejections.emplace(P.D.File.Vars[PV.VarIdx].Name,
+                           "patch failed: " + Patched.error().message());
+      continue;
+    }
+    DetailedAnalysis Re = analyzeSourceDetailed(Path, *Patched);
+    std::map<std::string, std::string> Fail = verifyPlan(P, Re.File);
+    if (!Fail.empty()) {
+      for (const auto &KV : Fail)
+        Rejections.emplace(KV.first, KV.second);
+      continue;
+    }
+    // Machine-checked idempotence: the accepted output must plan nothing.
+    Plan P2 = planOnce(Path, *Patched, Opts, {});
+    if (!P2.Planned.empty()) {
+      for (const PlannedVar &PV : P.Planned)
+        Rejections.emplace(P.D.File.Vars[PV.VarIdx].Name,
+                           "apply would not be a no-op on its own output");
+      continue;
+    }
+    FR.Patched = std::move(*Patched);
+    FR.Entries = std::move(P.Entries);
+    break;
+  }
+
+  FR.Diff = unifiedDiff(FR.Original, FR.Patched, "a/" + Path, "b/" + Path);
+  for (const PlanEntry &E : FR.Entries) {
+    FR.Rewritten += E.St == PlanEntry::Status::Rewritten;
+    FR.Rejected += E.St == PlanEntry::Status::Rejected;
+  }
+  return FR;
+}
+
+std::vector<FileRewrite> brainy::analysis::rewriteSources(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    const ApplyOptions &Opts, unsigned Jobs) {
+  std::vector<FileRewrite> Results(Sources.size());
+  unsigned Resolved = resolveJobs(Jobs);
+  // Files are independent and results land at their input index, so the
+  // fan-out cannot reorder anything (same argument as analyzeSources).
+  ThreadPool Pool(Resolved > 1 ? Resolved - 1 : 0);
+  Pool.parallelFor(0, Sources.size(), [&](size_t I) {
+    Results[I] = rewriteSource(Sources[I].first, Sources[I].second, Opts);
+  });
+  return Results;
+}
+
+std::string
+brainy::analysis::renderApplyText(const std::vector<FileRewrite> &Files,
+                                  bool ShowDiffs) {
+  std::string Out;
+  unsigned NR = 0, NK = 0, NJ = 0;
+  char Buf[64];
+  for (const FileRewrite &FR : Files) {
+    Out += "== " + FR.Path + " ==\n";
+    if (!FR.Error.empty()) {
+      Out += "  error: " + FR.Error + "\n";
+      continue;
+    }
+    if (FR.Entries.empty())
+      Out += "  (no container variables)\n";
+    for (const PlanEntry &E : FR.Entries) {
+      Out += "  " + E.Name + " @" + std::to_string(E.Line) + ": " + E.From;
+      switch (E.St) {
+      case PlanEntry::Status::Rewritten:
+        Out += " -> " + E.To + "  [rewritten]";
+        break;
+      case PlanEntry::Status::Kept:
+        Out += "  [kept: " + E.Reason + "]";
+        break;
+      case PlanEntry::Status::Rejected:
+        Out += "  [REJECTED: " + E.Reason + "]";
+        break;
+      }
+      Out += "\n";
+      NR += E.St == PlanEntry::Status::Rewritten;
+      NK += E.St == PlanEntry::Status::Kept;
+      NJ += E.St == PlanEntry::Status::Rejected;
+    }
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "apply: %zu file(s), %u rewritten, %u kept, %u rejected\n",
+                Files.size(), NR, NK, NJ);
+  Out += Buf;
+  if (ShowDiffs)
+    for (const FileRewrite &FR : Files)
+      if (!FR.Diff.empty()) {
+        Out += "\n";
+        Out += FR.Diff;
+      }
+  return Out;
+}
+
+std::string
+brainy::analysis::renderApplyJson(const std::vector<FileRewrite> &Files) {
+  std::string Out = "{\"files\":[";
+  unsigned NR = 0, NJ = 0;
+  char Buf[64];
+  for (size_t F = 0; F != Files.size(); ++F) {
+    const FileRewrite &FR = Files[F];
+    if (F)
+      Out += ",";
+    Out += "\n {\"path\":\"" + jsonEscape(FR.Path) + "\",\"error\":\"" +
+           jsonEscape(FR.Error) + "\",\"vars\":[";
+    for (size_t I = 0; I != FR.Entries.size(); ++I) {
+      const PlanEntry &E = FR.Entries[I];
+      if (I)
+        Out += ",";
+      std::snprintf(Buf, sizeof(Buf), "\"line\":%u,", E.Line);
+      Out += "\n  {\"name\":\"" + jsonEscape(E.Name) + "\"," + Buf +
+             "\"from\":\"" + jsonEscape(E.From) + "\",\"to\":\"" +
+             jsonEscape(E.To) + "\",\"status\":\"" + statusName(E.St) +
+             "\",\"reason\":\"" + jsonEscape(E.Reason) + "\"}";
+    }
+    std::snprintf(Buf, sizeof(Buf), "],\"rewritten\":%u,\"rejected\":%u,",
+                  FR.Rewritten, FR.Rejected);
+    Out += Buf;
+    Out += "\"diff\":\"" + jsonEscape(FR.Diff) + "\"}";
+    NR += FR.Rewritten;
+    NJ += FR.Rejected;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "],\n\"summary\":{\"files\":%zu,\"rewritten\":%u,"
+                "\"rejected\":%u}}\n",
+                Files.size(), NR, NJ);
+  Out += Buf;
+  return Out;
+}
+
+bool brainy::analysis::parsePreferList(const std::string &Spec,
+                                       std::vector<Candidate> &Out,
+                                       std::string &ErrOut) {
+  Out.clear();
+  size_t B = 0;
+  while (B <= Spec.size()) {
+    size_t E = Spec.find(',', B);
+    if (E == std::string::npos)
+      E = Spec.size();
+    std::string Name = Spec.substr(B, E - B);
+    while (!Name.empty() && (Name.front() == ' ' || Name.front() == '\t'))
+      Name.erase(Name.begin());
+    while (!Name.empty() && (Name.back() == ' ' || Name.back() == '\t'))
+      Name.pop_back();
+    if (Name.empty()) {
+      ErrOut = "empty name in prefer list";
+      return false;
+    }
+    Candidate C;
+    if (!candidateFromSpelling(Name, C)) {
+      ErrOut = "unknown container '" + Name + "' in prefer list";
+      return false;
+    }
+    Out.push_back(C);
+    if (E == Spec.size())
+      break;
+    B = E + 1;
+  }
+  if (Out.empty()) {
+    ErrOut = "empty prefer list";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,113 @@
+//===- analysis/Rewrite.h - Profile-driven container rewriting -*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top layer of `brainy apply` (DESIGN.md §14): turns `brainy check`
+/// profiles into verified source rewrites. Per container variable the
+/// planner walks a preference-ranked target list and picks the first
+/// candidate that (a) has a materializable std spelling, (b) the
+/// legality matrix does not rule out, and (c) the RewriteRule table maps
+/// totally over the variable's observed op set — upgrading the matrix's
+/// conservative `unknown(cross-family)` verdicts into checked rewrites.
+/// A variable already declared as its best viable preference plans
+/// nothing, which is what makes `apply` idempotent by construction.
+///
+/// Safety is machine-verified, not asserted: the patched source is
+/// re-lexed and re-analyzed, and every rewritten variable must re-bind
+/// with the target type, a `legal` verdict, and exactly the op set the
+/// rule table predicted — while every untouched variable's profile must
+/// be byte-identical. Any failure rejects the variable (with a reason)
+/// and the file is re-planned without it; a plan that would not be a
+/// no-op on its own output is rejected the same way. Rejections are
+/// reported, never silently emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ANALYSIS_REWRITE_H
+#define BRAINY_ANALYSIS_REWRITE_H
+
+#include "analysis/Patcher.h"
+#include "analysis/RewriteRules.h"
+#include "analysis/UsageAnalysis.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace brainy {
+namespace analysis {
+
+/// Options for one `brainy apply` run.
+struct ApplyOptions {
+  /// Preference-ranked rewrite targets. A variable is rewritten only to
+  /// a strictly better-ranked candidate than its declared type, and a
+  /// declared type absent from the list outranks nothing — so applying
+  /// the planner to its own output always plans zero rewrites. The
+  /// default ranks the paper's common wins: hashed containers first,
+  /// then the ordered set.
+  std::vector<Candidate> Prefer = {Candidate::UnorderedMap,
+                                   Candidate::UnorderedSet, Candidate::Set};
+  /// The interface-mapping table (tests punch gaps into a copy to drive
+  /// the rejection path).
+  RewriteRuleTable Rules = RewriteRuleTable::defaults();
+};
+
+/// One variable's outcome in the plan.
+struct PlanEntry {
+  enum class Status : uint8_t {
+    Kept,      ///< Not rewritten; Reason says why.
+    Rewritten, ///< Rewritten and verified.
+    Rejected,  ///< Planned, but the verifier refused the patch.
+  };
+  std::string Name;
+  unsigned Line = 0;
+  std::string From;   ///< Declared spelling, e.g. "std::map<int, int>".
+  std::string To;     ///< Target spelling base, "" unless planned.
+  Status St = Status::Kept;
+  std::string Reason; ///< Why kept / why rejected ("" for Rewritten).
+};
+
+/// One file's plan, patch, and verification result.
+struct FileRewrite {
+  std::string Path;
+  std::string Error;    ///< Non-empty: the file could not be processed.
+  std::string Original; ///< Input bytes.
+  std::string Patched;  ///< Output bytes (== Original when nothing won).
+  std::string Diff;     ///< Unified diff ("" when Patched == Original).
+  std::vector<PlanEntry> Entries; ///< In declaration order.
+  unsigned Rewritten = 0;
+  unsigned Rejected = 0;
+};
+
+/// Plans, patches, and verifies one in-memory source. Deterministic:
+/// same bytes and options, same result.
+FileRewrite rewriteSource(const std::string &Path, const std::string &Content,
+                          const ApplyOptions &Opts);
+
+/// Many (path, content) pairs, fanned out over \p Jobs threads like
+/// analyzeSources; results in input order, byte-identical at every job
+/// count.
+std::vector<FileRewrite>
+rewriteSources(const std::vector<std::pair<std::string, std::string>> &Sources,
+               const ApplyOptions &Opts, unsigned Jobs = 0);
+
+/// Human-readable report; \p ShowDiffs appends each file's unified diff.
+std::string renderApplyText(const std::vector<FileRewrite> &Files,
+                            bool ShowDiffs);
+
+/// Canonical JSON report (stable key order, diff included per file).
+std::string renderApplyJson(const std::vector<FileRewrite> &Files);
+
+/// Parses a --prefer list ("unordered_map,set") into candidates.
+/// Returns false (naming the bad token in \p ErrOut) on an unknown
+/// container name.
+bool parsePreferList(const std::string &Spec, std::vector<Candidate> &Out,
+                     std::string &ErrOut);
+
+} // namespace analysis
+} // namespace brainy
+
+#endif // BRAINY_ANALYSIS_REWRITE_H

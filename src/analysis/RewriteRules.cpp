@@ -1,0 +1,121 @@
+//===- analysis/RewriteRules.cpp - Interface-mapping rule table -----------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RewriteRules.h"
+
+using namespace brainy;
+using namespace brainy::analysis;
+
+const char *brainy::analysis::typeSpellingFor(Candidate C) {
+  switch (C) {
+  case Candidate::Vector:
+    return "std::vector";
+  case Candidate::List:
+    return "std::list";
+  case Candidate::Deque:
+    return "std::deque";
+  case Candidate::Map:
+    return "std::map";
+  case Candidate::Multimap:
+    return "std::multimap";
+  case Candidate::UnorderedMap:
+    return "std::unordered_map";
+  case Candidate::UnorderedMultimap:
+    return "std::unordered_multimap";
+  case Candidate::Set:
+    return "std::set";
+  case Candidate::Multiset:
+    return "std::multiset";
+  case Candidate::UnorderedSet:
+    return "std::unordered_set";
+  case Candidate::UnorderedMultiset:
+    return "std::unordered_multiset";
+  case Candidate::SplayMap:
+  case Candidate::FlatMap:
+  case Candidate::SplaySet:
+  case Candidate::FlatSet:
+    return "";
+  }
+  return "";
+}
+
+const char *brainy::analysis::headerFor(Candidate C) {
+  switch (C) {
+  case Candidate::Vector:
+    return "<vector>";
+  case Candidate::List:
+    return "<list>";
+  case Candidate::Deque:
+    return "<deque>";
+  case Candidate::Map:
+  case Candidate::Multimap:
+    return "<map>";
+  case Candidate::UnorderedMap:
+  case Candidate::UnorderedMultimap:
+    return "<unordered_map>";
+  case Candidate::Set:
+  case Candidate::Multiset:
+    return "<set>";
+  case Candidate::UnorderedSet:
+  case Candidate::UnorderedMultiset:
+    return "<unordered_set>";
+  case Candidate::SplayMap:
+  case Candidate::FlatMap:
+  case Candidate::SplaySet:
+  case Candidate::FlatSet:
+    return "";
+  }
+  return "";
+}
+
+RewriteRuleTable RewriteRuleTable::defaults() {
+  RewriteRuleTable T;
+  // Within a family every op keeps its spelling: the shared interface is
+  // what makes the families families, and the property matrix (judge)
+  // already rules out the capability differences (sorted queries on a
+  // hash map, random access on a list, ...). The one interface-level
+  // exception is member sort — list-only among the sequences — so
+  // (Sequence, Sequence, Sort) stays a gap and an op-profile containing
+  // Sort never moves off std::list by table totality.
+  for (Family F : {Family::Sequence, Family::SetLike, Family::MapLike})
+    for (unsigned O = 0; O != NumOps; ++O)
+      T.Rules[key(F, F, static_cast<Op>(O))] = {static_cast<Op>(O),
+                                                nullptr};
+  T.remove(Family::Sequence, Family::Sequence, Op::Sort);
+
+  // Sequence → set-like: the Table 1 order-oblivious upgrade. Only the
+  // ops whose rewrite is mechanical and total are mapped; everything
+  // else (positional access, iteration, front/back, erase) is a gap and
+  // blocks the upgrade for variables that observe it.
+  T.Rules[key(Family::Sequence, Family::SetLike, Op::PushBack)] = {
+      Op::Insert, "insert"};
+  T.Rules[key(Family::Sequence, Family::SetLike, Op::Find)] = {Op::Find,
+                                                               "find"};
+  T.Rules[key(Family::Sequence, Family::SetLike, Op::Count)] = {Op::Count,
+                                                                "count"};
+  T.Rules[key(Family::Sequence, Family::SetLike, Op::SizeEmpty)] = {
+      Op::SizeEmpty, nullptr};
+  T.Rules[key(Family::Sequence, Family::SetLike, Op::Clear)] = {Op::Clear,
+                                                                nullptr};
+  return T;
+}
+
+const OpRule *RewriteRuleTable::lookup(Family From, Family To, Op O) const {
+  auto It = Rules.find(key(From, To, O));
+  return It == Rules.end() ? nullptr : &It->second;
+}
+
+bool RewriteRuleTable::total(Family From, Family To,
+                             const std::set<Op> &Ops) const {
+  for (Op O : Ops)
+    if (!lookup(From, To, O))
+      return false;
+  return true;
+}
+
+void RewriteRuleTable::remove(Family From, Family To, Op O) {
+  Rules.erase(key(From, To, O));
+}

@@ -1,0 +1,94 @@
+//===- analysis/RewriteRules.h - Interface-mapping rule table --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface-mapping layer of `brainy apply` (DESIGN.md §14). The
+/// legality matrix (Legality.h) deliberately stops at `unknown` for
+/// sequence ↔ set-like swaps: a pure type swap cannot be proven safe
+/// because the member interfaces differ. This table is the missing
+/// knowledge: for an ordered (From, To) family pair and one observed
+/// operation, how that operation is spelled on the target — identity
+/// (keep the source), a member rename (`push_back` → `insert`), or a
+/// whole-call rewrite (`std::find(V.begin(), V.end(), x)` → `V.find(x)`).
+/// A (From, To, Op) triple with no entry is a *gap*: the planner refuses
+/// the rewrite for any variable observing that op, which is what keeps
+/// `apply` conservative — upgrades from `unknown` to a checked rewrite
+/// happen only when the mapping is total over the variable's op set.
+///
+/// Also here: the materializable std spelling and header for each
+/// candidate. Advisory candidates (splay/flat variants) have neither, so
+/// the planner can never emit them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_ANALYSIS_REWRITERULES_H
+#define BRAINY_ANALYSIS_REWRITERULES_H
+
+#include "analysis/UsageAnalysis.h"
+
+#include <map>
+#include <set>
+
+namespace brainy {
+namespace analysis {
+
+/// The std type spelling a rewrite can materialize for \p C
+/// ("std::unordered_map"), or "" for advisory-only candidates (the
+/// splay/flat variants model containers the standard library does not
+/// ship; `brainy recommend` may still advise them, `apply` cannot emit
+/// them).
+const char *typeSpellingFor(Candidate C);
+
+/// The standard header declaring typeSpellingFor(C) ("<unordered_map>"),
+/// or "" when the candidate has no std spelling.
+const char *headerFor(Candidate C);
+
+/// How one observed operation is expressed after the variable moves from
+/// one family to another.
+struct OpRule {
+  /// The op the same use site classifies as on the target family — what
+  /// the verifier expects to observe when it re-runs the analysis on the
+  /// patched source.
+  Op Post = Op::PushBack;
+  /// Member name to rewrite the site to (`"insert"` for push_back →
+  /// insert; for free find/count idioms the call collapses to
+  /// `V.Member(probe)`), or nullptr to keep the source spelling.
+  const char *Member = nullptr;
+};
+
+/// The (From family, To family, observed op) → OpRule mapping.
+class RewriteRuleTable {
+public:
+  /// The shipped table: identity within a family (minus list-only member
+  /// sort), and the checked sequence → set-like upgrades (push_back →
+  /// insert, free find/count → member find/count, size/empty/clear kept).
+  static RewriteRuleTable defaults();
+
+  /// The rule for (\p From, \p To, \p O), or nullptr when the table has
+  /// a gap there.
+  const OpRule *lookup(Family From, Family To, Op O) const;
+
+  /// True when every op in \p Ops has a rule for (\p From, \p To) — the
+  /// planner's precondition for upgrading an `unknown` verdict.
+  bool total(Family From, Family To, const std::set<Op> &Ops) const;
+
+  /// Test hook: removes one mapping, simulating a table gap so the
+  /// verifier's rejection path can be exercised.
+  void remove(Family From, Family To, Op O);
+
+private:
+  static unsigned key(Family From, Family To, Op O) {
+    return (static_cast<unsigned>(From) * 4 + static_cast<unsigned>(To)) *
+               64 +
+           static_cast<unsigned>(O);
+  }
+  std::map<unsigned, OpRule> Rules;
+};
+
+} // namespace analysis
+} // namespace brainy
+
+#endif // BRAINY_ANALYSIS_REWRITERULES_H

@@ -77,17 +77,18 @@ bool isDeclaratorBoundary(const std::string &T) {
          T == "[" || T == "(" || T == ":";
 }
 
-/// The trailing plain identifier of a range-for's range expression
-/// (handles `M` and `Obj.M`; gives up on call/index results).
-std::string rangeExprName(const std::vector<Token> &Toks, const LoopSpan &L) {
+/// Token index of the trailing plain identifier of a range-for's range
+/// expression (handles `M` and `Obj.M`; gives up on call/index results).
+/// Returns Toks.size() when there is none.
+size_t rangeExprNameTok(const std::vector<Token> &Toks, const LoopSpan &L) {
   for (size_t K = L.HeaderEnd; K-- > L.RangeColon + 1;) {
     if (Toks[K].Kind == TokKind::Ident)
-      return Toks[K].Text;
+      return K;
     if (Toks[K].Kind == TokKind::Punct &&
         (Toks[K].Text == ")" || Toks[K].Text == "]"))
       break;
   }
-  return "";
+  return Toks.size();
 }
 
 struct Analyzer {
@@ -98,42 +99,64 @@ struct Analyzer {
   /// Name -> indices into Result.Vars (a name can be declared in several
   /// scopes; ops are attributed to every binding, conservatively).
   std::map<std::string, std::vector<size_t>> ByName;
+  /// Variable-name tokens consumed by a free find/count idiom: the
+  /// V.begin()/V.end() inside `std::find(V.begin(), V.end(), x)` are the
+  /// idiom's plumbing, not an iterator walk — the call as a whole is a
+  /// membership probe, so the member-access pass must skip them.
+  std::set<size_t> IdiomNameToks;
 
   Analyzer(const std::string &Path, const std::vector<Token> &Toks)
       : Path(Path), Toks(Toks) {}
 
   void bindVar(const std::string &Name, unsigned Line, Candidate Declared,
-               std::string Spelling) {
-    Result.Vars.push_back(
-        {Name, Line, std::move(Spelling), Declared, {}, {}, {}});
+               std::string Spelling, bool ViaAlias, size_t TypeBegin,
+               size_t NameEnd, size_t TypeEnd) {
+    VarProfile P;
+    P.Name = Name;
+    P.Line = Line;
+    P.Spelling = std::move(Spelling);
+    P.Declared = Declared;
+    P.ViaAlias = ViaAlias;
+    P.TypeTokBegin = TypeBegin;
+    P.TypeNameEnd = NameEnd;
+    P.TypeTokEnd = TypeEnd;
+    Result.Vars.push_back(std::move(P));
     ByName[Name].push_back(Result.Vars.size() - 1);
   }
 
-  void record(const std::string &Name, Op O) {
+  void record(const std::string &Name, Op O, UseSite Site) {
     auto It = ByName.find(Name);
     if (It == ByName.end())
       return;
-    for (size_t Idx : It->second)
+    Site.O = O;
+    for (size_t Idx : It->second) {
       Result.Vars[Idx].Ops.insert(O);
+      Result.Vars[Idx].Sites.push_back(Site);
+    }
   }
 
   /// Family-dependent ops get classified per binding.
-  void recordFamily(const std::string &Name, Op SeqOp, Op MapOp, Op SetOp) {
+  void recordFamily(const std::string &Name, Op SeqOp, Op MapOp, Op SetOp,
+                    UseSite Site) {
     auto It = ByName.find(Name);
     if (It == ByName.end())
       return;
     for (size_t Idx : It->second) {
+      Op O = SeqOp;
       switch (candidateFamily(Result.Vars[Idx].Declared)) {
       case Family::Sequence:
-        Result.Vars[Idx].Ops.insert(SeqOp);
+        O = SeqOp;
         break;
       case Family::MapLike:
-        Result.Vars[Idx].Ops.insert(MapOp);
+        O = MapOp;
         break;
       case Family::SetLike:
-        Result.Vars[Idx].Ops.insert(SetOp);
+        O = SetOp;
         break;
       }
+      Result.Vars[Idx].Ops.insert(O);
+      Site.O = O;
+      Result.Vars[Idx].Sites.push_back(Site);
     }
   }
 
@@ -145,8 +168,12 @@ struct Analyzer {
 
   /// Parses declarators following the type that ends at token \p TypeEnd
   /// and binds them. Returns the index to resume scanning from.
+  /// \p TypeBegin/\p NameEnd/\p TypeEnd are recorded as declaration
+  /// extents on every bound variable (all declarators of one statement
+  /// share the single type spelling).
   size_t bindDeclarators(size_t TypeEnd, Candidate Declared,
-                         const std::string &Spelling) {
+                         const std::string &Spelling, bool ViaAlias,
+                         size_t TypeBegin, size_t NameEnd) {
     size_t J = TypeEnd + 1;
     while (true) {
       while (J < Toks.size() && Toks[J].Kind == TokKind::Punct &&
@@ -164,10 +191,29 @@ struct Analyzer {
         if (Close == Toks.size() || looksLikeParamList(Toks, J + 1, Close))
           break;
       }
-      bindVar(Toks[J].Text, Toks[J].Line, Declared, Spelling);
-      if (J + 1 >= Toks.size() || Toks[J + 1].Text != ",")
+      bindVar(Toks[J].Text, Toks[J].Line, Declared, Spelling, ViaAlias,
+              TypeBegin, NameEnd, TypeEnd);
+      // Skip this declarator's initializer / array suffix to reach the
+      // separator, so `std::vector<int> A = {1}, B;` binds B too.
+      size_t K = J + 1;
+      while (K < Toks.size()) {
+        const std::string &T = Toks[K].Text;
+        if (T == "," || T == ";" || T == ")" || T == ":")
+          break;
+        if (T == "(" || T == "[" || T == "{") {
+          size_t Close = cpplex::matchDelim(Toks, K);
+          if (Close == Toks.size())
+            return Close;
+          K = Close + 1;
+          continue;
+        }
+        ++K;
+      }
+      if (K >= Toks.size() || Toks[K].Text != ",") {
+        J = K;
         break;
-      J += 2;
+      }
+      J = K + 1;
     }
     return J;
   }
@@ -177,11 +223,30 @@ struct Analyzer {
       if (Toks[I].Kind != TokKind::Ident)
         continue;
 
-      // Alias use: `Vec V;` with Vec registered earlier.
+      // Alias use: `Vec V;` with Vec registered earlier. A use on the
+      // right-hand side of another alias declaration chains instead:
+      // `using W = Vec;` / `typedef Vec W;` re-registers the resolved
+      // container under the new name.
       auto AliasIt = Aliases.find(Toks[I].Text);
       if (AliasIt != Aliases.end()) {
-        bindDeclarators(I, AliasIt->second.Declared,
-                        AliasIt->second.Spelling);
+        Alias Resolved = AliasIt->second;
+        if (I >= 3 && Toks[I - 1].Text == "=" &&
+            Toks[I - 2].Kind == TokKind::Ident &&
+            Toks[I - 3].Text == "using" && I + 1 < Toks.size() &&
+            Toks[I + 1].Text == ";") {
+          Aliases[Toks[I - 2].Text] = Resolved;
+          ++I;
+          continue;
+        }
+        if (I >= 1 && Toks[I - 1].Text == "typedef" &&
+            I + 2 < Toks.size() && Toks[I + 1].Kind == TokKind::Ident &&
+            Toks[I + 2].Text == ";") {
+          Aliases[Toks[I + 1].Text] = Resolved;
+          I += 2;
+          continue;
+        }
+        bindDeclarators(I, Resolved.Declared, Resolved.Spelling,
+                        /*ViaAlias=*/true, I, I + 1);
         continue;
       }
 
@@ -225,7 +290,9 @@ struct Analyzer {
         continue;
       }
 
-      I = bindDeclarators(AngleClose, Declared, Spelling) - 1;
+      I = bindDeclarators(AngleClose, Declared, Spelling,
+                          /*ViaAlias=*/false, TypeBegin, I + 1) -
+          1;
     }
   }
 
@@ -233,44 +300,45 @@ struct Analyzer {
   // Pass B: usage collection
   //===--------------------------------------------------------------------===//
 
-  void classifyMember(const std::string &Var, const std::string &Member) {
+  void classifyMember(const std::string &Var, const std::string &Member,
+                      UseSite Site) {
     if (Member == "push_back" || Member == "emplace_back")
-      record(Var, Op::PushBack);
+      record(Var, Op::PushBack, Site);
     else if (Member == "push_front" || Member == "emplace_front")
-      record(Var, Op::PushFront);
+      record(Var, Op::PushFront, Site);
     else if (Member == "pop_back")
-      record(Var, Op::PopBack);
+      record(Var, Op::PopBack, Site);
     else if (Member == "pop_front")
-      record(Var, Op::PopFront);
+      record(Var, Op::PopFront, Site);
     else if (Member == "insert" || Member == "emplace" ||
              Member == "emplace_hint")
-      recordFamily(Var, Op::InsertAt, Op::Insert, Op::Insert);
+      recordFamily(Var, Op::InsertAt, Op::Insert, Op::Insert, Site);
     else if (Member == "erase")
-      record(Var, Op::Erase);
+      record(Var, Op::Erase, Site);
     else if (Member == "find")
-      record(Var, Op::Find);
+      record(Var, Op::Find, Site);
     else if (Member == "count")
-      record(Var, Op::Count);
+      record(Var, Op::Count, Site);
     else if (Member == "contains")
-      record(Var, Op::Contains);
+      record(Var, Op::Contains, Site);
     else if (Member == "at")
-      record(Var, Op::At);
+      record(Var, Op::At, Site);
     else if (Member == "lower_bound" || Member == "upper_bound" ||
              Member == "equal_range")
-      record(Var, Op::SortedQuery);
+      record(Var, Op::SortedQuery, Site);
     else if (Member == "begin" || Member == "cbegin" || Member == "rbegin" ||
              Member == "crbegin")
-      record(Var, Op::IteratorWalk);
+      record(Var, Op::IteratorWalk, Site);
     else if (Member == "size" || Member == "empty")
-      record(Var, Op::SizeEmpty);
+      record(Var, Op::SizeEmpty, Site);
     else if (Member == "clear")
-      record(Var, Op::Clear);
+      record(Var, Op::Clear, Site);
     else if (Member == "sort")
-      record(Var, Op::Sort);
+      record(Var, Op::Sort, Site);
     else if (Member == "front" || Member == "back")
-      record(Var, Op::FrontBack);
+      record(Var, Op::FrontBack, Site);
     else if (Member == "data")
-      record(Var, Op::AddressOfElement);
+      record(Var, Op::AddressOfElement, Site);
   }
 
   /// True when the '&' at \p AmpIdx is a unary address-of (not binary
@@ -284,6 +352,48 @@ struct Analyzer {
     return P.Text != ")" && P.Text != "]";
   }
 
+  /// The first token of a free-function call at \p I, reaching back over
+  /// a `std ::` qualifier when present.
+  size_t freeCallBegin(size_t I) const {
+    if (I >= 2 && Toks[I - 1].Text == "::" && Toks[I - 2].Text == "std")
+      return I - 2;
+    return I;
+  }
+
+  /// Matches the linear-membership idiom `std::find(V.begin(), V.end(),
+  /// probe)` (or count) at the call-name token \p I and records it with a
+  /// full call-span site, so `brainy apply` can rewrite the whole call to
+  /// the member form when V moves to an associative container. Returns
+  /// true when the idiom matched and was recorded.
+  bool collectFreeFindCount(size_t I, size_t Open, Op O, UseSite::Form F) {
+    size_t Close = cpplex::matchDelim(Toks, Open);
+    if (Close == Toks.size() || Open + 13 >= Close)
+      return false;
+    const std::string &V = Toks[Open + 1].Text;
+    const std::string &B = Toks[Open + 3].Text;
+    const std::string &E = Toks[Open + 9].Text;
+    bool Shape =
+        Toks[Open + 1].Kind == TokKind::Ident && known(V) &&
+        Toks[Open + 2].Text == "." &&
+        ((B == "begin" && E == "end") || (B == "cbegin" && E == "cend")) &&
+        Toks[Open + 4].Text == "(" && Toks[Open + 5].Text == ")" &&
+        Toks[Open + 6].Text == "," && Toks[Open + 7].Text == V &&
+        Toks[Open + 8].Text == "." && Toks[Open + 10].Text == "(" &&
+        Toks[Open + 11].Text == ")" && Toks[Open + 12].Text == ",";
+    if (!Shape)
+      return false;
+    UseSite Site;
+    Site.Kind = F;
+    Site.NameTok = Open + 1;
+    Site.CallBegin = freeCallBegin(I);
+    Site.ArgBegin = Open + 13;
+    Site.CallEnd = Close;
+    record(V, O, Site);
+    IdiomNameToks.insert(Open + 1);
+    IdiomNameToks.insert(Open + 7);
+    return true;
+  }
+
   void collectUses() {
     static const std::set<std::string> FreeSorts = {
         "sort", "stable_sort", "nth_element", "partial_sort"};
@@ -291,6 +401,9 @@ struct Analyzer {
       if (Toks[I].Kind != TokKind::Ident)
         continue;
       const std::string &Name = Toks[I].Text;
+      bool FreeCall =
+          I + 1 < Toks.size() && Toks[I + 1].Text == "(" &&
+          (I == 0 || (Toks[I - 1].Text != "." && Toks[I - 1].Text != "->"));
 
       // Free std::sort(V.begin(), ...) — random access required.
       if (FreeSorts.count(Name) && I + 1 < Toks.size() &&
@@ -299,33 +412,55 @@ struct Analyzer {
         for (size_t K = I + 2; K + 2 < Close; ++K)
           if (Toks[K].Kind == TokKind::Ident && known(Toks[K].Text) &&
               Toks[K + 1].Text == "." &&
-              (Toks[K + 2].Text == "begin" || Toks[K + 2].Text == "rbegin"))
-            record(Toks[K].Text, Op::Sort);
+              (Toks[K + 2].Text == "begin" || Toks[K + 2].Text == "rbegin")) {
+            UseSite Site;
+            Site.Kind = UseSite::Form::FreeSort;
+            Site.NameTok = K;
+            Site.CallBegin = freeCallBegin(I);
+            Site.CallEnd = Close;
+            record(Toks[K].Text, Op::Sort, Site);
+          }
         continue;
       }
 
-      if (!known(Name))
+      // Free std::find/std::count over the variable's own begin()/end()
+      // — the sequence spelling of a membership/count query.
+      if (FreeCall && Name == "find" &&
+          collectFreeFindCount(I, I + 1, Op::Find, UseSite::Form::FreeFind))
+        continue;
+      if (FreeCall && Name == "count" &&
+          collectFreeFindCount(I, I + 1, Op::Count, UseSite::Form::FreeCount))
+        continue;
+
+      if (!known(Name) || IdiomNameToks.count(I))
         continue;
 
       // Member access: V.op(...) / V->op(...).
       if (I + 3 < Toks.size() &&
           (Toks[I + 1].Text == "." || Toks[I + 1].Text == "->") &&
           Toks[I + 2].Kind == TokKind::Ident && Toks[I + 3].Text == "(") {
-        classifyMember(Name, Toks[I + 2].Text);
+        UseSite Site;
+        Site.Kind = UseSite::Form::Member;
+        Site.NameTok = I;
+        Site.MemberTok = I + 2;
+        classifyMember(Name, Toks[I + 2].Text, Site);
         // &V.front() / &V.back() / &V.at(...) pin an element's address.
         if (I > 0 && Toks[I - 1].Text == "&" && isAddressOf(I - 1) &&
             (Toks[I + 2].Text == "front" || Toks[I + 2].Text == "back" ||
              Toks[I + 2].Text == "at"))
-          record(Name, Op::AddressOfElement);
+          record(Name, Op::AddressOfElement, Site);
         continue;
       }
 
       // Subscript: V[...] — key lookup on maps, indexing on sequences.
       if (I + 1 < Toks.size() && Toks[I + 1].Text == "[") {
+        UseSite Site;
+        Site.Kind = UseSite::Form::Subscript;
+        Site.NameTok = I;
         recordFamily(Name, Op::SubscriptIndex, Op::SubscriptKey,
-                     Op::SubscriptIndex);
+                     Op::SubscriptIndex, Site);
         if (I > 0 && Toks[I - 1].Text == "&" && isAddressOf(I - 1))
-          record(Name, Op::AddressOfElement);
+          record(Name, Op::AddressOfElement, Site);
         continue;
       }
     }
@@ -336,10 +471,13 @@ struct Analyzer {
     for (const LoopSpan &L : cpplex::findLoops(Toks)) {
       std::set<std::string> Iterated;
       if (L.RangeFor) {
-        std::string R = rangeExprName(Toks, L);
-        if (!R.empty() && known(R)) {
-          record(R, Op::RangeFor);
-          Iterated.insert(R);
+        size_t R = rangeExprNameTok(Toks, L);
+        if (R != Toks.size() && known(Toks[R].Text)) {
+          UseSite Site;
+          Site.Kind = UseSite::Form::RangeFor;
+          Site.NameTok = R;
+          record(Toks[R].Text, Op::RangeFor, Site);
+          Iterated.insert(Toks[R].Text);
         }
       }
       for (size_t K = L.HeaderBegin; K + 2 < L.HeaderEnd; ++K)
@@ -350,8 +488,13 @@ struct Analyzer {
       for (size_t K = L.BodyBegin; K + 3 < L.BodyEnd; ++K)
         if (Toks[K].Kind == TokKind::Ident && Iterated.count(Toks[K].Text) &&
             Toks[K + 1].Text == "." && Toks[K + 2].Text == "erase" &&
-            Toks[K + 3].Text == "(")
-          record(Toks[K].Text, Op::EraseInLoop);
+            Toks[K + 3].Text == "(") {
+          UseSite Site;
+          Site.Kind = UseSite::Form::Member;
+          Site.NameTok = K;
+          Site.MemberTok = K + 2;
+          record(Toks[K].Text, Op::EraseInLoop, Site);
+        }
     }
   }
 
@@ -468,10 +611,18 @@ brainy::analysis::inferProperties(Candidate Declared,
 
 FileAnalysis brainy::analysis::analyzeSource(const std::string &Path,
                                              const std::string &Content) {
-  cpplex::LexedSource Lexed = cpplex::lex(Content);
-  Analyzer A(Path, Lexed.Tokens);
+  return analyzeSourceDetailed(Path, Content).File;
+}
+
+DetailedAnalysis
+brainy::analysis::analyzeSourceDetailed(const std::string &Path,
+                                        const std::string &Content) {
+  DetailedAnalysis D;
+  D.Lexed = cpplex::lex(Content);
+  Analyzer A(Path, D.Lexed.Tokens);
   A.run();
-  return std::move(A.Result);
+  D.File = std::move(A.Result);
+  return D;
 }
 
 FileAnalysis brainy::analysis::analyzeFile(const std::string &Path,

@@ -31,6 +31,7 @@
 #define BRAINY_ANALYSIS_USAGEANALYSIS_H
 
 #include "analysis/Legality.h"
+#include "support/CppLexer.h"
 
 #include <cstdint>
 #include <set>
@@ -73,6 +74,31 @@ constexpr unsigned NumOps = 22;
 /// Stable kebab-case name, e.g. "push-back", "range-for".
 const char *opName(Op O);
 
+/// One classified operation occurrence, pinned to the token stream of the
+/// analyzed source (indices into DetailedAnalysis::Lexed.Tokens). This is
+/// what `brainy apply` splices on: the member-name token to rename, or
+/// the call span of a free-function idiom to rewrite.
+struct UseSite {
+  enum class Form : uint8_t {
+    Member,     ///< V.op(...) / V->op(...) — MemberTok is the op name
+    Subscript,  ///< V[...]
+    RangeFor,   ///< `for (x : V)`
+    IterHeader, ///< V.begin()/V.end() in a loop header
+    FreeSort,   ///< std::sort(V.begin(), ...)
+    FreeFind,   ///< std::find(V.begin(), V.end(), X)
+    FreeCount,  ///< std::count(V.begin(), V.end(), X)
+  };
+  Form Kind = Form::Member;
+  Op O = Op::PushBack;  ///< The op this site was classified as.
+  size_t NameTok = 0;   ///< Token index of the variable-name occurrence.
+  size_t MemberTok = 0; ///< Member-name token (Form::Member only).
+  size_t CallBegin = 0; ///< Free idioms: first token of the call
+                        ///< (including a `std ::` qualifier).
+  size_t ArgBegin = 0;  ///< Free find/count: first token of the probe
+                        ///< argument (after `V.begin(), V.end(),`).
+  size_t CallEnd = 0;   ///< Free idioms: token index of the closing ')'.
+};
+
 /// One container-typed variable (or member, or parameter) and everything
 /// the analysis learned about it.
 struct VarProfile {
@@ -85,6 +111,20 @@ struct VarProfile {
   std::set<Property> Required;
   /// One verdict per candidate, indexed in allCandidates() order.
   std::vector<Verdict> Verdicts;
+
+  /// Declaration extents (token indices; valid when !ViaAlias): the type
+  /// spelling runs [TypeTokBegin, TypeTokEnd], with the base name ending
+  /// just before the '<' at TypeNameEnd. `brainy apply` replaces
+  /// [TypeTokBegin, TypeNameEnd) and keeps the template arguments.
+  size_t TypeTokBegin = 0;
+  size_t TypeNameEnd = 0;
+  size_t TypeTokEnd = 0;
+  /// Declared through a `using`/typedef alias: the declaration carries
+  /// the alias name, not a container spelling, so a per-variable type
+  /// rewrite cannot touch it (the alias may bind other variables too).
+  bool ViaAlias = false;
+  /// Every classified operation occurrence, in token order.
+  std::vector<UseSite> Sites;
 
   const Verdict &verdictFor(Candidate C) const {
     return Verdicts[static_cast<unsigned>(C)];
@@ -108,6 +148,20 @@ std::set<Property> inferProperties(Candidate Declared,
 /// Analyzes in-memory source text. \p Path is used for reporting only.
 FileAnalysis analyzeSource(const std::string &Path,
                            const std::string &Content);
+
+/// A FileAnalysis together with the token stream it was computed over.
+/// This is what `brainy apply` consumes: every UseSite and declaration
+/// extent in File indexes into Lexed.Tokens, whose byte spans cut the
+/// original source exactly.
+struct DetailedAnalysis {
+  FileAnalysis File;
+  cpplex::LexedSource Lexed;
+};
+
+/// Like analyzeSource, but also returns the lexed token stream so
+/// callers can splice the original bytes.
+DetailedAnalysis analyzeSourceDetailed(const std::string &Path,
+                                       const std::string &Content);
 
 /// Reads and analyzes \p FullPath, reporting it as \p Path. An unreadable
 /// file yields a FileAnalysis with a non-empty Error.

@@ -6,6 +6,7 @@
 
 #include "appgen/CppEmitter.h"
 
+#include "analysis/RewriteRules.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -13,25 +14,27 @@
 using namespace brainy;
 
 std::string brainy::emittedContainerType(DsKind Kind) {
+  // The std spelling comes from the shared analysis-side table, so the
+  // emitter and `brainy apply` can never disagree on what a candidate is
+  // called in source. Map kinds emit as keyed sets (the mapped payload is
+  // the element pad), so they take the set-like candidate of the same
+  // flavor; AVL variants have no std equivalent and borrow std::set.
+  analysis::Candidate C;
   switch (Kind) {
-  case DsKind::Vector:
-    return "std::vector<Element>";
-  case DsKind::List:
-    return "std::list<Element>";
-  case DsKind::Deque:
-    return "std::deque<Element>";
-  case DsKind::Set:
-  case DsKind::AvlSet: // no std AVL; closest ordered container
-    return "std::set<Element>";
-  case DsKind::HashSet:
-    return "std::unordered_set<Element, ElementHash>";
   case DsKind::Map:
   case DsKind::AvlMap:
-    return "std::set<Element>"; // keyed records; mapped payload is the pad
+    C = analysis::Candidate::Set;
+    break;
   case DsKind::HashMap:
-    return "std::unordered_set<Element, ElementHash>";
+    C = analysis::Candidate::UnorderedSet;
+    break;
+  default:
+    C = analysis::candidateForDsKind(Kind);
+    break;
   }
-  return "std::vector<Element>";
+  bool Hashed = C == analysis::Candidate::UnorderedSet;
+  return std::string(analysis::typeSpellingFor(C)) +
+         (Hashed ? "<Element, ElementHash>" : "<Element>");
 }
 
 static bool isSequenceKind(DsKind Kind) { return isSequence(Kind); }

@@ -54,6 +54,7 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
     // Preprocessor directive: '#' first on the line, with continuations.
     if (C == '#' && AtLineStart) {
       unsigned Start = Line;
+      size_t StartOff = I;
       std::string Text;
       while (I < N) {
         char D = Src[I];
@@ -72,7 +73,8 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
       }
       size_t E = Text.find_last_not_of(" \t\r");
       Out.Directives.push_back(
-          {Start, E == std::string::npos ? Text : Text.substr(0, E + 1)});
+          {Start, E == std::string::npos ? Text : Text.substr(0, E + 1),
+           StartOff});
       continue;
     }
     AtLineStart = false;
@@ -132,7 +134,7 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
         Line += static_cast<unsigned>(
             std::count(Src.begin() + static_cast<long>(B),
                        Src.begin() + static_cast<long>(End), '\n'));
-        Out.Tokens.push_back({TokKind::String, "<raw>", Start});
+        Out.Tokens.push_back({TokKind::String, "<raw>", Start, B, End});
         I = End;
         continue;
       }
@@ -140,7 +142,7 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
         // Fall through to the literal lexer below; drop the prefix.
         continue;
       }
-      Out.Tokens.push_back({TokKind::Ident, std::move(Name), Line});
+      Out.Tokens.push_back({TokKind::Ident, std::move(Name), Line, B, I});
       continue;
     }
 
@@ -148,6 +150,7 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
     if (C == '"' || C == '\'') {
       char Quote = C;
       unsigned Start = Line;
+      size_t B = I;
       ++I;
       while (I < N) {
         char D = Src[I];
@@ -163,7 +166,7 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
       }
       Out.Tokens.push_back(
           {Quote == '"' ? TokKind::String : TokKind::CharLit, "<lit>",
-           Start});
+           Start, B, I});
       continue;
     }
 
@@ -175,23 +178,24 @@ LexedSource brainy::cpplex::lex(const std::string &Src) {
                         (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
                          Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
         ++I;
-      Out.Tokens.push_back({TokKind::Number, Src.substr(B, I - B), Line});
+      Out.Tokens.push_back(
+          {TokKind::Number, Src.substr(B, I - B), Line, B, I});
       continue;
     }
 
     // Punctuation: '...' and '::' matter to the clients; the rest is
     // single-character.
     if (C == '.' && peek(1) == '.' && peek(2) == '.') {
-      Out.Tokens.push_back({TokKind::Punct, "...", Line});
+      Out.Tokens.push_back({TokKind::Punct, "...", Line, I, I + 3});
       I += 3;
       continue;
     }
     if (C == ':' && peek(1) == ':') {
-      Out.Tokens.push_back({TokKind::Punct, "::", Line});
+      Out.Tokens.push_back({TokKind::Punct, "::", Line, I, I + 2});
       I += 2;
       continue;
     }
-    Out.Tokens.push_back({TokKind::Punct, std::string(1, C), Line});
+    Out.Tokens.push_back({TokKind::Punct, std::string(1, C), Line, I, I + 1});
     ++I;
   }
 

@@ -36,11 +36,19 @@ struct Token {
   TokKind Kind;
   std::string Text;
   unsigned Line;
+  /// Byte span [Offset, End) of the token in the original source. For
+  /// string/char literals (whose Text is collapsed to "<lit>"/"<raw>")
+  /// this is the span of the literal itself, so clients that splice
+  /// source text — the `brainy apply` patcher — always cut on exact
+  /// original bytes.
+  size_t Offset = 0;
+  size_t End = 0;
 };
 
 struct Directive {
   unsigned Line;
-  std::string Text; ///< Whole directive, continuations joined, trimmed.
+  std::string Text;  ///< Whole directive, continuations joined, trimmed.
+  size_t Offset = 0; ///< Byte offset of the leading '#'.
 };
 
 /// One comment with its line span. Consecutive single-line // comments are

@@ -86,6 +86,44 @@ TEST(AnalysisDecl, BindsMultipleDeclaratorsAndNestedTemplates) {
   EXPECT_EQ(FA.Vars[1].Declared, Candidate::Vector);
 }
 
+TEST(AnalysisDecl, BindsDeclaratorsPastInitializers) {
+  // The second declarator must still bind when the first carries a
+  // brace, paren or '=' initializer — the finder skips balanced
+  // initializer tokens instead of bailing at the first one.
+  FileAnalysis FA = analyzeSource(
+      "t.cpp", "std::vector<int> A = {1, 2, 3}, B;\n"
+               "std::vector<int> C(5), D{7}, E;\n");
+  ASSERT_EQ(FA.Vars.size(), 5u);
+  EXPECT_EQ(FA.Vars[0].Name, "A");
+  EXPECT_EQ(FA.Vars[1].Name, "B");
+  EXPECT_EQ(FA.Vars[2].Name, "C");
+  EXPECT_EQ(FA.Vars[3].Name, "D");
+  EXPECT_EQ(FA.Vars[4].Name, "E");
+  EXPECT_EQ(FA.Vars[4].Declared, Candidate::Vector);
+}
+
+TEST(AnalysisDecl, BindsThroughTwoStepAliasChain) {
+  FileAnalysis FA = analyzeSource(
+      "t.cpp", "using Vec = std::vector<int>;\n"
+               "using Work = Vec;\n"
+               "typedef Work Queue;\n"
+               "Work Pending;\n"
+               "Queue Backlog;\n");
+  ASSERT_EQ(FA.Vars.size(), 2u);
+  EXPECT_EQ(FA.Vars[0].Name, "Pending");
+  EXPECT_EQ(FA.Vars[0].Declared, Candidate::Vector);
+  EXPECT_TRUE(FA.Vars[0].ViaAlias);
+  EXPECT_EQ(FA.Vars[1].Name, "Backlog");
+  EXPECT_EQ(FA.Vars[1].Declared, Candidate::Vector);
+  EXPECT_TRUE(FA.Vars[1].ViaAlias);
+}
+
+TEST(AnalysisDecl, DirectDeclarationIsNotViaAlias) {
+  FileAnalysis FA = analyzeSource("t.cpp", "std::vector<int> A;\n");
+  ASSERT_EQ(FA.Vars.size(), 1u);
+  EXPECT_FALSE(FA.Vars[0].ViaAlias);
+}
+
 TEST(AnalysisDecl, SkipsFunctionDeclarationsAndForeignNamespaces) {
   FileAnalysis FA = analyzeSource(
       "t.cpp", "std::vector<int> make();\n"
@@ -193,6 +231,32 @@ TEST(AnalysisOps, SortedQueriesAreAttributed) {
   std::string Src = "std::set<int> S;\n"
                     "void f() { auto It = S.lower_bound(4); }\n";
   EXPECT_TRUE(hasOp(profileOf(Src, "S"), Op::SortedQuery));
+}
+
+TEST(AnalysisOps, FreeFindCountIdiomsRecordMembershipNotWalk) {
+  // std::find(V.begin(), V.end(), X) is a membership probe, not a walk:
+  // it records Find and the inner begin()/end() must NOT contribute
+  // IteratorWalk (that would pin OrderedIteration and block upgrades).
+  std::string Src =
+      "std::vector<int> V;\n"
+      "void f() {\n"
+      "  bool In = std::find(V.begin(), V.end(), 4) != V.end();\n"
+      "  long N = std::count(V.begin(), V.end(), 4);\n"
+      "}\n";
+  VarProfile V = profileOf(Src, "V");
+  EXPECT_TRUE(hasOp(V, Op::Find));
+  EXPECT_TRUE(hasOp(V, Op::Count));
+  EXPECT_FALSE(hasOp(V, Op::IteratorWalk));
+}
+
+TEST(AnalysisOps, MismatchedFreeFindStillWalks) {
+  // std::find over two different containers' iterators is not the
+  // membership idiom; the begin() side keeps its IteratorWalk.
+  std::string Src =
+      "std::vector<int> V;\n"
+      "std::vector<int> W;\n"
+      "void f() { auto It = std::find(V.begin(), W.end(), 4); }\n";
+  EXPECT_TRUE(hasOp(profileOf(Src, "V"), Op::IteratorWalk));
 }
 
 //===----------------------------------------------------------------------===//

@@ -44,9 +44,9 @@ bool fires(const std::string &Path, const std::string &Content,
 // Catalogue sanity
 //===----------------------------------------------------------------------===//
 
-TEST(LintCatalogue, EightRulesWithStableUniqueIds) {
+TEST(LintCatalogue, NineRulesWithStableUniqueIds) {
   const auto &Rules = rules();
-  ASSERT_EQ(Rules.size(), 8u);
+  ASSERT_EQ(Rules.size(), 9u);
   std::set<std::string> Ids, Names;
   for (const Rule &R : Rules) {
     Ids.insert(R.Id);
@@ -55,8 +55,8 @@ TEST(LintCatalogue, EightRulesWithStableUniqueIds) {
   EXPECT_EQ(Ids.size(), Rules.size());
   EXPECT_EQ(Names.size(), Rules.size());
   EXPECT_EQ(Rules.front().Id, std::string("BL001"));
-  EXPECT_TRUE(Ids.count("BL007"));
   EXPECT_TRUE(Ids.count("BL008"));
+  EXPECT_TRUE(Ids.count("BL009"));
 }
 
 TEST(LintCatalogue, DiagFormatIsFileLineRule) {
@@ -342,6 +342,65 @@ TEST(LintEraseInLoop, EraseOnDifferentContainerIsFine) {
       "  }\n"
       "}\n";
   EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "erase-in-loop"));
+}
+
+//===----------------------------------------------------------------------===//
+// BL009 range-for-copy
+//===----------------------------------------------------------------------===//
+
+TEST(LintRangeForCopy, FiresOnByValueStringElement) {
+  std::string Fixture =
+      "void f(const std::vector<std::string> &Names) {\n"
+      "  for (std::string N : Names) use(N);\n"
+      "}\n";
+  auto Diags = lintSource("src/core/bad.cpp", Fixture);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].RuleName, "range-for-copy");
+  EXPECT_EQ(Diags[0].Line, 2u);
+}
+
+TEST(LintRangeForCopy, FiresOnByValuePairFromMap) {
+  std::string Fixture =
+      "void f(const std::map<int, std::string> &M) {\n"
+      "  for (std::pair<const int, std::string> KV : M) use(KV);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/core/bad.cpp", Fixture, "range-for-copy"));
+}
+
+TEST(LintRangeForCopy, FiresOnConstByValueVectorElement) {
+  std::string Fixture =
+      "void f(const std::vector<std::vector<int>> &Rows) {\n"
+      "  for (const std::vector<int> Row : Rows) use(Row);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/core/bad.cpp", Fixture, "range-for-copy"));
+}
+
+TEST(LintRangeForCopy, ReferenceBindingIsFine) {
+  std::string Fixture =
+      "void f(const std::vector<std::string> &Names) {\n"
+      "  for (const std::string &N : Names) use(N);\n"
+      "  for (auto &&N : Names) use(N);\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "range-for-copy"));
+}
+
+TEST(LintRangeForCopy, TrivialAndOpaqueElementTypesAreFine) {
+  std::string Fixture =
+      "void f(const std::vector<int> &V, const std::vector<Thing> &T) {\n"
+      "  for (int X : V) use(X);\n"
+      "  for (auto X : V) use(X);\n"
+      "  for (Thing X : T) use(X);\n"
+      "  for (const char *S : Args) use(S);\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "range-for-copy"));
+}
+
+TEST(LintRangeForCopy, OrdinaryForLoopIsFine) {
+  std::string Fixture =
+      "void f(const std::vector<std::string> &Names) {\n"
+      "  for (size_t I = 0; I != Names.size(); ++I) use(Names[I]);\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/core/ok.cpp", Fixture, "range-for-copy"));
 }
 
 //===----------------------------------------------------------------------===//

@@ -461,6 +461,56 @@ void checkEraseInLoop(Checker &C) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// BL009 range-for-copy
+//===----------------------------------------------------------------------===//
+
+void checkRangeForCopy(Checker &C) {
+  // Element types whose copies are never trivial. Spelled types only: a
+  // plain `auto` loop variable stays unflagged because the element type
+  // is not visible at token level, and user structs stay unflagged
+  // because their triviality is unknowable without a real frontend.
+  static const std::set<std::string> Expensive = {
+      "string",        "wstring",       "basic_string",
+      "vector",        "deque",         "list",
+      "map",           "multimap",      "set",
+      "multiset",      "unordered_map", "unordered_multimap",
+      "unordered_set", "unordered_multiset",
+      "pair",          "tuple",         "function",
+      "shared_ptr"};
+  const auto &Toks = C.tokens();
+  for (const cpplex::LoopSpan &L : cpplex::findLoops(Toks)) {
+    if (!L.RangeFor)
+      continue;
+    // The declaration is everything left of the top-level ':'. A '&'
+    // (or '&&') anywhere there means by-reference; '*' means the
+    // element is a pointer and the copy is trivial.
+    bool ByValue = true;
+    bool ExpensiveType = false;
+    std::string TypeWord, VarName;
+    for (size_t K = L.HeaderBegin; K < L.RangeColon; ++K) {
+      const Token &T = Toks[K];
+      if (T.Kind == TokKind::Punct) {
+        if (T.Text == "&" || T.Text == "&&" || T.Text == "*")
+          ByValue = false;
+      } else if (T.Kind == TokKind::Ident) {
+        if (Expensive.count(T.Text)) {
+          ExpensiveType = true;
+          if (TypeWord.empty())
+            TypeWord = T.Text;
+        }
+        VarName = T.Text; // last identifier before ':' is the variable
+      }
+    }
+    if (!ByValue || !ExpensiveType)
+      continue;
+    C.diag(L.Line, "BL009", "range-for-copy",
+           "range-for variable '" + VarName + "' copies a '" + TypeWord +
+               "' element every iteration; bind by (const) reference "
+               "instead");
+  }
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -493,6 +543,10 @@ const std::vector<Rule> &brainy::lint::rules() {
        "erase(it) in a loop over the same container that discards the "
        "returned iterator (iterator-invalidation hazard)",
        "-"},
+      {"BL009", "range-for-copy",
+       "by-value range-for variable of a spelled non-trivial element type "
+       "(string, container, pair, ...) — copies every iteration",
+       "-"},
   };
   return Rules;
 }
@@ -514,6 +568,7 @@ std::vector<Diag> brainy::lint::lintSource(const std::string &Path,
   checkHeaderGuard(C);
   checkUsingNamespaceHeader(C);
   checkEraseInLoop(C);
+  checkRangeForCopy(C);
   std::sort(C.Diags.begin(), C.Diags.end(),
             [](const Diag &A, const Diag &B) {
               if (A.Line != B.Line)

@@ -32,6 +32,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Report.h"
+#include "analysis/Rewrite.h"
 #include "analysis/UsageAnalysis.h"
 #include "appgen/CppEmitter.h"
 #include "core/Brainy.h"
@@ -151,7 +152,9 @@ int usage() {
       "  eval --models MODELS --trainset FILE [--model FAMILY]\n"
       "  survey FILE...\n"
       "  check [--json] [--jobs N] FILE...\n"
-      "  recommend --source FILE [FILE...]\n");
+      "  recommend --source FILE [FILE...]\n"
+      "  apply [--dry-run] [--json] [--in-place] [--prefer LIST]\n"
+      "        [--jobs N] FILE...\n");
   return 2;
 }
 
@@ -414,11 +417,10 @@ int cmdSurvey(const Args &A) {
   return 0;
 }
 
-/// Reads every path, exiting 2 if any is unreadable, then runs the usage
-/// analysis (fanned out over --jobs; byte-identical for every job count).
-bool analyzePaths(const std::vector<std::string> &Paths, unsigned Jobs,
-                  std::vector<analysis::FileAnalysis> &Out) {
-  std::vector<std::pair<std::string, std::string>> Sources;
+/// Reads every path into (path, bytes) pairs; reports and returns false
+/// if any is unreadable.
+bool readSources(const std::vector<std::string> &Paths,
+                 std::vector<std::pair<std::string, std::string>> &Out) {
   bool Ok = true;
   for (const std::string &Path : Paths) {
     std::FILE *F = std::fopen(Path.c_str(), "rb");
@@ -433,9 +435,17 @@ bool analyzePaths(const std::vector<std::string> &Paths, unsigned Jobs,
     while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
       Text.append(Buf, N);
     std::fclose(F);
-    Sources.emplace_back(Path, std::move(Text));
+    Out.emplace_back(Path, std::move(Text));
   }
-  if (!Ok)
+  return Ok;
+}
+
+/// Reads every path, exiting 2 if any is unreadable, then runs the usage
+/// analysis (fanned out over --jobs; byte-identical for every job count).
+bool analyzePaths(const std::vector<std::string> &Paths, unsigned Jobs,
+                  std::vector<analysis::FileAnalysis> &Out) {
+  std::vector<std::pair<std::string, std::string>> Sources;
+  if (!readSources(Paths, Sources))
     return false;
   Out = analysis::analyzeSources(Sources, Jobs);
   return true;
@@ -463,6 +473,68 @@ int cmdCheck(const Args &A) {
                  "legal for its own declared type\n",
                  V.c_str());
   return Bad.empty() ? 0 : 1;
+}
+
+/// foo.cpp -> foo.brainy.cpp (the default non-destructive output of
+/// `brainy apply`).
+std::string applySiblingPath(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  size_t Dot = Path.find_last_of('.');
+  if (Dot == std::string::npos ||
+      (Slash != std::string::npos && Dot < Slash))
+    return Path + ".brainy";
+  return Path.substr(0, Dot) + ".brainy" + Path.substr(Dot);
+}
+
+int cmdApply(const Args &A) {
+  if (A.Positional.empty()) {
+    std::fprintf(stderr, "apply: no files given\n");
+    return 2;
+  }
+  analysis::ApplyOptions Opts;
+  std::string PreferSpec = A.get("prefer");
+  if (!PreferSpec.empty()) {
+    std::string Err;
+    if (!analysis::parsePreferList(PreferSpec, Opts.Prefer, Err)) {
+      std::fprintf(stderr, "apply: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> Sources;
+  if (!readSources(A.Positional, Sources))
+    return 2;
+  std::vector<analysis::FileRewrite> Files = analysis::rewriteSources(
+      Sources, Opts, static_cast<unsigned>(A.getInt("jobs", 0)));
+
+  bool DryRun = A.has("dry-run");
+  std::string Report = A.has("json")
+                           ? analysis::renderApplyJson(Files)
+                           : analysis::renderApplyText(Files, DryRun);
+  std::fwrite(Report.data(), 1, Report.size(), stdout);
+
+  // A rejected patch is a hard failure: the planner committed to a
+  // rewrite and the verifier refused it, which CI gates on.
+  int Exit = 0;
+  for (const analysis::FileRewrite &FR : Files)
+    if (FR.Rejected || !FR.Error.empty())
+      Exit = 1;
+
+  if (!DryRun) {
+    for (const analysis::FileRewrite &FR : Files) {
+      if (FR.Diff.empty())
+        continue;
+      std::string OutPath =
+          A.has("in-place") ? FR.Path : applySiblingPath(FR.Path);
+      Error E = analysis::saveFileAtomic(OutPath, FR.Patched);
+      if (E) {
+        std::fprintf(stderr, "apply: %s\n", E.message().c_str());
+        Exit = 1;
+      } else {
+        std::fprintf(stderr, "apply: wrote %s\n", OutPath.c_str());
+      }
+    }
+  }
+  return Exit;
 }
 
 /// Table 1 rows are keyed by DsKind; only declared types with a row get
@@ -617,7 +689,10 @@ int main(int Argc, char **Argv) {
     KnownBool = {"json"};
   } else if (Cmd == "recommend")
     Known = {"source", "jobs"};
-  else if (Cmd != "machines" && Cmd != "survey")
+  else if (Cmd == "apply") {
+    Known = {"jobs", "prefer"};
+    KnownBool = {"json", "dry-run", "in-place"};
+  } else if (Cmd != "machines" && Cmd != "survey")
     return usage();
 
   Args A = Args::parse(Argc, Argv, 2, Known, KnownBool);
@@ -639,5 +714,7 @@ int main(int Argc, char **Argv) {
     return cmdCheck(A);
   if (Cmd == "recommend")
     return cmdRecommend(A);
+  if (Cmd == "apply")
+    return cmdApply(A);
   return cmdSurvey(A);
 }
