@@ -168,6 +168,36 @@ DsKind Brainy::recommendWith(ModelKind Model, const FeatureVector &Features,
   return M.predict(Features, AppOrderOblivious);
 }
 
+void Brainy::recommendBatch(ModelKind Model,
+                            const std::vector<const FeatureVector *> &Features,
+                            const std::vector<bool> &AppOrderOblivious,
+                            std::vector<DsKind> &Out) const {
+  assert(Features.size() == AppOrderOblivious.size() &&
+         "parallel query arrays of different length");
+  Out.clear();
+  Out.resize(Features.size(), modelOriginal(Model));
+  if (Features.empty())
+    return;
+  const BrainyModel &M = model(Model);
+  if (!M.trained()) {
+    // Same degraded mode as the scalar path: keep the original per query
+    // and count every fallback. In strict mode the scalar loop would
+    // throw on its first query, having counted only that one.
+    if (Strict) {
+      Fallbacks.fetch_add(1, std::memory_order_relaxed);
+      throw ErrorException(
+          Error(ErrCode::ModelUnavailable,
+                std::string("model '") + modelKindName(Model) +
+                    "' is not trained"));
+    }
+    Fallbacks.fetch_add(Features.size(), std::memory_order_relaxed);
+    return;
+  }
+  std::vector<std::vector<double>> Probas = M.predictProbaBatch(Features);
+  for (size_t I = 0, E = Features.size(); I != E; ++I)
+    Out[I] = M.selectCandidate(Probas[I], AppOrderOblivious[I]);
+}
+
 std::string Brainy::toString() const {
   std::string Payload;
   for (const BrainyModel &Model : Models)

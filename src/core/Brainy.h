@@ -88,6 +88,18 @@ public:
   DsKind recommendWith(ModelKind Model, const FeatureVector &Features,
                        bool AppOrderOblivious) const;
 
+  /// Batched recommendWith: one forward pass over every query routed to
+  /// \p Model instead of a per-example loop (the serving hot path,
+  /// DESIGN.md §15). \p Features and \p AppOrderOblivious are parallel
+  /// arrays; \p Out is resized to match. Answers are bit-identical to
+  /// calling recommendWith per query, including the untrained-model
+  /// fallback (counted per query; strict mode throws like the scalar
+  /// path would on its first query).
+  void recommendBatch(ModelKind Model,
+                      const std::vector<const FeatureVector *> &Features,
+                      const std::vector<bool> &AppOrderOblivious,
+                      std::vector<DsKind> &Out) const;
+
   const BrainyModel &model(ModelKind Kind) const {
     return Models[static_cast<unsigned>(Kind)];
   }

@@ -59,14 +59,23 @@ BrainyModel::predictProba(const FeatureVector &Features) const {
   return Net.predictProba(preprocess(Features));
 }
 
-DsKind BrainyModel::predict(const FeatureVector &Features,
-                            bool AppOrderOblivious) const {
-  if (Candidates.empty())
-    return modelOriginal(Kind);
+std::vector<std::vector<double>> BrainyModel::predictProbaBatch(
+    const std::vector<const FeatureVector *> &Batch) const {
   if (!trained())
-    return Candidates.front(); // The original is always listed first.
+    return std::vector<std::vector<double>>(
+        Batch.size(),
+        std::vector<double>(Candidates.size(),
+                            Candidates.empty() ? 0.0
+                                               : 1.0 / Candidates.size()));
+  std::vector<std::vector<double>> Rows;
+  Rows.reserve(Batch.size());
+  for (const FeatureVector *Features : Batch)
+    Rows.push_back(preprocess(*Features));
+  return Net.predictProbaBatch(Rows);
+}
 
-  std::vector<double> Proba = predictProba(Features);
+DsKind BrainyModel::selectCandidate(const std::vector<double> &Proba,
+                                    bool AppOrderOblivious) const {
   // Mask candidates that would change iteration order for an order-aware
   // app. Only the set/map models need query-time masking; the vector/list
   // families are already split into order-aware/oblivious models whose
@@ -85,6 +94,15 @@ DsKind BrainyModel::predict(const FeatureVector &Features,
   }
   return BestIdx == Candidates.size() ? Candidates.front()
                                       : Candidates[BestIdx];
+}
+
+DsKind BrainyModel::predict(const FeatureVector &Features,
+                            bool AppOrderOblivious) const {
+  if (Candidates.empty())
+    return modelOriginal(Kind);
+  if (!trained())
+    return Candidates.front(); // The original is always listed first.
+  return selectCandidate(predictProba(Features), AppOrderOblivious);
 }
 
 double BrainyModel::accuracy(const std::vector<TrainExample> &Examples,

@@ -49,6 +49,17 @@ public:
   /// Per-candidate probabilities (aligned with candidates()).
   std::vector<double> predictProba(const FeatureVector &Features) const;
 
+  /// Batched predictProba: one forward pass over all rows (DESIGN.md §15).
+  /// Bit-identical to calling predictProba per element, at any batch size.
+  std::vector<std::vector<double>>
+  predictProbaBatch(const std::vector<const FeatureVector *> &Batch) const;
+
+  /// The selection step predict() applies to one probability row: argmax
+  /// over candidates, masking order-changing targets for order-aware apps.
+  /// Shared by the scalar and batched paths so they cannot diverge.
+  DsKind selectCandidate(const std::vector<double> &Proba,
+                         bool AppOrderOblivious) const;
+
   /// Accuracy over labelled examples (label masked per example's own
   /// orderedness is not needed here: examples carry legal labels).
   double accuracy(const std::vector<TrainExample> &Examples,

@@ -1,0 +1,184 @@
+//===- core/Recommend.cpp -------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Recommend.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace brainy;
+
+namespace {
+
+/// Splits \p Line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  size_t I = 0, E = Line.size();
+  while (I != E) {
+    while (I != E && std::isspace(static_cast<unsigned char>(Line[I])))
+      ++I;
+    size_t Begin = I;
+    while (I != E && !std::isspace(static_cast<unsigned char>(Line[I])))
+      ++I;
+    if (I != Begin)
+      Tokens.push_back(Line.substr(Begin, I - Begin));
+  }
+  return Tokens;
+}
+
+const char *orderToken(bool OrderOblivious) {
+  return OrderOblivious ? "oo" : "ord";
+}
+
+/// Table 1 rows are keyed by DsKind; only declared types with a row get
+/// recommendations (multi/splay/flat declarations are analysis-only).
+bool dsKindForCandidate(analysis::Candidate C, DsKind &Out) {
+  switch (C) {
+  case analysis::Candidate::Vector:
+    Out = DsKind::Vector;
+    return true;
+  case analysis::Candidate::List:
+    Out = DsKind::List;
+    return true;
+  case analysis::Candidate::Deque:
+    Out = DsKind::Deque;
+    return true;
+  case analysis::Candidate::Map:
+    Out = DsKind::Map;
+    return true;
+  case analysis::Candidate::Set:
+    Out = DsKind::Set;
+    return true;
+  case analysis::Candidate::UnorderedMap:
+    Out = DsKind::HashMap;
+    return true;
+  case analysis::Candidate::UnorderedSet:
+    Out = DsKind::HashSet;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+Error brainy::parseRecommendQuery(const std::string &Line,
+                                  RecommendQuery &Out) {
+  std::vector<std::string> Tokens = tokenize(Line);
+  if (Tokens.size() != 3 + NumFeatures)
+    return Error(ErrCode::InvalidValue,
+                 "query has " + std::to_string(Tokens.size()) +
+                     " token(s), expected " +
+                     std::to_string(3 + NumFeatures) +
+                     " (arch ds oo|ord features...)");
+  Out.Arch = Tokens[0];
+  if (!dsKindFromName(Tokens[1].c_str(), Out.Original))
+    return Error(ErrCode::InvalidValue,
+                 "unknown data structure '" + Tokens[1] + "'");
+  if (Tokens[2] == "oo") {
+    Out.OrderOblivious = true;
+  } else if (Tokens[2] == "ord") {
+    Out.OrderOblivious = false;
+  } else {
+    return Error(ErrCode::InvalidValue, "order token '" + Tokens[2] +
+                                            "' is neither 'oo' nor 'ord'");
+  }
+  for (unsigned I = 0; I != NumFeatures; ++I) {
+    const std::string &Tok = Tokens[3 + I];
+    const char *Begin = Tok.c_str();
+    char *End = nullptr;
+    double V = std::strtod(Begin, &End);
+    if (End == Begin || *End != '\0')
+      return Error(ErrCode::InvalidValue,
+                   "feature " + std::to_string(I) + " value '" + Tok +
+                       "' is not a number");
+    Out.Features.Values[I] = V;
+  }
+  return Error::success();
+}
+
+std::string brainy::formatRecommendQuery(const RecommendQuery &Q) {
+  std::string Out = Q.Arch;
+  Out += ' ';
+  Out += dsKindName(Q.Original);
+  Out += ' ';
+  Out += orderToken(Q.OrderOblivious);
+  char Buf[48];
+  for (unsigned I = 0; I != NumFeatures; ++I) {
+    // %.17g round-trips doubles exactly, so format/parse is lossless.
+    std::snprintf(Buf, sizeof(Buf), " %.17g", Q.Features.Values[I]);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string brainy::renderRecommendation(const RecommendQuery &Q,
+                                         DsKind Target) {
+  std::string Out = Q.Arch;
+  Out += ' ';
+  Out += dsKindName(Q.Original);
+  Out += ' ';
+  Out += orderToken(Q.OrderOblivious);
+  Out += " -> ";
+  Out += dsKindName(Target);
+  return Out;
+}
+
+std::string brainy::renderRecommendError(const Error &E) {
+  return "error " + E.message();
+}
+
+std::string brainy::answerRecommendQuery(const Brainy &Bundle,
+                                         const RecommendQuery &Q) {
+  ModelKind Model = modelFor(Q.Original, Q.OrderOblivious);
+  DsKind Target = Bundle.recommendWith(Model, Q.Features, Q.OrderOblivious);
+  return renderRecommendation(Q, Target);
+}
+
+std::string brainy::renderSourceRecommendations(
+    const std::vector<analysis::FileAnalysis> &Files) {
+  std::string Out;
+  char Buf[256];
+  for (const analysis::FileAnalysis &FA : Files) {
+    Out += "== " + FA.Path + " ==\n";
+    if (FA.Vars.empty()) {
+      Out += "  (no container-typed variables found)\n";
+      continue;
+    }
+    for (const analysis::VarProfile &V : FA.Vars) {
+      std::snprintf(Buf, sizeof(Buf), "  %s : %s (line %u, declared %s)\n",
+                    V.Name.c_str(), V.Spelling.c_str(), V.Line,
+                    analysis::candidateName(V.Declared));
+      Out += Buf;
+      DsKind Declared;
+      if (!dsKindForCandidate(V.Declared, Declared)) {
+        Out += "    (no Table 1 row for the declared type)\n";
+        continue;
+      }
+      for (DsKind Target :
+           replacementCandidates(Declared, /*OrderOblivious=*/true)) {
+        const analysis::Verdict &Vd =
+            V.verdictFor(analysis::candidateForDsKind(Target));
+        switch (Vd.Kind) {
+        case analysis::Legality::Legal:
+          Out += std::string("    candidate ") + dsKindName(Target) + "\n";
+          break;
+        case analysis::Legality::Illegal:
+          Out += std::string("    filtered  ") + dsKindName(Target) +
+                 " — illegal(" + Vd.Reason + ")\n";
+          break;
+        case analysis::Legality::Unknown:
+          Out += std::string("    filtered  ") + dsKindName(Target) +
+                 " — unknown(" + Vd.Reason + ")\n";
+          break;
+        }
+      }
+    }
+  }
+  return Out;
+}

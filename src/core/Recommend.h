@@ -1,0 +1,85 @@
+//===- core/Recommend.h - Shared recommendation query path -----*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one query-formatting path shared by the one-shot CLI
+/// (`brainy recommend`) and the long-lived server (`brainy serve`,
+/// DESIGN.md §15). Both faces parse the same line grammar and render
+/// through the same functions, so the CI byte-match gate (server output
+/// must equal the one-shot output for the same queries) cannot drift.
+///
+/// Query line grammar (whitespace separated, one query per line):
+///
+///   <arch> <ds> <oo|ord> <f0> <f1> ... <f24>
+///
+/// where <arch> names the machine the model bundle was trained for
+/// ("core2", "atom"), <ds> is a dsKindName, <oo|ord> the application's
+/// order-obliviousness, and the remaining NumFeatures values are the
+/// profiled feature vector (FeatureVector::toTsv order). Responses are
+/// one line per query:
+///
+///   <arch> <ds> <oo|ord> -> <recommended-ds>
+///
+/// and any malformed query renders as a stable single error line.
+///
+/// The `brainy recommend --source` static report (Table 1 candidates
+/// filtered by legality verdicts) also renders here, extracted out of the
+/// CLI for the same reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_CORE_RECOMMEND_H
+#define BRAINY_CORE_RECOMMEND_H
+
+#include "analysis/UsageAnalysis.h"
+#include "core/Brainy.h"
+#include "profile/Features.h"
+
+#include <string>
+#include <vector>
+
+namespace brainy {
+
+/// One parsed profile->recommendation query.
+struct RecommendQuery {
+  std::string Arch;                     ///< target machine ("core2"...)
+  DsKind Original = DsKind::Vector;     ///< the profiled structure
+  bool OrderOblivious = true;           ///< app tolerates order changes
+  FeatureVector Features;               ///< profiled feature vector
+};
+
+/// Parses one request line into \p Out. Returns a descriptive Error on a
+/// malformed line (wrong token count, unknown names, junk after the
+/// features); blank lines are InvalidValue too — the caller decides
+/// whether to skip them before parsing.
+Error parseRecommendQuery(const std::string &Line, RecommendQuery &Out);
+
+/// Renders \p Q back to the request-line grammar (for clients and tests
+/// generating query files; parseRecommendQuery round-trips it).
+std::string formatRecommendQuery(const RecommendQuery &Q);
+
+/// The response line for \p Q answered with \p Target (no newline).
+std::string renderRecommendation(const RecommendQuery &Q, DsKind Target);
+
+/// The stable error-response line for a failed query (no newline).
+std::string renderRecommendError(const Error &E);
+
+/// Answers one parsed query against one loaded bundle — the scalar
+/// reference path the batched server pipeline must byte-match. Routes via
+/// Brainy::recommendWith and renders the response line.
+std::string answerRecommendQuery(const Brainy &Bundle,
+                                 const RecommendQuery &Q);
+
+/// The `brainy recommend --source` report: for every container variable,
+/// the full order-oblivious Table 1 row of its declared type filtered by
+/// the usage-analysis legality verdicts, with filtered candidates printed
+/// with their reason rather than silently absent.
+std::string
+renderSourceRecommendations(const std::vector<analysis::FileAnalysis> &Files);
+
+} // namespace brainy
+
+#endif // BRAINY_CORE_RECOMMEND_H

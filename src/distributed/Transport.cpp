@@ -91,3 +91,33 @@ bool FdTransport::readAll(void *Data, size_t Size, int TimeoutMs) {
   }
   return true;
 }
+
+size_t FdTransport::readSome(void *Data, size_t MaxSize, int TimeoutMs,
+                             bool &Eof) {
+  Eof = false;
+  for (;;) {
+    struct pollfd Pfd;
+    Pfd.fd = ReadFd;
+    Pfd.events = POLLIN;
+    Pfd.revents = 0;
+    int R = ::poll(&Pfd, 1, TimeoutMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      throwIo("transport poll");
+    }
+    if (R == 0)
+      return 0; // poll slice elapsed; the caller re-checks its own state
+    ssize_t N = ::read(ReadFd, Data, MaxSize);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throwIo("transport read");
+    }
+    if (N == 0) {
+      Eof = true;
+      return 0;
+    }
+    return static_cast<size_t>(N);
+  }
+}

@@ -61,6 +61,16 @@ public:
   void writeAll(const void *Data, size_t Size) override;
   bool readAll(void *Data, size_t Size, int TimeoutMs) override;
 
+  /// Reads whatever is available, up to \p MaxSize bytes, waiting at most
+  /// \p TimeoutMs for the first byte (negative = wait forever). Returns
+  /// the byte count — 0 means the timeout elapsed with nothing to read —
+  /// and reports a clean end-of-stream by setting \p Eof (with 0 bytes).
+  /// This is the line-protocol shape (serve/LineChannel.h): a timeout is
+  /// an ordinary "poll again" for loops that interleave reads with
+  /// shutdown checks, unlike readAll's exact-size contract where it is an
+  /// error. OS errors still throw ErrorException(IoError).
+  size_t readSome(void *Data, size_t MaxSize, int TimeoutMs, bool &Eof);
+
 private:
   int ReadFd;
   int WriteFd;

@@ -73,6 +73,56 @@ NeuralNet::predictProba(const std::vector<double> &X) const {
   return Proba;
 }
 
+std::vector<std::vector<double>> NeuralNet::predictProbaBatch(
+    const std::vector<std::vector<double>> &Xs) const {
+  const size_t Batch = Xs.size();
+  std::vector<std::vector<double>> Probas(Batch);
+  if (Batch == 0)
+    return Probas;
+
+  // Hidden layer as one matrix–matrix product: each W1 row is loaded once
+  // and swept across the whole batch. The inner per-example dot product
+  // accumulates in the same index order as forward(), which keeps every
+  // floating-point result bit-identical to the per-example path.
+  std::vector<double> Hidden(Batch * NumHidden);
+  for (unsigned H = 0; H != NumHidden; ++H) {
+    const double *Row = &W1[static_cast<size_t>(H) * (NumIn + 1)];
+    for (size_t Ex = 0; Ex != Batch; ++Ex) {
+      const std::vector<double> &X = Xs[Ex];
+      assert(X.size() == NumIn && "input dimension mismatch");
+      double Acc = Row[NumIn]; // bias
+      for (unsigned I = 0; I != NumIn; ++I)
+        Acc += Row[I] * X[I];
+      Hidden[Ex * NumHidden + H] = std::tanh(Acc);
+    }
+  }
+
+  // Output layer + softmax, same statement order as forward() per example.
+  for (size_t Ex = 0; Ex != Batch; ++Ex) {
+    const double *HiddenAct = &Hidden[Ex * NumHidden];
+    std::vector<double> &Proba = Probas[Ex];
+    Proba.assign(NumOut, 0.0);
+    double MaxLogit = -1e300;
+    for (unsigned O = 0; O != NumOut; ++O) {
+      const double *Row = &W2[static_cast<size_t>(O) * (NumHidden + 1)];
+      double Acc = Row[NumHidden]; // bias
+      for (unsigned H = 0; H != NumHidden; ++H)
+        Acc += Row[H] * HiddenAct[H];
+      Proba[O] = Acc;
+      if (Acc > MaxLogit)
+        MaxLogit = Acc;
+    }
+    double Sum = 0;
+    for (double &P : Proba) {
+      P = std::exp(P - MaxLogit);
+      Sum += P;
+    }
+    for (double &P : Proba)
+      P /= Sum;
+  }
+  return Probas;
+}
+
 unsigned NeuralNet::predict(const std::vector<double> &X) const {
   std::vector<double> Proba = predictProba(X);
   unsigned Best = 0;

@@ -51,6 +51,14 @@ public:
   /// Class probabilities for \p X (softmax over the output layer).
   std::vector<double> predictProba(const std::vector<double> &X) const;
 
+  /// Class probabilities for every row of \p Xs in one batched pass: each
+  /// weight row streams across the whole batch (a matrix–matrix product)
+  /// instead of the per-example loop re-walking the matrices per call.
+  /// Per-example accumulation order is identical to predictProba, so the
+  /// returned probabilities are bit-identical at every batch size.
+  std::vector<std::vector<double>>
+  predictProbaBatch(const std::vector<std::vector<double>> &Xs) const;
+
   /// Most probable class.
   unsigned predict(const std::vector<double> &X) const;
 

@@ -1,0 +1,98 @@
+//===- serve/ModelRegistry.cpp --------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ModelRegistry.h"
+
+#include <utility>
+
+using namespace brainy;
+using namespace brainy::serve;
+
+ModelRegistry::ModelRegistry(std::vector<std::string> Paths)
+    : Paths(std::move(Paths)) {}
+
+Expected<Brainy> ModelRegistry::loadPath(const std::string &Path) const {
+  Expected<Brainy> Loaded = Brainy::load(Path);
+  if (!Loaded)
+    return Loaded;
+  if (Loaded->machineName().empty())
+    return Error(ErrCode::BadFormat,
+                 Path + ": bundle has an empty machine name");
+  return Loaded;
+}
+
+Error ModelRegistry::loadInitial() {
+  // Build the whole map before publishing anything: a server either comes
+  // up with every registered arch serving or refuses to start.
+  std::map<std::string, std::shared_ptr<const Brainy>> Fresh;
+  for (const std::string &Path : Paths) {
+    Expected<Brainy> Loaded = loadPath(Path);
+    if (!Loaded)
+      return Loaded.error();
+    std::string Arch = Loaded->machineName();
+    auto Inserted = Fresh.emplace(
+        std::move(Arch),
+        std::make_shared<const Brainy>(std::move(*Loaded)));
+    if (!Inserted.second)
+      return Error(ErrCode::InvalidValue,
+                   Path + ": duplicate bundle for machine '" +
+                       Inserted.first->first + "'");
+  }
+  MutexLock Lock(M);
+  Bundles = std::move(Fresh);
+  ++Generation;
+  return Error::success();
+}
+
+ReloadOutcome ModelRegistry::reload() {
+  ReloadOutcome Outcome;
+  // Load everything outside the lock: a slow disk or a large bundle must
+  // not stall concurrent lookup() calls on the serving hot path.
+  std::vector<std::pair<std::string, std::shared_ptr<const Brainy>>> Fresh;
+  for (const std::string &Path : Paths) {
+    Expected<Brainy> Loaded = loadPath(Path);
+    if (!Loaded) {
+      Outcome.Errors.push_back(Loaded.error().message());
+      continue; // keep the previously published bundle serving
+    }
+    std::string Arch = Loaded->machineName();
+    Fresh.emplace_back(std::move(Arch), std::make_shared<const Brainy>(
+                                            std::move(*Loaded)));
+  }
+  if (!Fresh.empty()) {
+    MutexLock Lock(M);
+    for (auto &Entry : Fresh) {
+      // A single pointer swap per arch: a concurrent lookup sees either
+      // the old complete bundle or the new complete bundle, never a blend.
+      Bundles[Entry.first] = std::move(Entry.second);
+      ++Outcome.Swapped;
+    }
+    ++Generation;
+  }
+  return Outcome;
+}
+
+std::shared_ptr<const Brainy>
+ModelRegistry::lookup(const std::string &Arch) const {
+  MutexLock Lock(M);
+  auto It = Bundles.find(Arch);
+  if (It == Bundles.end())
+    return nullptr;
+  return It->second;
+}
+
+std::vector<std::string> ModelRegistry::arches() const {
+  std::vector<std::string> Names;
+  MutexLock Lock(M);
+  for (const auto &Entry : Bundles)
+    Names.push_back(Entry.first);
+  return Names;
+}
+
+uint64_t ModelRegistry::generation() const {
+  MutexLock Lock(M);
+  return Generation;
+}

@@ -1,0 +1,91 @@
+//===- serve/ModelRegistry.h - Hot-swappable per-arch bundles --*- C++ -*-===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's model store (DESIGN.md §15): one v2 bundle per
+/// machine architecture, keyed by the bundle's own machine name, with
+/// atomic hot-swap. Bundles are loaded through the hardened
+/// Brainy::load path (magic/version/CRC32), so a half-written or corrupt
+/// file can never be published.
+///
+/// Swap protocol: lookup() hands out shared_ptr snapshots; reload()
+/// builds the replacement bundles entirely off to the side and publishes
+/// each one with a single pointer swap under the registry mutex. A batch
+/// in flight keeps its snapshot alive, so the old bundle is retired only
+/// when the last in-flight batch drops its reference — no query ever
+/// sees a half-loaded bundle. A path that fails to reload (missing,
+/// corrupt, wrong arch) keeps its previous bundle serving and reports
+/// the error instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BRAINY_SERVE_MODELREGISTRY_H
+#define BRAINY_SERVE_MODELREGISTRY_H
+
+#include "core/Brainy.h"
+#include "support/ThreadSafety.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace brainy {
+namespace serve {
+
+/// The outcome of one reload sweep over every registered path.
+struct ReloadOutcome {
+  unsigned Swapped = 0;                 ///< bundles replaced successfully
+  std::vector<std::string> Errors;      ///< one message per failed path
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Thread-safe arch -> bundle store with atomic hot-swap.
+class ModelRegistry {
+public:
+  /// Registers \p Paths without loading them; call loadInitial() next.
+  explicit ModelRegistry(std::vector<std::string> Paths);
+
+  /// Loads every registered path. Startup is strict: any unloadable
+  /// bundle or duplicate arch is an Error (a server must not come up
+  /// half-stocked; reload() is the lenient path).
+  Error loadInitial();
+
+  /// Re-reads every registered path and atomically swaps in each bundle
+  /// that loads cleanly. Failed paths keep their current bundle and are
+  /// reported in the outcome. Safe to call from any thread, including
+  /// concurrently with lookup().
+  ReloadOutcome reload();
+
+  /// The bundle currently serving \p Arch, or null when none is loaded.
+  /// The returned snapshot stays valid (and the bundle alive) for as long
+  /// as the caller holds it, across any number of reloads.
+  std::shared_ptr<const Brainy> lookup(const std::string &Arch) const;
+
+  /// Sorted arch names currently served.
+  std::vector<std::string> arches() const;
+
+  /// Bumped once per successful swap; lets tests and logs observe that a
+  /// reload actually published something new.
+  uint64_t generation() const;
+
+private:
+  /// Loads one path, validating it the same way both load paths do.
+  Expected<Brainy> loadPath(const std::string &Path) const;
+
+  const std::vector<std::string> Paths; ///< fixed at construction
+  mutable Mutex M;
+  std::map<std::string, std::shared_ptr<const Brainy>> Bundles
+      BRAINY_GUARDED_BY(M);
+  uint64_t Generation BRAINY_GUARDED_BY(M) = 0;
+};
+
+} // namespace serve
+} // namespace brainy
+
+#endif // BRAINY_SERVE_MODELREGISTRY_H

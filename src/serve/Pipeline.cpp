@@ -1,0 +1,87 @@
+//===- serve/Pipeline.cpp -------------------------------------------------===//
+//
+// Part of the Brainy reproduction of PLDI 2011's "Brainy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Pipeline.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+using namespace brainy;
+using namespace brainy::serve;
+
+namespace {
+
+/// One parsed query plus where its answer goes in the response vector.
+struct RoutedQuery {
+  RecommendQuery Query;
+  size_t Slot;
+};
+
+} // namespace
+
+std::vector<std::string>
+serve::answerRequestLines(const ModelRegistry &Registry,
+                          const std::vector<std::string> &Lines,
+                          bool Batched) {
+  std::vector<std::string> Responses(Lines.size());
+
+  // Parse every line first; buckets hold only well-formed queries, keyed
+  // by (arch, model family) so each bucket is exactly one forward pass.
+  std::map<std::pair<std::string, ModelKind>, std::vector<RoutedQuery>>
+      Buckets;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    RecommendQuery Q;
+    Error E = parseRecommendQuery(Lines[I], Q);
+    if (E) {
+      Responses[I] = renderRecommendError(E);
+      continue;
+    }
+    ModelKind Model = modelFor(Q.Original, Q.OrderOblivious);
+    Buckets[std::make_pair(Q.Arch, Model)].push_back(
+        RoutedQuery{std::move(Q), I});
+  }
+
+  // One registry lookup per arch per group: every query in this group
+  // sees the same bundle snapshot even if a reload lands mid-answer, and
+  // the snapshot keeps the bundle alive until the group is done.
+  std::map<std::string, std::shared_ptr<const Brainy>> Snapshots;
+  for (auto &Bucket : Buckets) {
+    const std::string &Arch = Bucket.first.first;
+    auto It = Snapshots.find(Arch);
+    if (It == Snapshots.end())
+      It = Snapshots.emplace(Arch, Registry.lookup(Arch)).first;
+    const std::shared_ptr<const Brainy> &Bundle = It->second;
+    if (!Bundle) {
+      Error E(ErrCode::UnknownKey,
+              "no model bundle loaded for machine '" + Arch + "'");
+      for (const RoutedQuery &RQ : Bucket.second)
+        Responses[RQ.Slot] = renderRecommendError(E);
+      continue;
+    }
+    std::vector<RoutedQuery> &Group = Bucket.second;
+    if (Batched) {
+      std::vector<const FeatureVector *> Features;
+      std::vector<bool> OrderOblivious;
+      Features.reserve(Group.size());
+      OrderOblivious.reserve(Group.size());
+      for (const RoutedQuery &RQ : Group) {
+        Features.push_back(&RQ.Query.Features);
+        OrderOblivious.push_back(RQ.Query.OrderOblivious);
+      }
+      std::vector<DsKind> Targets;
+      Bundle->recommendBatch(Bucket.first.second, Features, OrderOblivious,
+                             Targets);
+      for (size_t I = 0; I != Group.size(); ++I)
+        Responses[Group[I].Slot] =
+            renderRecommendation(Group[I].Query, Targets[I]);
+    } else {
+      for (const RoutedQuery &RQ : Group)
+        Responses[RQ.Slot] = answerRecommendQuery(*Bundle, RQ.Query);
+    }
+  }
+  return Responses;
+}

@@ -28,6 +28,13 @@
 //   brainy recommend --source FILE [FILE...]
 //       Table 1 replacement candidates per variable, filtered by the
 //       legality verdicts (illegal targets printed with the reason)
+//   brainy recommend --models BUNDLE[,...] --queries FILE
+//       answer profiled-feature query lines one-shot (the byte-for-byte
+//       reference output for `brainy serve`)
+//   brainy serve --models BUNDLE[,...] [--host H] [--port P]
+//       long-lived recommendation server: batched forward passes over a
+//       hot-swappable per-arch registry (SIGHUP or `!reload` re-reads the
+//       bundles; SIGINT/SIGTERM drains and exits) (DESIGN.md §15)
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,10 +43,13 @@
 #include "analysis/UsageAnalysis.h"
 #include "appgen/CppEmitter.h"
 #include "core/Brainy.h"
+#include "core/Recommend.h"
 #include "distributed/Coordinator.h"
 #include "distributed/Launch.h"
 #include "distributed/Tcp.h"
 #include "distributed/Worker.h"
+#include "serve/Pipeline.h"
+#include "serve/Server.h"
 #include "support/Env.h"
 #include "support/FaultInjector.h"
 #include "survey/Survey.h"
@@ -153,8 +163,12 @@ int usage() {
       "  survey FILE...\n"
       "  check [--json] [--jobs N] FILE...\n"
       "  recommend --source FILE [FILE...]\n"
+      "  recommend --models BUNDLE[,BUNDLE...] --queries FILE|-\n"
+      "            [--unbatched]\n"
       "  apply [--dry-run] [--json] [--in-place] [--prefer LIST]\n"
-      "        [--jobs N] FILE...\n");
+      "        [--jobs N] FILE...\n"
+      "  serve --models BUNDLE[,BUNDLE...] [--host H] [--port P]\n"
+      "        [--conn-workers N] [--max-batch N] [--unbatched]\n");
   return 2;
 }
 
@@ -537,37 +551,90 @@ int cmdApply(const Args &A) {
   return Exit;
 }
 
-/// Table 1 rows are keyed by DsKind; only declared types with a row get
-/// recommendations (multi/splay/flat declarations are analysis-only).
-bool dsKindForCandidate(analysis::Candidate C, DsKind &Out) {
-  switch (C) {
-  case analysis::Candidate::Vector:
-    Out = DsKind::Vector;
-    return true;
-  case analysis::Candidate::List:
-    Out = DsKind::List;
-    return true;
-  case analysis::Candidate::Deque:
-    Out = DsKind::Deque;
-    return true;
-  case analysis::Candidate::Map:
-    Out = DsKind::Map;
-    return true;
-  case analysis::Candidate::Set:
-    Out = DsKind::Set;
-    return true;
-  case analysis::Candidate::UnorderedMap:
-    Out = DsKind::HashMap;
-    return true;
-  case analysis::Candidate::UnorderedSet:
-    Out = DsKind::HashSet;
-    return true;
-  default:
+/// Splits a comma-separated flag value ("a.models,b.models").
+std::vector<std::string> splitList(const std::string &Spec) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    if (Comma != Pos)
+      Out.push_back(Spec.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+/// Reads a whole file ("-" = stdin) into \p Out.
+bool readWholeFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "brainy: cannot open '%s': %s\n", Path.c_str(),
+                 std::strerror(errno));
     return false;
   }
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) != 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  if (F != stdin)
+    std::fclose(F);
+  if (!Ok)
+    std::fprintf(stderr, "brainy: read error on '%s'\n", Path.c_str());
+  return Ok;
+}
+
+/// The bundle paths of a serving-shaped command: --models is a
+/// comma-separated list, and bare positionals extend it.
+std::vector<std::string> modelPathList(const Args &A) {
+  std::vector<std::string> Paths = splitList(A.get("models"));
+  Paths.insert(Paths.end(), A.Positional.begin(), A.Positional.end());
+  return Paths;
+}
+
+/// One-shot query mode: answers a request-line file against loaded
+/// bundles through the exact pipeline the server runs, so its output is
+/// the byte-for-byte reference for `brainy serve` (the CI serve gate
+/// diffs the two).
+int cmdRecommendQueries(const Args &A) {
+  std::vector<std::string> Paths = modelPathList(A);
+  if (Paths.empty()) {
+    std::fprintf(stderr, "recommend: --queries needs --models BUNDLE\n");
+    return 2;
+  }
+  serve::ModelRegistry Registry(Paths);
+  if (Error E = Registry.loadInitial()) {
+    std::fprintf(stderr, "recommend: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::string Text;
+  if (!readWholeFile(A.get("queries"), Text))
+    return 2;
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    size_t End = Eol;
+    if (End != Pos && Text[End - 1] == '\r')
+      --End;
+    if (End != Pos) // blank lines are separators, never queries
+      Lines.push_back(Text.substr(Pos, End - Pos));
+    Pos = Eol + 1;
+  }
+  std::vector<std::string> Responses =
+      serve::answerRequestLines(Registry, Lines, !A.has("unbatched"));
+  for (const std::string &R : Responses)
+    std::printf("%s\n", R.c_str());
+  return 0;
 }
 
 int cmdRecommend(const Args &A) {
+  if (A.has("queries"))
+    return cmdRecommendQueries(A);
   // Static mode: start from the full order-oblivious Table 1 row for each
   // variable's declared type, then let the legality verdicts veto targets
   // the usage profile rules out — with the reason printed, so a filtered
@@ -584,41 +651,67 @@ int cmdRecommend(const Args &A) {
   if (!analyzePaths(Paths, static_cast<unsigned>(A.getInt("jobs", 0)),
                     Files))
     return 2;
-  for (const analysis::FileAnalysis &FA : Files) {
-    std::printf("== %s ==\n", FA.Path.c_str());
-    if (FA.Vars.empty()) {
-      std::printf("  (no container-typed variables found)\n");
+  std::string Report = renderSourceRecommendations(Files);
+  std::fwrite(Report.data(), 1, Report.size(), stdout);
+  return 0;
+}
+
+int cmdServe(const Args &A) {
+  serve::ServeOptions Opts;
+  Opts.ModelPaths = modelPathList(A);
+  if (Opts.ModelPaths.empty()) {
+    std::fprintf(stderr, "serve: no --models bundles given\n");
+    return 2;
+  }
+  Opts.Host = A.get("host", "127.0.0.1");
+  Opts.Port = static_cast<uint16_t>(A.getInt("port", 0));
+  Opts.ConnWorkers = static_cast<unsigned>(A.getInt("conn-workers", 8));
+  Opts.MaxBatch = static_cast<unsigned>(A.getInt("max-batch", 256));
+  Opts.Batched = !A.has("unbatched");
+
+  // Route the control signals through sigwait on this thread: block them
+  // before start() so every serving thread inherits the mask and none of
+  // them races the handler-free delivery below. SIGHUP = hot-swap,
+  // SIGINT/SIGTERM = graceful drain; a vanished client is EPIPE on its
+  // own handler, never a process-wide SIGPIPE.
+  sigset_t Control;
+  sigemptyset(&Control);
+  sigaddset(&Control, SIGHUP);
+  sigaddset(&Control, SIGINT);
+  sigaddset(&Control, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &Control, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  serve::RecommendServer Server(Opts);
+  if (Error E = Server.start()) {
+    std::fprintf(stderr, "serve: %s\n", E.message().c_str());
+    return 1;
+  }
+  // Scripts read this line to learn an ephemeral port.
+  std::printf("brainy serve: listening on %s:%u\n", Opts.Host.c_str(),
+              Server.port());
+  std::fflush(stdout);
+  for (;;) {
+    int Sig = 0;
+    if (sigwait(&Control, &Sig) != 0)
+      break;
+    if (Sig == SIGHUP) {
+      serve::ReloadOutcome Outcome = Server.reload();
+      std::fprintf(stderr, "brainy serve: reload: swapped %u, %zu error(s)\n",
+                   Outcome.Swapped, Outcome.Errors.size());
       continue;
     }
-    for (const analysis::VarProfile &V : FA.Vars) {
-      std::printf("  %s : %s (line %u, declared %s)\n", V.Name.c_str(),
-                  V.Spelling.c_str(), V.Line,
-                  analysis::candidateName(V.Declared));
-      DsKind Declared;
-      if (!dsKindForCandidate(V.Declared, Declared)) {
-        std::printf("    (no Table 1 row for the declared type)\n");
-        continue;
-      }
-      for (DsKind Target :
-           replacementCandidates(Declared, /*OrderOblivious=*/true)) {
-        const analysis::Verdict &Vd =
-            V.verdictFor(analysis::candidateForDsKind(Target));
-        switch (Vd.Kind) {
-        case analysis::Legality::Legal:
-          std::printf("    candidate %s\n", dsKindName(Target));
-          break;
-        case analysis::Legality::Illegal:
-          std::printf("    filtered  %s — illegal(%s)\n", dsKindName(Target),
-                      Vd.Reason.c_str());
-          break;
-        case analysis::Legality::Unknown:
-          std::printf("    filtered  %s — unknown(%s)\n", dsKindName(Target),
-                      Vd.Reason.c_str());
-          break;
-        }
-      }
-    }
+    break;
   }
+  Server.stop();
+  const serve::ServeStats &S = Server.stats();
+  std::fprintf(stderr,
+               "brainy serve: drained; %llu queries in %llu batches "
+               "(max %llu), %llu reload(s)\n",
+               static_cast<unsigned long long>(S.Queries.load()),
+               static_cast<unsigned long long>(S.Batches.load()),
+               static_cast<unsigned long long>(S.MaxBatch.load()),
+               static_cast<unsigned long long>(S.Reloads.load()));
   return 0;
 }
 
@@ -687,11 +780,15 @@ int main(int Argc, char **Argv) {
   else if (Cmd == "check") {
     Known = {"jobs"};
     KnownBool = {"json"};
-  } else if (Cmd == "recommend")
-    Known = {"source", "jobs"};
-  else if (Cmd == "apply") {
+  } else if (Cmd == "recommend") {
+    Known = {"source", "jobs", "models", "queries"};
+    KnownBool = {"unbatched"};
+  } else if (Cmd == "apply") {
     Known = {"jobs", "prefer"};
     KnownBool = {"json", "dry-run", "in-place"};
+  } else if (Cmd == "serve") {
+    Known = {"models", "host", "port", "conn-workers", "max-batch"};
+    KnownBool = {"unbatched"};
   } else if (Cmd != "machines" && Cmd != "survey")
     return usage();
 
@@ -716,5 +813,7 @@ int main(int Argc, char **Argv) {
     return cmdRecommend(A);
   if (Cmd == "apply")
     return cmdApply(A);
+  if (Cmd == "serve")
+    return cmdServe(A);
   return cmdSurvey(A);
 }

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Concurrent line-protocol client for the CI `serve` job.
+
+Drives a running `brainy serve` instance with N client threads, each
+pipelining the committed query file for a number of rounds, and checks
+every response line against the byte-exact output of the one-shot
+`brainy recommend` CLI on the same queries and bundle.
+
+Two modes:
+
+* match (default): every response line must equal the corresponding
+  line of --expected. Proves the server's batched pipeline is
+  byte-identical to the one-shot path under concurrency.
+
+* hot-swap (--expected-new given, usually with --hup-pid): SIGHUP is
+  sent to the server mid-traffic. During the storm every response line
+  must match the OLD or the NEW bundle's expected answer at the same
+  index — anything else means a torn swap. After the storm a final
+  connection must answer exactly --expected-new, proving the reload
+  landed and the server survived.
+
+Stdlib only (socket/threading); CI runners are not guaranteed netcat.
+"""
+
+import argparse
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+
+
+def load_lines(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def query_lines(path):
+    # The server (and the one-shot CLI) skip blank lines without
+    # answering, so drop them here to keep request/response counts
+    # aligned.
+    return [ln for ln in load_lines(path) if ln.strip()]
+
+
+class Failure:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.messages = []
+
+    def report(self, msg):
+        with self.lock:
+            self.messages.append(msg)
+
+
+def run_round(sock_file, sock, queries, allowed, failure, who):
+    """Sends all queries pipelined, reads one response per query, and
+    checks each against the allowed answers for its index."""
+    request = ("\n".join(queries) + "\n").encode()
+    sock.sendall(request)
+    for i in range(len(queries)):
+        line = sock_file.readline()
+        if not line:
+            failure.report("%s: connection closed after %d of %d responses"
+                           % (who, i, len(queries)))
+            return
+        line = line.rstrip("\n")
+        if line not in allowed[i]:
+            failure.report("%s: query %d got %r, expected one of %r"
+                           % (who, i, line, allowed[i]))
+
+
+def client_thread(host, port, queries, allowed, rounds, failure, who):
+    try:
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock_file = sock.makefile("r", encoding="utf-8", newline="\n")
+            for _ in range(rounds):
+                if failure.messages:
+                    return
+                run_round(sock_file, sock, queries, allowed, failure,
+                          who)
+    except OSError as e:
+        failure.report("%s: %s" % (who, e))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--queries", required=True,
+                    help="query file (blank lines are skipped)")
+    ap.add_argument("--expected", required=True,
+                    help="expected responses (one-shot CLI output)")
+    ap.add_argument("--expected-new", default=None,
+                    help="expected responses after a hot-swap; enables "
+                         "hot-swap mode")
+    ap.add_argument("--hup-pid", type=int, default=None,
+                    help="send SIGHUP to this pid mid-storm")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=50)
+    args = ap.parse_args()
+
+    queries = query_lines(args.queries)
+    expected_old = load_lines(args.expected)
+    if len(expected_old) != len(queries):
+        print("serve_client: %d queries but %d expected lines"
+              % (len(queries), len(expected_old)), file=sys.stderr)
+        return 2
+    if args.expected_new:
+        expected_new = load_lines(args.expected_new)
+        if len(expected_new) != len(queries):
+            print("serve_client: %d queries but %d expected-new lines"
+                  % (len(queries), len(expected_new)), file=sys.stderr)
+            return 2
+        allowed = [[o, n] for o, n in zip(expected_old, expected_new)]
+    else:
+        expected_new = None
+        allowed = [[o] for o in expected_old]
+
+    failure = Failure()
+    threads = []
+    for c in range(args.clients):
+        t = threading.Thread(
+            target=client_thread,
+            args=(args.host, args.port, queries, allowed, args.rounds,
+                  failure, "client-%d" % c))
+        t.start()
+        threads.append(t)
+
+    if args.hup_pid is not None:
+        # Land the reloads while the storm is in full swing.
+        time.sleep(0.2)
+        for _ in range(3):
+            os.kill(args.hup_pid, signal.SIGHUP)
+            time.sleep(0.1)
+
+    for t in threads:
+        t.join()
+
+    if failure.messages:
+        for msg in failure.messages[:20]:
+            print("serve_client: FAIL: %s" % msg, file=sys.stderr)
+        return 1
+
+    if expected_new is not None:
+        # The swap must have landed: a fresh connection answers with the
+        # new bundle, byte-exactly.
+        deadline = time.time() + 10
+        final = None
+        while time.time() < deadline:
+            with socket.create_connection((args.host, args.port),
+                                          timeout=30) as sock:
+                sock_file = sock.makefile("r", encoding="utf-8",
+                                          newline="\n")
+                sock.sendall(("\n".join(queries) + "\n").encode())
+                final = [sock_file.readline().rstrip("\n")
+                         for _ in queries]
+            if final == expected_new:
+                break
+            time.sleep(0.2)
+        if final != expected_new:
+            print("serve_client: FAIL: post-swap answers never matched "
+                  "the new bundle", file=sys.stderr)
+            for i, (got, want) in enumerate(zip(final or [],
+                                                expected_new)):
+                if got != want:
+                    print("  query %d: got %r want %r" % (i, got, want),
+                          file=sys.stderr)
+            return 1
+
+        # Two trained bundles can legitimately agree on every committed
+        # query, so the byte-match above alone cannot prove the reload
+        # landed — the server's own reload counter can.
+        with socket.create_connection((args.host, args.port),
+                                      timeout=30) as sock:
+            sock_file = sock.makefile("r", encoding="utf-8", newline="\n")
+            sock.sendall(b"!stats\n")
+            stats = sock_file.readline().rstrip("\n")
+        print("serve_client: %s" % stats)
+        fields = dict(kv.split("=", 1) for kv in stats.split()[1:])
+        if int(fields.get("reloads", "0")) < 1:
+            print("serve_client: FAIL: no reload recorded in %r" % stats,
+                  file=sys.stderr)
+            return 1
+
+    total = args.clients * args.rounds * len(queries)
+    print("serve_client: OK: %d responses across %d clients all matched"
+          % (total, args.clients))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
